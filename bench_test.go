@@ -1,0 +1,396 @@
+// Package calloc_test holds the repository-level benchmark harness: one
+// benchmark per table and figure of the paper's evaluation (§V), plus
+// ablation benches for the design choices called out in DESIGN.md and
+// micro-benchmarks of the performance-critical paths. Figure benches run the
+// experiment drivers in a reduced mode (small buildings, short training) so
+// `go test -bench=. -benchmem` finishes in minutes on one core; the custom
+// metrics (mean_error_m, worst_error_m, ...) carry the reproduced numbers.
+// Paper-scale numbers are produced by `calloc-eval -mode full` and recorded
+// in EXPERIMENTS.md.
+package calloc_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"calloc/internal/attack"
+	"calloc/internal/core"
+	"calloc/internal/curriculum"
+	"calloc/internal/device"
+	"calloc/internal/experiments"
+	"calloc/internal/fingerprint"
+	"calloc/internal/floorplan"
+	"calloc/internal/mat"
+)
+
+// benchMode is the reduced experiment scale used by the figure benches.
+func benchMode() experiments.Mode {
+	return experiments.Mode{
+		Name:            "bench",
+		BuildingIDs:     []int{1, 3},
+		Devices:         []string{"OP3", "S7", "MOTO"},
+		Epsilons:        []float64{0.1, 0.3, 0.5},
+		Phis:            []int{20, 100},
+		APScale:         0.2,
+		PathScale:       0.15,
+		EpochsPerLesson: 10,
+		BaselineEpochs:  120,
+		Seed:            1,
+	}
+}
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+)
+
+// benchSuite shares one suite (and its trained-model cache) across benches.
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite = experiments.NewSuite(benchMode(), nil)
+	})
+	return suite
+}
+
+// BenchmarkFig1AttackImpact regenerates Fig 1: classical localizers (KNN,
+// GPC, DNN) under FGSM. Reported metric: mean attacked error across models.
+func BenchmarkFig1AttackImpact(b *testing.B) {
+	s := benchSuite(b)
+	if _, err := s.Fig1(); err != nil { // warm model caches outside the timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	var mean float64
+	for _, row := range last.Rows {
+		mean += row.AttackedMean
+	}
+	b.ReportMetric(mean/float64(len(last.Rows)), "mean_attacked_error_m")
+}
+
+// BenchmarkFig2AttackIllustration regenerates Fig 2's weak/strong attack
+// illustration on a single fingerprint.
+func BenchmarkFig2AttackIllustration(b *testing.B) {
+	s := benchSuite(b)
+	if _, err := s.Fig2(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Heatmaps regenerates the Fig 4 device×building heatmaps for
+// FGSM, PGD, and MIM. Reported metric: CALLOC's grand-mean error.
+func BenchmarkFig4Heatmaps(b *testing.B) {
+	s := benchSuite(b)
+	if _, err := s.Fig4(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	var sum float64
+	var n int
+	for _, hm := range last.Heatmaps {
+		for _, row := range hm.Values {
+			for _, v := range row {
+				sum += v
+				n++
+			}
+		}
+	}
+	b.ReportMetric(sum/float64(n), "mean_error_m")
+}
+
+// BenchmarkFig5CurriculumImpact regenerates Fig 5 (curriculum vs NC).
+// Reported metrics: mean error with and without curriculum under FGSM.
+func BenchmarkFig5CurriculumImpact(b *testing.B) {
+	s := benchSuite(b)
+	if _, err := s.Fig5(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(seriesMean(last.Series["FGSM"]), "curriculum_error_m")
+	b.ReportMetric(seriesMean(last.Series["FGSM-NC"]), "nc_error_m")
+}
+
+// BenchmarkFig6StateOfTheArt regenerates the Fig 6 framework comparison.
+// Reported metrics: the worst competitor's mean-error ratio vs CALLOC (the
+// paper's "up to 6.03×" number at bench scale).
+func BenchmarkFig6StateOfTheArt(b *testing.B) {
+	s := benchSuite(b)
+	if _, err := s.Fig6(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	var worstMeanRatio, worstWorstRatio float64
+	for _, row := range last.Rows {
+		if row.MeanRatio > worstMeanRatio {
+			worstMeanRatio = row.MeanRatio
+		}
+		if row.WorstRatio > worstWorstRatio {
+			worstWorstRatio = row.WorstRatio
+		}
+	}
+	b.ReportMetric(last.Rows[0].Mean, "calloc_mean_error_m")
+	b.ReportMetric(worstMeanRatio, "max_mean_ratio_x")
+	b.ReportMetric(worstWorstRatio, "max_worst_ratio_x")
+}
+
+// BenchmarkFig7PhiSweep regenerates the Fig 7 ø sweep under FGSM.
+// Reported metric: CALLOC's error increase from ø=1 to ø=100.
+func BenchmarkFig7PhiSweep(b *testing.B) {
+	s := benchSuite(b)
+	if _, err := s.Fig7(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	series := last.Series[experiments.NameCALLOC]
+	b.ReportMetric(series[len(series)-1]-series[0], "calloc_phi_degradation_m")
+}
+
+// BenchmarkTableRegistries regenerates Tables I and II from the device and
+// floorplan registries.
+func BenchmarkTableRegistries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table1()
+		_ = experiments.Table2()
+	}
+}
+
+// BenchmarkModelFootprint regenerates the §V.A footprint audit: parameter
+// count and deployed size for the paper-dimension model, plus construction
+// cost.
+func BenchmarkModelFootprint(b *testing.B) {
+	var m *core.Model
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = core.NewModel(core.PaperConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.NumParams()), "parameters")
+	b.ReportMetric(m.ModelSizeKB(), "model_kB")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// benchDataset builds the shared small dataset for ablations.
+var (
+	ablOnce sync.Once
+	ablDS   *fingerprint.Dataset
+)
+
+func ablationDataset(b *testing.B) *fingerprint.Dataset {
+	b.Helper()
+	ablOnce.Do(func() {
+		spec := floorplan.Spec{
+			ID: 90, Name: "Ablation", VisibleAPs: 24, PathLengthM: 12,
+			Characteristics: "bench", Model: floorplan.Registry()[2].Model,
+		}
+		bld := floorplan.Build(spec, 1)
+		ds, err := fingerprint.Collect(bld, device.Registry(), fingerprint.DefaultCollectConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ablDS = ds
+	})
+	return ablDS
+}
+
+// ablationError trains a model variant and reports its FGSM-attacked error.
+func ablationError(b *testing.B, mutate func(*core.Config, *core.TrainConfig)) float64 {
+	b.Helper()
+	ds := ablationDataset(b)
+	cfg := core.DefaultConfig(ds.NumAPs, ds.NumRPs)
+	cfg.EmbedDim, cfg.AttnDim = 32, 16
+	tc := core.DefaultTrainConfig()
+	tc.Lessons = curriculum.Schedule(4, 100, 0.1)
+	tc.EpochsPerLesson = 15
+	mutate(&cfg, &tc)
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Train(ds.Train, tc); err != nil {
+		b.Fatal(err)
+	}
+	var total float64
+	var n int
+	for _, dev := range []string{"OP3", "MOTO"} {
+		x := fingerprint.X(ds.Test[dev])
+		labels := fingerprint.Labels(ds.Test[dev])
+		adv := attack.Craft(attack.FGSM, m, x, labels,
+			attack.Config{Epsilon: 0.3, PhiPercent: 50, Seed: 7})
+		for i, p := range m.Predict(adv) {
+			total += ds.ErrorMeters(p, labels[i])
+			n++
+		}
+	}
+	return total / float64(n)
+}
+
+// BenchmarkAblationHyperspaceMSE compares the hyperspace-consistency loss
+// weights λ ∈ {0, 0.02 (default), 0.5}: the calibration story behind
+// DESIGN.md's λ choice.
+func BenchmarkAblationHyperspaceMSE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		off := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.HyperspaceLambda = 0 })
+		def := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.HyperspaceLambda = 0.02 })
+		strong := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.HyperspaceLambda = 0.5 })
+		b.ReportMetric(off, "lambda0_error_m")
+		b.ReportMetric(def, "lambda002_error_m")
+		b.ReportMetric(strong, "lambda05_error_m")
+	}
+}
+
+// BenchmarkAblationAdaptive compares the adaptive revert-and-ease mechanism
+// (§IV.D) against a static curriculum (no reverts).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		adaptive := ablationError(b, func(_ *core.Config, t *core.TrainConfig) { t.Patience = 3 })
+		static := ablationError(b, func(_ *core.Config, t *core.TrainConfig) {
+			t.Patience = 1 << 20 // monitor never fires
+		})
+		b.ReportMetric(adaptive, "adaptive_error_m")
+		b.ReportMetric(static, "static_error_m")
+	}
+}
+
+// BenchmarkAblationMemorySize compares full-database attention memory with
+// per-class subsampling, the deployment memory/accuracy trade-off.
+func BenchmarkAblationMemorySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.MemoryPerClass = 0 })
+		two := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.MemoryPerClass = 2 })
+		one := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.MemoryPerClass = 1 })
+		b.ReportMetric(full, "mem_full_error_m")
+		b.ReportMetric(two, "mem2_error_m")
+		b.ReportMetric(one, "mem1_error_m")
+	}
+}
+
+// --- Micro-benchmarks of performance-critical paths ---
+
+func trainedBenchModel(b *testing.B) (*core.Model, *fingerprint.Dataset) {
+	b.Helper()
+	ds := ablationDataset(b)
+	cfg := core.DefaultConfig(ds.NumAPs, ds.NumRPs)
+	cfg.EmbedDim, cfg.AttnDim = 32, 16
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := core.DefaultTrainConfig()
+	tc.Lessons = curriculum.Schedule(3, 100, 0.1)
+	tc.EpochsPerLesson = 10
+	if _, err := m.Train(ds.Train, tc); err != nil {
+		b.Fatal(err)
+	}
+	return m, ds
+}
+
+// BenchmarkCALLOCInference measures single-fingerprint localization latency,
+// the figure that matters for the paper's mobile-deployment claim.
+func BenchmarkCALLOCInference(b *testing.B) {
+	m, ds := trainedBenchModel(b)
+	x := fingerprint.X(ds.Test["OP3"][:1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+// BenchmarkFGSMCraft measures single-step attack generation against CALLOC.
+func BenchmarkFGSMCraft(b *testing.B) {
+	m, ds := trainedBenchModel(b)
+	x := fingerprint.X(ds.Test["OP3"])
+	labels := fingerprint.Labels(ds.Test["OP3"])
+	cfg := attack.Config{Epsilon: 0.3, PhiPercent: 50, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attack.Craft(attack.FGSM, m, x, labels, cfg)
+	}
+}
+
+// BenchmarkPGDCraft measures 10-step iterative attack generation.
+func BenchmarkPGDCraft(b *testing.B) {
+	m, ds := trainedBenchModel(b)
+	x := fingerprint.X(ds.Test["OP3"])
+	labels := fingerprint.Labels(ds.Test["OP3"])
+	cfg := attack.Config{Epsilon: 0.3, PhiPercent: 50, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attack.Craft(attack.PGD, m, x, labels, cfg)
+	}
+}
+
+// BenchmarkMatMul measures the dense kernel all models sit on.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := mat.New(128, 128)
+	c := mat.New(128, 128)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+		c.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.Mul(a, c)
+	}
+}
+
+func seriesMean(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}

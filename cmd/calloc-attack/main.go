@@ -1,0 +1,133 @@
+// Command calloc-attack crafts white-box adversarial fingerprints against a
+// trained CALLOC model and reports the damage, including the two MITM
+// channel-attack variants (signal manipulation vs spoofing) of paper §III.
+//
+// Usage:
+//
+//	calloc-data  -building 3 -out b3.gob
+//	calloc-train -data b3.gob -weights b3.model
+//	calloc-attack -data b3.gob -weights b3.model -method pgd -eps 0.3 -phi 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"calloc/internal/attack"
+	"calloc/internal/core"
+	"calloc/internal/eval"
+	"calloc/internal/fingerprint"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset gob file from calloc-data (required)")
+	weights := flag.String("weights", "", "trained weights from calloc-train (required)")
+	method := flag.String("method", "fgsm", "attack method: fgsm, pgd, or mim")
+	eps := flag.Float64("eps", 0.3, "attack strength ε in the normalised [0,1] RSS domain")
+	phi := flag.Int("phi", 50, "ø: percent of visible APs targeted (1-100)")
+	variant := flag.String("variant", "", "optional MITM variant: manipulation or spoofing (default: direct perturbation)")
+	seed := flag.Int64("seed", 1, "seed for targeted-AP selection")
+	flag.Parse()
+
+	if *data == "" || *weights == "" {
+		fmt.Fprintln(os.Stderr, "calloc-attack: -data and -weights are required")
+		os.Exit(2)
+	}
+	var m attack.Method
+	switch strings.ToLower(*method) {
+	case "fgsm":
+		m = attack.FGSM
+	case "pgd":
+		m = attack.PGD
+	case "mim":
+		m = attack.MIM
+	default:
+		fmt.Fprintf(os.Stderr, "calloc-attack: unknown method %q (fgsm, pgd, mim)\n", *method)
+		os.Exit(2)
+	}
+
+	ds, err := fingerprint.LoadFile(*data)
+	if err != nil {
+		fail(err)
+	}
+	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	if err != nil {
+		fail(err)
+	}
+	if err := model.SetMemory(ds.Train); err != nil {
+		fail(err)
+	}
+	blob, err := os.ReadFile(*weights)
+	if err != nil {
+		fail(err)
+	}
+	if err := model.UnmarshalWeights(blob); err != nil {
+		fail(err)
+	}
+
+	cfg := attack.Config{Epsilon: *eps, PhiPercent: *phi, Seed: *seed}
+	targets := cfg.TargetAPs(ds.NumAPs)
+	fmt.Printf("attack: %s, ε=%.2f, ø=%d%% (%d of %d APs)", m, *eps, *phi, len(targets), ds.NumAPs)
+	if *variant != "" {
+		fmt.Printf(", MITM %s", *variant)
+	}
+	fmt.Println()
+
+	t := eval.Table{
+		Title:   "per-device localization error, clean vs attacked",
+		Headers: []string{"Device", "Clean mean (m)", "Attacked mean (m)", "Attacked worst (m)", "Shifted samples"},
+	}
+	var devices []string
+	for dev := range ds.Test {
+		devices = append(devices, dev)
+	}
+	sort.Strings(devices)
+	for _, dev := range devices {
+		samples := ds.Test[dev]
+		x := fingerprint.X(samples)
+		labels := fingerprint.Labels(samples)
+
+		var adv = x
+		switch strings.ToLower(*variant) {
+		case "":
+			adv = attack.Craft(m, model, x, labels, cfg)
+		case "manipulation":
+			mitm := attack.MITM{Variant: attack.Manipulation, Method: m, Config: cfg}
+			adv = mitm.Apply(model, x, labels)
+		case "spoofing":
+			mitm := attack.MITM{Variant: attack.Spoofing, Method: m, Config: cfg}
+			adv = mitm.Apply(model, x, labels)
+		default:
+			fmt.Fprintf(os.Stderr, "calloc-attack: unknown variant %q\n", *variant)
+			os.Exit(2)
+		}
+
+		cleanPreds := model.Predict(x)
+		advPreds := model.Predict(adv)
+		var cleanErr []float64
+		var advErr []float64
+		shifted := 0
+		for i := range labels {
+			cleanErr = append(cleanErr, ds.ErrorMeters(cleanPreds[i], labels[i]))
+			advErr = append(advErr, ds.ErrorMeters(advPreds[i], labels[i]))
+			if advPreds[i] != cleanPreds[i] {
+				shifted++
+			}
+		}
+		cs, as := eval.Summarize(cleanErr), eval.Summarize(advErr)
+		t.AddRow(dev,
+			fmt.Sprintf("%.2f", cs.Mean),
+			fmt.Sprintf("%.2f", as.Mean),
+			fmt.Sprintf("%.2f", as.Worst),
+			fmt.Sprintf("%d/%d", shifted, len(labels)))
+	}
+	fmt.Println(t.String())
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "calloc-attack: %v\n", err)
+	os.Exit(1)
+}

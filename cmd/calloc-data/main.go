@@ -1,0 +1,64 @@
+// Command calloc-data generates simulated RSS fingerprint datasets for the
+// Table-II buildings and writes them as gob files consumable by calloc-train
+// and the library's fingerprint.LoadFile.
+//
+// Usage:
+//
+//	calloc-data -building 3 -out b3.gob
+//	calloc-data -building 1 -ap-scale 0.25 -path-scale 0.3 -out b1-small.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"calloc/internal/device"
+	"calloc/internal/fingerprint"
+	"calloc/internal/floorplan"
+)
+
+func main() {
+	building := flag.Int("building", 1, "Table II building ID (1-5)")
+	out := flag.String("out", "", "output path (required)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	trainPerRP := flag.Int("train-per-rp", 5, "offline fingerprints per reference point")
+	testPerRP := flag.Int("test-per-rp", 1, "online fingerprints per reference point per device")
+	apScale := flag.Float64("ap-scale", 1, "scale factor on visible APs")
+	pathScale := flag.Float64("path-scale", 1, "scale factor on path length")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "calloc-data: -out is required")
+		os.Exit(2)
+	}
+	spec, err := floorplan.SpecByID(*building)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calloc-data: %v\n", err)
+		os.Exit(1)
+	}
+	if *apScale != 1 {
+		spec.VisibleAPs = max(8, int(math.Round(float64(spec.VisibleAPs)**apScale)))
+	}
+	if *pathScale != 1 {
+		spec.PathLengthM = max(8, int(math.Round(float64(spec.PathLengthM)**pathScale)))
+	}
+	b := floorplan.Build(spec, *seed)
+	cfg := fingerprint.DefaultCollectConfig()
+	cfg.Seed = *seed
+	cfg.TrainPerRP = *trainPerRP
+	cfg.TestPerRP = *testPerRP
+	ds, err := fingerprint.Collect(b, device.Registry(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calloc-data: %v\n", err)
+		os.Exit(1)
+	}
+	if err := ds.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "calloc-data: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %s, %d APs, %d RPs, %d offline + %d online fingerprints across %d devices\n",
+		*out, ds.BuildingName, ds.NumAPs, ds.NumRPs,
+		len(ds.Train), len(ds.Test)*ds.NumRPs**testPerRP, len(ds.Test))
+}

@@ -1,0 +1,110 @@
+// Command calloc-eval regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	calloc-eval -fig 4            # regenerate one figure (1,2,4,5,6,7)
+//	calloc-eval -table 2          # regenerate one table (1,2,3)
+//	calloc-eval -all              # everything
+//	calloc-eval -mode full -all   # paper-scale run (minutes on one core)
+//
+// Figures print as ASCII tables/heatmaps with the same rows and series the
+// paper reports. Fig 3 is the framework's architecture diagram and has no
+// data; see README.md for the architecture description.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"calloc/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1, 2, 4, 5, 6, 7)")
+	table := flag.Int("table", 0, "table to regenerate (1, 2, 3 = §V.A footprint)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	mode := flag.String("mode", "quick", "experiment scale: quick or full")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	var m experiments.Mode
+	switch *mode {
+	case "quick":
+		m = experiments.QuickMode()
+	case "full":
+		m = experiments.FullMode()
+	default:
+		fmt.Fprintf(os.Stderr, "calloc-eval: unknown mode %q (quick or full)\n", *mode)
+		os.Exit(2)
+	}
+	var logw *os.File
+	if !*quiet {
+		logw = os.Stderr
+	}
+	suite := experiments.NewSuite(m, logw)
+
+	if !*all && *fig == 0 && *table == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() (string, error)) {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calloc-eval: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	figs := map[int]func() (string, error){
+		1: func() (string, error) { r, err := suite.Fig1(); return render(r, err) },
+		2: func() (string, error) { r, err := suite.Fig2(); return render(r, err) },
+		4: func() (string, error) { r, err := suite.Fig4(); return render(r, err) },
+		5: func() (string, error) { r, err := suite.Fig5(); return render(r, err) },
+		6: func() (string, error) { r, err := suite.Fig6(); return render(r, err) },
+		7: func() (string, error) { r, err := suite.Fig7(); return render(r, err) },
+	}
+	tables := map[int]func() (string, error){
+		1: func() (string, error) { return experiments.Table1(), nil },
+		2: func() (string, error) { return experiments.Table2(), nil },
+		3: experiments.Table3,
+	}
+
+	if *all {
+		for _, i := range []int{1, 2, 3} {
+			run(fmt.Sprintf("table %d", i), tables[i])
+		}
+		for _, i := range []int{1, 2, 4, 5, 6, 7} {
+			run(fmt.Sprintf("fig %d", i), figs[i])
+		}
+		return
+	}
+	if *fig != 0 {
+		f, ok := figs[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "calloc-eval: no data figure %d (valid: 1, 2, 4, 5, 6, 7; Fig 3 is the architecture diagram)\n", *fig)
+			os.Exit(2)
+		}
+		run(fmt.Sprintf("fig %d", *fig), f)
+	}
+	if *table != 0 {
+		f, ok := tables[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "calloc-eval: no table %d (valid: 1, 2, 3)\n", *table)
+			os.Exit(2)
+		}
+		run(fmt.Sprintf("table %d", *table), f)
+	}
+}
+
+// renderer is any figure result that renders itself.
+type renderer interface{ Render() string }
+
+func render(r renderer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}

@@ -1,0 +1,115 @@
+// Command calloc-train trains a CALLOC model on a dataset produced by
+// calloc-data, reports clean and attacked localization error per device, and
+// optionally saves the trained weights.
+//
+// Usage:
+//
+//	calloc-train -data b3.gob -weights b3.model
+//	calloc-train -data b3.gob -no-curriculum     # the NC ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"calloc/internal/attack"
+	"calloc/internal/core"
+	"calloc/internal/eval"
+	"calloc/internal/fingerprint"
+	"calloc/internal/mat"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset gob file from calloc-data (required)")
+	weights := flag.String("weights", "", "optional path to save trained weights")
+	epochs := flag.Int("epochs", 30, "epochs per curriculum lesson")
+	noCurriculum := flag.Bool("no-curriculum", false, "train the NC ablation (no adversarial curriculum)")
+	seed := flag.Int64("seed", 1, "training seed")
+	evalEps := flag.Float64("eval-eps", 0.3, "FGSM ε for the post-training robustness report")
+	evalPhi := flag.Int("eval-phi", 50, "FGSM ø (percent of APs) for the robustness report")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "calloc-train: -data is required")
+		os.Exit(2)
+	}
+	ds, err := fingerprint.LoadFile(*data)
+	if err != nil {
+		fail(err)
+	}
+	cfg := core.DefaultConfig(ds.NumAPs, ds.NumRPs)
+	cfg.Seed = *seed
+	model, err := core.NewModel(cfg)
+	if err != nil {
+		fail(err)
+	}
+	tc := core.DefaultTrainConfig()
+	tc.EpochsPerLesson = *epochs
+	tc.UseCurriculum = !*noCurriculum
+	tc.Seed = *seed
+	tc.Verbose = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	res, err := model.Train(ds.Train, tc)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("trained on %s: %d lessons, %d adaptive reverts, best loss %.4f, %d parameters (%.2f kB)\n",
+		ds.BuildingName, res.LessonsCompleted, res.Reverts, res.FinalLoss,
+		model.NumParams(), model.ModelSizeKB())
+
+	t := eval.Table{
+		Title:   fmt.Sprintf("per-device error, clean and FGSM(ε=%.1f, ø=%d%%)", *evalEps, *evalPhi),
+		Headers: []string{"Device", "Clean mean (m)", "Clean worst (m)", "Attacked mean (m)", "Attacked worst (m)"},
+	}
+	for _, dev := range deviceOrder(ds) {
+		samples := ds.Test[dev]
+		x := fingerprint.X(samples)
+		labels := fingerprint.Labels(samples)
+		clean := errsOf(model, ds, x, labels)
+		adv := attack.Craft(attack.FGSM, model, x, labels,
+			attack.Config{Epsilon: *evalEps, PhiPercent: *evalPhi, Seed: *seed})
+		attacked := errsOf(model, ds, adv, labels)
+		cs, as := eval.Summarize(clean), eval.Summarize(attacked)
+		t.AddRow(dev,
+			fmt.Sprintf("%.2f", cs.Mean), fmt.Sprintf("%.2f", cs.Worst),
+			fmt.Sprintf("%.2f", as.Mean), fmt.Sprintf("%.2f", as.Worst))
+	}
+	fmt.Println(t.String())
+
+	if *weights != "" {
+		blob, err := model.MarshalWeights()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*weights, blob, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved weights to %s (%d bytes)\n", *weights, len(blob))
+	}
+}
+
+func errsOf(m *core.Model, ds *fingerprint.Dataset, x *mat.Matrix, labels []int) []float64 {
+	preds := m.Predict(x)
+	errs := make([]float64, len(preds))
+	for i, p := range preds {
+		errs[i] = ds.ErrorMeters(p, labels[i])
+	}
+	return errs
+}
+
+func deviceOrder(ds *fingerprint.Dataset) []string {
+	var out []string
+	for dev := range ds.Test {
+		out = append(out, dev)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "calloc-train: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Adaptivecurriculum: watch CALLOC's ten-lesson adaptive curriculum (§IV.A,
+// §IV.D) run — lesson by lesson the share of attacked APs ø escalates, and
+// when the final layer's loss diverges the trainer reverts to the lesson's
+// best weights and eases ø by two.
+//
+// Run with: go run ./examples/adaptivecurriculum
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calloc/internal/core"
+	"calloc/internal/curriculum"
+	"calloc/internal/device"
+	"calloc/internal/fingerprint"
+	"calloc/internal/floorplan"
+)
+
+func main() {
+	// Print the paper's lesson schedule first.
+	fmt.Println("curriculum schedule (10 lessons, ε fixed at 0.1):")
+	for _, l := range curriculum.DefaultSchedule() {
+		fmt.Printf("  lesson %2d: ø=%3d%% attacked APs, %3.0f%% original data\n",
+			l.Number, l.PhiPercent, l.OriginalFraction*100)
+	}
+	fmt.Println()
+
+	spec, err := floorplan.SpecByID(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.VisibleAPs = 30
+	spec.PathLengthM = 14
+	building := floorplan.Build(spec, 3)
+	ds, err := fingerprint.Collect(building, device.Registry(), fingerprint.DefaultCollectConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := core.DefaultTrainConfig()
+	tc.EpochsPerLesson = 20
+	// A twitchy monitor makes the adaptive machinery visible in a short run.
+	tc.Patience = 2
+	tc.Verbose = func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	}
+	fmt.Println("training with the adaptive curriculum:")
+	res, err := model.Train(ds.Train, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted %d lessons with %d adaptive revert-and-ease events\n",
+		res.LessonsCompleted, res.Reverts)
+	fmt.Printf("loss trajectory: first %.3f → best %.3f over %d epochs\n",
+		res.LossHistory[0], res.FinalLoss, len(res.LossHistory))
+}

@@ -1,0 +1,66 @@
+// Quickstart: simulate a small building, collect an RSS fingerprint
+// database, train CALLOC with the adaptive adversarial curriculum, and
+// localize online fingerprints — the minimal end-to-end use of the library.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"calloc/internal/core"
+	"calloc/internal/device"
+	"calloc/internal/fingerprint"
+	"calloc/internal/floorplan"
+)
+
+func main() {
+	// 1. Simulate a building: 30 visible APs, a 15 m walking path with one
+	// reference point per metre (a shrunk version of Table II's Building 1).
+	spec, err := floorplan.SpecByID(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.VisibleAPs = 30
+	spec.PathLengthM = 15
+	building := floorplan.Build(spec, 42)
+
+	// 2. Offline + online phases: 5 fingerprints per RP with the OP3
+	// training device, 1 test fingerprint per RP for all six smartphones.
+	ds, err := fingerprint.Collect(building, device.Registry(), fingerprint.DefaultCollectConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d offline fingerprints over %d reference points (%d APs)\n",
+		len(ds.Train), ds.NumRPs, ds.NumAPs)
+
+	// 3. Train CALLOC with a short adversarial curriculum.
+	cfg := core.DefaultConfig(ds.NumAPs, ds.NumRPs)
+	model, err := core.NewModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := core.DefaultTrainConfig()
+	tc.EpochsPerLesson = 30
+	res, err := model.Train(ds.Train, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: %d lessons, %d adaptive reverts, %d parameters (%.1f kB)\n",
+		res.LessonsCompleted, res.Reverts, model.NumParams(), model.ModelSizeKB())
+
+	// 4. Localize the online fingerprints of a different smartphone.
+	samples := ds.Test["S7"]
+	preds := model.Predict(fingerprint.X(samples))
+	var total float64
+	for i, p := range preds {
+		total += ds.ErrorMeters(p, samples[i].RP)
+	}
+	fmt.Printf("S7 (unseen device): mean localization error %.2f m over %d fingerprints\n",
+		total/float64(len(preds)), len(preds))
+	for i := 0; i < 3; i++ {
+		fmt.Printf("  fingerprint at RP %d → predicted RP %d (%.1f m off)\n",
+			samples[i].RP, preds[i], ds.ErrorMeters(preds[i], samples[i].RP))
+	}
+}

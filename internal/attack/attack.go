@@ -1,0 +1,205 @@
+// Package attack implements the paper's white-box adversarial threat model
+// (§III): channel-side man-in-the-middle perturbation of RSS fingerprints via
+// FGSM, PGD, and MIM, parameterised by the attack strength ε (maximum
+// perturbation of each normalised RSS value) and ø (the percentage of visible
+// APs the adversary targets). For victims that expose no gradients (KNN, GPC,
+// gradient-boosted trees) the package trains a DNN surrogate on the same
+// offline data and transfers the attack, the standard black-box-via-white-box
+// construction.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"calloc/internal/mat"
+)
+
+// GradientModel is the white-box view an adversary has of a victim model: the
+// gradient of the victim's loss with respect to the input RSS vector.
+type GradientModel interface {
+	InputGradient(x *mat.Matrix, labels []int) *mat.Matrix
+}
+
+// Method selects the perturbation-crafting algorithm.
+type Method int
+
+// The three attack algorithms evaluated in the paper.
+const (
+	FGSM Method = iota // fast gradient sign method, one step [27]
+	PGD                // projected gradient descent, iterative [28]
+	MIM                // momentum iterative method [29]
+)
+
+// String returns the conventional acronym.
+func (m Method) String() string {
+	switch m {
+	case FGSM:
+		return "FGSM"
+	case PGD:
+		return "PGD"
+	case MIM:
+		return "MIM"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods returns all three attack methods in paper order.
+func Methods() []Method { return []Method{FGSM, PGD, MIM} }
+
+// Config parameterises an attack campaign.
+type Config struct {
+	// Epsilon is the maximum perturbation per feature in the normalised
+	// [0,1] RSS domain (paper sweeps 0.1–0.5).
+	Epsilon float64
+	// PhiPercent is ø: the percentage (0–100) of visible APs targeted.
+	PhiPercent int
+	// Steps is the iteration count for PGD/MIM (0 selects the default 10).
+	Steps int
+	// Alpha is the PGD/MIM step size (0 selects ε/4).
+	Alpha float64
+	// Momentum is the MIM decay factor (0 selects the usual 1.0).
+	Momentum float64
+	// Seed determines which AP subset is targeted.
+	Seed int64
+}
+
+func (c Config) steps() int {
+	if c.Steps <= 0 {
+		return 10
+	}
+	return c.Steps
+}
+
+func (c Config) alpha() float64 {
+	if c.Alpha <= 0 {
+		return c.Epsilon / 4
+	}
+	return c.Alpha
+}
+
+func (c Config) momentum() float64 {
+	if c.Momentum <= 0 {
+		return 1.0
+	}
+	return c.Momentum
+}
+
+// TargetAPs deterministically selects the attacked AP subset: ø% of nAPs,
+// rounded to the nearest AP, chosen by the config seed. This mirrors the
+// adversary's real-world choice of which APs to compromise (§III.C).
+func (c Config) TargetAPs(nAPs int) []int {
+	k := int(math.Round(float64(c.PhiPercent) / 100 * float64(nAPs)))
+	if k <= 0 {
+		return nil
+	}
+	if k > nAPs {
+		k = nAPs
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	perm := rng.Perm(nAPs)
+	targets := append([]int(nil), perm[:k]...)
+	return targets
+}
+
+// mask returns a 0/1 row of length nAPs marking attacked columns.
+func (c Config) mask(nAPs int) []float64 {
+	m := make([]float64, nAPs)
+	for _, ap := range c.TargetAPs(nAPs) {
+		m[ap] = 1
+	}
+	return m
+}
+
+// Craft runs the selected attack method on every row of x (labels are the
+// true RPs, which the white-box adversary knows) and returns the adversarial
+// matrix. The input is not modified. Guarantees, verified by tests:
+// |x_adv − x| ≤ ε on targeted columns, 0 off-target, and x_adv ∈ [0,1].
+func Craft(method Method, victim GradientModel, x *mat.Matrix, labels []int, cfg Config) *mat.Matrix {
+	switch method {
+	case FGSM:
+		return craftFGSM(victim, x, labels, cfg)
+	case PGD:
+		return craftIterative(victim, x, labels, cfg, false)
+	case MIM:
+		return craftIterative(victim, x, labels, cfg, true)
+	default:
+		panic(fmt.Sprintf("attack: unknown method %d", int(method)))
+	}
+}
+
+// craftFGSM implements x_adv = clip(x + ε·sign(∇J(x,y))) on targeted columns.
+func craftFGSM(victim GradientModel, x *mat.Matrix, labels []int, cfg Config) *mat.Matrix {
+	mask := cfg.mask(x.Cols)
+	grad := victim.InputGradient(x, labels)
+	adv := x.Clone()
+	for i := 0; i < x.Rows; i++ {
+		arow, grow := adv.Row(i), grad.Row(i)
+		for j := range arow {
+			if mask[j] == 0 {
+				continue
+			}
+			arow[j] = mat.Clamp(arow[j]+cfg.Epsilon*signum(grow[j]), 0, 1)
+		}
+	}
+	return adv
+}
+
+// craftIterative implements PGD (momentum=false) and MIM (momentum=true):
+// repeated gradient steps projected back into the ε-ball around x and the
+// [0,1] box. MIM accumulates an L1-normalised gradient with decay μ before
+// taking the sign step (Dong et al., CVPR 2018).
+func craftIterative(victim GradientModel, x *mat.Matrix, labels []int, cfg Config, momentum bool) *mat.Matrix {
+	mask := cfg.mask(x.Cols)
+	adv := x.Clone()
+	accum := mat.New(x.Rows, x.Cols)
+	alpha := cfg.alpha()
+	mu := cfg.momentum()
+	for step := 0; step < cfg.steps(); step++ {
+		grad := victim.InputGradient(adv, labels)
+		dir := grad
+		if momentum {
+			for i := 0; i < x.Rows; i++ {
+				grow := grad.Row(i)
+				var l1 float64
+				for _, g := range grow {
+					l1 += math.Abs(g)
+				}
+				if l1 == 0 {
+					l1 = 1
+				}
+				acc := accum.Row(i)
+				for j, g := range grow {
+					acc[j] = mu*acc[j] + g/l1
+				}
+			}
+			dir = accum
+		}
+		for i := 0; i < x.Rows; i++ {
+			arow, xrow, drow := adv.Row(i), x.Row(i), dir.Row(i)
+			for j := range arow {
+				if mask[j] == 0 {
+					continue
+				}
+				v := arow[j] + alpha*signum(drow[j])
+				// Project into the ε-ball, then the valid RSS box.
+				v = mat.Clamp(v, xrow[j]-cfg.Epsilon, xrow[j]+cfg.Epsilon)
+				arow[j] = mat.Clamp(v, 0, 1)
+			}
+		}
+	}
+	return adv
+}
+
+func signum(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,300 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calloc/internal/mat"
+	"calloc/internal/nn"
+)
+
+// trainedVictim returns a small MLP fitted to a 3-class blob problem plus the
+// data it was trained on.
+func trainedVictim(t testing.TB, seed int64) (*nn.Network, *mat.Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	const n, dim, classes = 90, 8, 3
+	x := mat.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		for j := 0; j < dim; j++ {
+			center := 0.2 + 0.3*float64((c+j)%classes)
+			x.Set(i, j, mat.Clamp(center+rng.NormFloat64()*0.05, 0, 1))
+		}
+	}
+	net := nn.NewNetwork(
+		nn.NewDense("v1", dim, 32, rng),
+		&nn.ReLU{},
+		nn.NewDense("v2", 32, classes, rng),
+	)
+	opt := nn.NewAdam(0.01)
+	for e := 0; e < 150; e++ {
+		logits := net.Forward(x, true)
+		_, g := nn.SoftmaxCrossEntropy(logits, labels)
+		net.Backward(g)
+		opt.Step(net.Params())
+	}
+	if acc := nn.Accuracy(net.Forward(x, false), labels); acc < 0.95 {
+		t.Fatalf("victim failed to train: accuracy %.3f", acc)
+	}
+	return net, x, labels
+}
+
+func lossOf(net *nn.Network, x *mat.Matrix, labels []int) float64 {
+	l, _ := nn.SoftmaxCrossEntropy(net.Forward(x, false), labels)
+	return l
+}
+
+func TestMethodString(t *testing.T) {
+	if FGSM.String() != "FGSM" || PGD.String() != "PGD" || MIM.String() != "MIM" {
+		t.Fatal("method names wrong")
+	}
+	if len(Methods()) != 3 {
+		t.Fatal("Methods() should list 3 attacks")
+	}
+}
+
+func TestTargetAPsCount(t *testing.T) {
+	cases := []struct {
+		phi, nAPs, want int
+	}{
+		{0, 100, 0},
+		{10, 100, 10},
+		{50, 100, 50},
+		{100, 100, 100},
+		{10, 20, 2},
+		{100, 7, 7},
+	}
+	for _, c := range cases {
+		cfg := Config{PhiPercent: c.phi, Seed: 1}
+		if got := len(cfg.TargetAPs(c.nAPs)); got != c.want {
+			t.Errorf("phi=%d nAPs=%d: %d targets, want %d", c.phi, c.nAPs, got, c.want)
+		}
+	}
+}
+
+func TestTargetAPsDeterministic(t *testing.T) {
+	cfg := Config{PhiPercent: 30, Seed: 5}
+	a := cfg.TargetAPs(50)
+	b := cfg.TargetAPs(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("target selection is not deterministic")
+		}
+	}
+	cfg2 := Config{PhiPercent: 30, Seed: 6}
+	c := cfg2.TargetAPs(50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should usually select different APs")
+	}
+}
+
+// TestEpsilonBallInvariant: for every method, |x_adv − x|∞ ≤ ε on attacked
+// columns and exactly 0 elsewhere, and x_adv stays in [0,1]. This is the
+// central contract of the attack formulation (eqs. 1–2).
+func TestEpsilonBallInvariant(t *testing.T) {
+	net, x, labels := trainedVictim(t, 1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Epsilon:    0.1 + r.Float64()*0.4,
+			PhiPercent: 10 + r.Intn(91),
+			Seed:       seed,
+		}
+		mask := cfg.mask(x.Cols)
+		for _, m := range Methods() {
+			adv := Craft(m, net, x, labels, cfg)
+			for i := 0; i < x.Rows; i++ {
+				for j := 0; j < x.Cols; j++ {
+					d := math.Abs(adv.At(i, j) - x.At(i, j))
+					if mask[j] == 0 && d != 0 {
+						return false
+					}
+					if d > cfg.Epsilon+1e-9 {
+						return false
+					}
+					if adv.At(i, j) < 0 || adv.At(i, j) > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCraftDoesNotMutateInput(t *testing.T) {
+	net, x, labels := trainedVictim(t, 2)
+	orig := x.Clone()
+	cfg := Config{Epsilon: 0.3, PhiPercent: 100, Seed: 1}
+	for _, m := range Methods() {
+		Craft(m, net, x, labels, cfg)
+	}
+	for i := range x.Data {
+		if x.Data[i] != orig.Data[i] {
+			t.Fatal("Craft mutated the input matrix")
+		}
+	}
+}
+
+// TestAttacksIncreaseLoss: every attack must raise the victim's loss above
+// the clean loss, and the iterative attacks must be at least as strong as
+// single-step FGSM (the paper's Fig 4 observation).
+func TestAttacksIncreaseLoss(t *testing.T) {
+	net, x, labels := trainedVictim(t, 3)
+	clean := lossOf(net, x, labels)
+	cfg := Config{Epsilon: 0.3, PhiPercent: 100, Seed: 1}
+	losses := map[Method]float64{}
+	for _, m := range Methods() {
+		adv := Craft(m, net, x, labels, cfg)
+		losses[m] = lossOf(net, adv, labels)
+		if losses[m] <= clean {
+			t.Errorf("%s loss %.4f did not exceed clean loss %.4f", m, losses[m], clean)
+		}
+	}
+	if losses[PGD] < losses[FGSM]*0.8 {
+		t.Errorf("PGD (%.4f) should not be much weaker than FGSM (%.4f)", losses[PGD], losses[FGSM])
+	}
+}
+
+// TestAttackStrengthMonotoneInEpsilon: larger ε must not produce a weaker
+// FGSM attack on average (Fig 5's x-axis trend).
+func TestAttackStrengthMonotoneInEpsilon(t *testing.T) {
+	net, x, labels := trainedVictim(t, 4)
+	var prev float64
+	for _, eps := range []float64{0.1, 0.3, 0.5} {
+		cfg := Config{Epsilon: eps, PhiPercent: 100, Seed: 1}
+		adv := Craft(FGSM, net, x, labels, cfg)
+		l := lossOf(net, adv, labels)
+		if l < prev*0.95 {
+			t.Fatalf("loss at ε=%.1f (%.4f) dropped below ε trend (%.4f)", eps, l, prev)
+		}
+		prev = l
+	}
+}
+
+// TestAttackStrengthGrowsWithPhi: attacking more APs must not weaken the
+// attack (Fig 7's x-axis trend).
+func TestAttackStrengthGrowsWithPhi(t *testing.T) {
+	net, x, labels := trainedVictim(t, 5)
+	lossAt := func(phi int) float64 {
+		cfg := Config{Epsilon: 0.3, PhiPercent: phi, Seed: 1}
+		return lossOf(net, Craft(FGSM, net, x, labels, cfg), labels)
+	}
+	low, high := lossAt(10), lossAt(100)
+	if high < low {
+		t.Fatalf("phi=100 loss %.4f below phi=10 loss %.4f", high, low)
+	}
+}
+
+func TestPhiZeroIsNoOp(t *testing.T) {
+	net, x, labels := trainedVictim(t, 6)
+	cfg := Config{Epsilon: 0.5, PhiPercent: 0, Seed: 1}
+	adv := Craft(FGSM, net, x, labels, cfg)
+	for i := range adv.Data {
+		if adv.Data[i] != x.Data[i] {
+			t.Fatal("phi=0 attack changed the input")
+		}
+	}
+}
+
+func TestMITMManipulationSkipsSilentAPs(t *testing.T) {
+	net, x, labels := trainedVictim(t, 7)
+	// Silence column 0 for everyone.
+	silenced := x.Clone()
+	for i := 0; i < silenced.Rows; i++ {
+		silenced.Set(i, 0, 0)
+	}
+	a := MITM{Variant: Manipulation, Method: FGSM,
+		Config: Config{Epsilon: 0.4, PhiPercent: 100, Seed: 1}}
+	adv := a.Apply(net, silenced, labels)
+	for i := 0; i < adv.Rows; i++ {
+		if adv.At(i, 0) != 0 {
+			t.Fatal("manipulation attack fabricated a signal for a silent AP")
+		}
+	}
+}
+
+func TestMITMSpoofingCanFabricateSignals(t *testing.T) {
+	net, x, labels := trainedVictim(t, 8)
+	silenced := x.Clone()
+	for i := 0; i < silenced.Rows; i++ {
+		silenced.Set(i, 0, 0)
+	}
+	a := MITM{Variant: Spoofing, Method: FGSM,
+		Config: Config{Epsilon: 0.4, PhiPercent: 100, Seed: 1}}
+	adv := a.Apply(net, silenced, labels)
+	var fabricated bool
+	for i := 0; i < adv.Rows; i++ {
+		if adv.At(i, 0) > 0 {
+			fabricated = true
+			break
+		}
+	}
+	if !fabricated {
+		t.Fatal("spoofing attack should fabricate signals for silent APs")
+	}
+}
+
+func TestMITMVariantString(t *testing.T) {
+	if Manipulation.String() == Spoofing.String() {
+		t.Fatal("variant names must differ")
+	}
+}
+
+// TestAdversarialBeatsRandomNoise: at equal ε and ø, gradient-crafted FGSM
+// must hurt the victim more than uniform random noise (the motivation for
+// studying adversarial attacks at all, Fig 1).
+func TestAdversarialBeatsRandomNoise(t *testing.T) {
+	net, x, labels := trainedVictim(t, 9)
+	cfg := Config{Epsilon: 0.3, PhiPercent: 100, Seed: 1}
+	rng := rand.New(rand.NewSource(1))
+	advLoss := lossOf(net, Craft(FGSM, net, x, labels, cfg), labels)
+	noiseLoss := lossOf(net, RandomNoiseAttack(x, cfg, rng), labels)
+	if advLoss <= noiseLoss {
+		t.Fatalf("FGSM loss %.4f should exceed random-noise loss %.4f", advLoss, noiseLoss)
+	}
+}
+
+// TestSurrogateTransfer: attacks crafted on a surrogate trained on the same
+// data must still increase the true victim's loss.
+func TestSurrogateTransfer(t *testing.T) {
+	net, x, labels := trainedVictim(t, 10)
+	sur := NewSurrogate(x, labels, 3, 150, 11)
+	if acc := sur.Accuracy(x, labels); acc < 0.9 {
+		t.Fatalf("surrogate fit too poor: %.3f", acc)
+	}
+	cfg := Config{Epsilon: 0.3, PhiPercent: 100, Seed: 1}
+	adv := Craft(FGSM, sur, x, labels, cfg)
+	clean := lossOf(net, x, labels)
+	transferred := lossOf(net, adv, labels)
+	if transferred <= clean {
+		t.Fatalf("transferred attack loss %.4f did not exceed clean %.4f", transferred, clean)
+	}
+}
+
+func TestIterativeDefaults(t *testing.T) {
+	c := Config{Epsilon: 0.2}
+	if c.steps() != 10 {
+		t.Fatalf("default steps %d, want 10", c.steps())
+	}
+	if math.Abs(c.alpha()-0.05) > 1e-12 {
+		t.Fatalf("default alpha %g, want ε/4", c.alpha())
+	}
+	if c.momentum() != 1 {
+		t.Fatalf("default momentum %g, want 1", c.momentum())
+	}
+}

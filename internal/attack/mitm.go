@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"math/rand"
+
+	"calloc/internal/mat"
+)
+
+// MITMVariant distinguishes the two channel-side man-in-the-middle attack
+// mechanisms of paper §III.A.
+type MITMVariant int
+
+const (
+	// Manipulation distorts genuine RSS readings of APs the victim already
+	// hears; APs the device did not detect cannot be manipulated.
+	Manipulation MITMVariant = iota
+	// Spoofing fabricates counterfeit AP signals (cloned MAC/channel), so it
+	// can also conjure readings for APs the victim had not detected.
+	Spoofing
+)
+
+// String names the variant.
+func (v MITMVariant) String() string {
+	if v == Manipulation {
+		return "signal-manipulation"
+	}
+	return "signal-spoofing"
+}
+
+// MITM wraps a crafting method with the channel-side semantics of the chosen
+// variant. For Manipulation, targeted APs that the victim reports as missing
+// (normalised RSS 0, i.e. the −100 dBm floor) are left untouched: there is no
+// genuine signal to distort. For Spoofing the adversary transmits its own
+// counterfeit signal, so missing APs can be given arbitrary in-ball readings
+// (a weak fake signal seeded at the adversary's chosen baseline).
+type MITM struct {
+	Variant MITMVariant
+	Method  Method
+	Config  Config
+	// SpoofBaseline is the normalised RSS a spoofed, previously-missing AP
+	// starts from before gradient crafting (default 0.15 ≈ −85 dBm).
+	SpoofBaseline float64
+}
+
+// Apply crafts adversarial fingerprints under the variant's semantics.
+func (a MITM) Apply(victim GradientModel, x *mat.Matrix, labels []int) *mat.Matrix {
+	base := x.Clone()
+	spoofBase := a.SpoofBaseline
+	if spoofBase <= 0 {
+		spoofBase = 0.15
+	}
+	if a.Variant == Spoofing {
+		// Counterfeit signals give the attacker a foothold on silent APs.
+		for _, ap := range a.Config.TargetAPs(x.Cols) {
+			for i := 0; i < x.Rows; i++ {
+				if base.At(i, ap) == 0 {
+					base.Set(i, ap, spoofBase)
+				}
+			}
+		}
+	}
+	adv := Craft(a.Method, victim, base, labels, a.Config)
+	if a.Variant == Manipulation {
+		// No genuine signal → nothing to manipulate: restore silent APs.
+		for _, ap := range a.Config.TargetAPs(x.Cols) {
+			for i := 0; i < x.Rows; i++ {
+				if x.At(i, ap) == 0 {
+					adv.Set(i, ap, 0)
+				}
+			}
+		}
+	}
+	return adv
+}
+
+// RandomNoiseAttack is the naive non-adversarial baseline: uniform ±ε noise
+// on the targeted APs. It exists to show that gradient-crafted attacks are
+// categorically stronger than random RSS corruption at equal ε and ø.
+func RandomNoiseAttack(x *mat.Matrix, cfg Config, rng *rand.Rand) *mat.Matrix {
+	adv := x.Clone()
+	mask := cfg.mask(x.Cols)
+	for i := 0; i < adv.Rows; i++ {
+		row := adv.Row(i)
+		for j := range row {
+			if mask[j] == 0 {
+				continue
+			}
+			row[j] = mat.Clamp(row[j]+(rng.Float64()*2-1)*cfg.Epsilon, 0, 1)
+		}
+	}
+	return adv
+}

@@ -1,0 +1,55 @@
+package attack
+
+import (
+	"math/rand"
+
+	"calloc/internal/mat"
+	"calloc/internal/nn"
+)
+
+// Surrogate is a differentiable stand-in for victims that expose no
+// gradients (KNN, GPC, gradient-boosted trees). The white-box adversary of
+// §III has the victim's training data, so it fits a small MLP to that data
+// and crafts perturbations on the MLP's gradients; the perturbations then
+// transfer to the true victim. This is the standard transfer-attack
+// construction and is also how AdvLoc-style defences are evaluated against
+// classical models.
+type Surrogate struct {
+	net *nn.Network
+}
+
+// NewSurrogate trains the surrogate MLP (in→128→64→classes) on the victim's
+// offline data.
+func NewSurrogate(x *mat.Matrix, labels []int, classes, epochs int, seed int64) *Surrogate {
+	rng := rand.New(rand.NewSource(seed))
+	net := nn.NewNetwork(
+		nn.NewDense("sur1", x.Cols, 128, rng),
+		&nn.ReLU{},
+		nn.NewDense("sur2", 128, 64, rng),
+		&nn.ReLU{},
+		nn.NewDense("sur3", 64, classes, rng),
+	)
+	opt := nn.NewAdam(0.005)
+	if epochs <= 0 {
+		epochs = 150
+	}
+	for e := 0; e < epochs; e++ {
+		logits := net.Forward(x, true)
+		_, g := nn.SoftmaxCrossEntropy(logits, labels)
+		net.Backward(g)
+		opt.Step(net.Params())
+	}
+	return &Surrogate{net: net}
+}
+
+// InputGradient satisfies GradientModel.
+func (s *Surrogate) InputGradient(x *mat.Matrix, labels []int) *mat.Matrix {
+	return s.net.InputGradient(x, labels)
+}
+
+// Accuracy reports the surrogate's fit on the given data — a useful
+// diagnostic: transfer attacks need the surrogate to approximate the victim's
+// decision surface.
+func (s *Surrogate) Accuracy(x *mat.Matrix, labels []int) float64 {
+	return nn.Accuracy(s.net.Forward(x, false), labels)
+}

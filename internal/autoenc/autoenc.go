@@ -1,0 +1,155 @@
+// Package autoenc implements the autoencoder substrates of two baseline
+// frameworks: the layer-wise-pretrained stacked autoencoder of SANGRIA [19]
+// and the denoising autoencoder of WiDeep [14]. Both are built on the
+// internal/nn framework and expose an Encode step whose codes feed a
+// downstream classifier (gradient-boosted trees and a GP classifier,
+// respectively).
+package autoenc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calloc/internal/mat"
+	"calloc/internal/nn"
+)
+
+// Config describes an autoencoder.
+type Config struct {
+	// Hidden lists encoder layer widths, e.g. [64, 32] for in→64→32.
+	Hidden []int
+	// DenoiseSigma, when positive, corrupts inputs with Gaussian noise
+	// during training (denoising autoencoder, WiDeep style).
+	DenoiseSigma float64
+	// Epochs per training stage.
+	Epochs int
+	// LearningRate for Adam.
+	LearningRate float64
+	// Seed drives initialisation and corruption noise.
+	Seed int64
+}
+
+// DefaultConfig compresses RSS fingerprints to 32 features.
+func DefaultConfig() Config {
+	return Config{Hidden: []int{64, 32}, Epochs: 150, LearningRate: 0.01, Seed: 1}
+}
+
+// Autoencoder is a fitted encoder/decoder pair.
+type Autoencoder struct {
+	cfg     Config
+	encoder *nn.Network
+	decoder *nn.Network
+}
+
+// Fit trains the autoencoder on x. For stacked configurations each layer pair
+// is greedily pretrained on the previous layer's codes, then the whole stack
+// is fine-tuned end to end — the SANGRIA recipe. With DenoiseSigma > 0 the
+// reconstruction target is the clean input while the encoder sees a corrupted
+// copy — the WiDeep recipe.
+func Fit(x *mat.Matrix, cfg Config) (*Autoencoder, error) {
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("autoenc: empty training set")
+	}
+	if len(cfg.Hidden) == 0 {
+		return nil, fmt.Errorf("autoenc: no hidden layers configured")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 150
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	dims := append([]int{x.Cols}, cfg.Hidden...)
+	var encLayers, decLayers []nn.Layer
+
+	// Layer-wise pretraining: train each (encode, decode) pair to
+	// reconstruct its own input, then stack.
+	input := x
+	for i := 0; i < len(cfg.Hidden); i++ {
+		enc := nn.NewDenseXavier(fmt.Sprintf("enc%d", i), dims[i], dims[i+1], rng)
+		dec := nn.NewDenseXavier(fmt.Sprintf("dec%d", i), dims[i+1], dims[i], rng)
+		pair := nn.NewNetwork(enc, &nn.Tanh{}, dec)
+		opt := nn.NewAdam(cfg.LearningRate)
+		for e := 0; e < cfg.Epochs; e++ {
+			in := corrupt(input, cfg.DenoiseSigma, rng)
+			recon := pair.Forward(in, true)
+			_, g := nn.MSE(recon, input)
+			pair.Backward(g)
+			opt.Step(pair.Params())
+		}
+		encStage := nn.NewNetwork(enc, &nn.Tanh{})
+		input = encStage.Forward(input, false)
+		encLayers = append(encLayers, enc, &nn.Tanh{})
+		// Decoder layers stack in reverse with the nonlinearity between
+		// stages: decN → Tanh → … → dec0.
+		if i > 0 {
+			decLayers = append([]nn.Layer{dec, &nn.Tanh{}}, decLayers...)
+		} else {
+			decLayers = append([]nn.Layer{dec}, decLayers...)
+		}
+	}
+
+	ae := &Autoencoder{
+		cfg:     cfg,
+		encoder: nn.NewNetwork(encLayers...),
+		decoder: nn.NewNetwork(decLayers...),
+	}
+
+	// End-to-end fine-tuning of the full stack.
+	full := nn.NewNetwork(append(append([]nn.Layer{}, encLayers...), decLayers...)...)
+	opt := nn.NewAdam(cfg.LearningRate / 2)
+	for e := 0; e < cfg.Epochs/2; e++ {
+		in := corrupt(x, cfg.DenoiseSigma, rng)
+		recon := full.Forward(in, true)
+		_, g := nn.MSE(recon, x)
+		full.Backward(g)
+		opt.Step(full.Params())
+	}
+	return ae, nil
+}
+
+// corrupt adds Gaussian noise clipped to the valid [0,1] RSS domain; sigma
+// ≤ 0 returns the input unchanged.
+func corrupt(x *mat.Matrix, sigma float64, rng *rand.Rand) *mat.Matrix {
+	if sigma <= 0 {
+		return x
+	}
+	out := mat.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = mat.Clamp(v+rng.NormFloat64()*sigma, 0, 1)
+	}
+	return out
+}
+
+// Encode maps inputs to their latent codes.
+func (a *Autoencoder) Encode(x *mat.Matrix) *mat.Matrix {
+	return a.encoder.Forward(x, false)
+}
+
+// EncoderInputGradient back-propagates a gradient with respect to the codes
+// through the encoder and returns the gradient with respect to the inputs —
+// the chain-rule link that lets white-box attackers differentiate classifiers
+// stacked on autoencoder codes (WiDeep's GP head, SANGRIA's trees via a
+// distilled student). Parameter gradients accumulated on the way are cleared.
+func (a *Autoencoder) EncoderInputGradient(x, gradCodes *mat.Matrix) *mat.Matrix {
+	a.encoder.Forward(x, false) // refresh layer caches for this input
+	g := a.encoder.Backward(gradCodes)
+	a.encoder.ZeroGrads()
+	return g
+}
+
+// Reconstruct maps inputs through the full autoencoder.
+func (a *Autoencoder) Reconstruct(x *mat.Matrix) *mat.Matrix {
+	return a.decoder.Forward(a.Encode(x), false)
+}
+
+// ReconstructionError returns the mean squared reconstruction error on x.
+func (a *Autoencoder) ReconstructionError(x *mat.Matrix) float64 {
+	loss, _ := nn.MSE(a.Reconstruct(x), x)
+	return loss
+}
+
+// CodeDim returns the latent width.
+func (a *Autoencoder) CodeDim() int { return a.cfg.Hidden[len(a.cfg.Hidden)-1] }

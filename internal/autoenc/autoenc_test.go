@@ -1,0 +1,136 @@
+package autoenc
+
+import (
+	"math/rand"
+	"testing"
+
+	"calloc/internal/mat"
+	"calloc/internal/nn"
+)
+
+// structuredData generates samples lying near a low-dimensional structure so
+// a compressing autoencoder can reconstruct them well.
+func structuredData(rng *rand.Rand, n, d int) *mat.Matrix {
+	x := mat.New(n, d)
+	for i := 0; i < n; i++ {
+		t := rng.Float64()
+		for j := 0; j < d; j++ {
+			x.Set(i, j, mat.Clamp(t*float64(j%4)/4+rng.NormFloat64()*0.02, 0, 1))
+		}
+	}
+	return x
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(mat.New(0, 4), DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	cfg := DefaultConfig()
+	cfg.Hidden = nil
+	if _, err := Fit(mat.New(3, 4), cfg); err == nil {
+		t.Fatal("expected error for no hidden layers")
+	}
+}
+
+func TestReconstructionBeatsMeanBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := structuredData(rng, 80, 16)
+	cfg := Config{Hidden: []int{8, 4}, Epochs: 200, LearningRate: 0.01, Seed: 1}
+	ae, err := Fit(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: reconstruct every sample as the dataset mean.
+	mean := make([]float64, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(x.Rows)
+	}
+	meanRecon := mat.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(meanRecon.Row(i), mean)
+	}
+	baseline, _ := nn.MSE(meanRecon, x)
+	got := ae.ReconstructionError(x)
+	if got >= baseline {
+		t.Fatalf("AE reconstruction MSE %.5f not below mean baseline %.5f", got, baseline)
+	}
+}
+
+func TestEncodeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := structuredData(rng, 40, 12)
+	cfg := Config{Hidden: []int{6, 3}, Epochs: 30, LearningRate: 0.01, Seed: 1}
+	ae, err := Fit(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := ae.Encode(x)
+	if codes.Rows != 40 || codes.Cols != 3 {
+		t.Fatalf("codes %dx%d, want 40x3", codes.Rows, codes.Cols)
+	}
+	if ae.CodeDim() != 3 {
+		t.Fatalf("CodeDim = %d, want 3", ae.CodeDim())
+	}
+}
+
+func TestDenoisingRemovesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := structuredData(rng, 100, 16)
+	cfg := Config{Hidden: []int{8}, DenoiseSigma: 0.1, Epochs: 250, LearningRate: 0.01, Seed: 1}
+	ae, err := Fit(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt fresh copies and check the AE pulls them back toward the
+	// clean signal: reconstruction of noisy input should be closer to the
+	// clean input than the noisy input itself is.
+	noisy := x.Clone()
+	for i := range noisy.Data {
+		noisy.Data[i] = mat.Clamp(noisy.Data[i]+rng.NormFloat64()*0.1, 0, 1)
+	}
+	noiseMSE, _ := nn.MSE(noisy, x)
+	recon := ae.Reconstruct(noisy)
+	reconMSE, _ := nn.MSE(recon, x)
+	if reconMSE >= noiseMSE {
+		t.Fatalf("denoising AE did not denoise: recon MSE %.5f vs noise MSE %.5f", reconMSE, noiseMSE)
+	}
+}
+
+func TestReconstructShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := structuredData(rng, 20, 10)
+	cfg := Config{Hidden: []int{5}, Epochs: 20, LearningRate: 0.01, Seed: 1}
+	ae, err := Fit(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ae.Reconstruct(x)
+	if r.Rows != x.Rows || r.Cols != x.Cols {
+		t.Fatalf("reconstruction %dx%d, want %dx%d", r.Rows, r.Cols, x.Rows, x.Cols)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := structuredData(rng, 30, 8)
+	cfg := Config{Hidden: []int{4}, Epochs: 50, LearningRate: 0.01, Seed: 9}
+	a, err := Fit(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Encode(x), b.Encode(x)
+	for i := range ca.Data {
+		if ca.Data[i] != cb.Data[i] {
+			t.Fatal("same seed should give identical autoencoders")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calloc/internal/mat"
+	"calloc/internal/nn"
+)
+
+// ANVILConfig configures the ANVIL reproduction [17]: RSS fingerprints are
+// reshaped into a token sequence, passed through a multi-head self-attention
+// block, and classified by an MLP head. ANVIL's multi-head attention gives it
+// strong device-heterogeneity resilience but, lacking adversarial training,
+// little attack robustness — the behaviour Fig 6/7 show.
+type ANVILConfig struct {
+	TokenDim     int // features per token (default 16)
+	Heads        int // attention heads (default 4)
+	HiddenDim    int // MLP head width (default 64)
+	Epochs       int
+	LearningRate float64
+	Seed         int64
+}
+
+// DefaultANVILConfig mirrors the source paper's small attention network.
+func DefaultANVILConfig() ANVILConfig {
+	return ANVILConfig{TokenDim: 16, Heads: 4, HiddenDim: 64, Epochs: 300, LearningRate: 0.005, Seed: 1}
+}
+
+// ANVIL is the fitted attention localizer.
+type ANVIL struct {
+	net    *nn.Network
+	numAPs int
+	tokens int
+	dim    int
+}
+
+// FitANVIL trains the model.
+func FitANVIL(x *mat.Matrix, labels []int, classes int, cfg ANVILConfig) (*ANVIL, error) {
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("baselines: empty training set for ANVIL")
+	}
+	if cfg.TokenDim <= 0 {
+		cfg.TokenDim = 16
+	}
+	if cfg.Heads <= 0 {
+		cfg.Heads = 4
+	}
+	if cfg.TokenDim%cfg.Heads != 0 {
+		return nil, fmt.Errorf("baselines: ANVIL token dim %d not divisible by %d heads", cfg.TokenDim, cfg.Heads)
+	}
+	if cfg.HiddenDim <= 0 {
+		cfg.HiddenDim = 64
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 300
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.005
+	}
+	tokens := (x.Cols + cfg.TokenDim - 1) / cfg.TokenDim
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := &ANVIL{numAPs: x.Cols, tokens: tokens, dim: cfg.TokenDim}
+	a.net = nn.NewNetwork(
+		nn.NewMultiHeadSelfAttention("anvil.mhsa", tokens, cfg.TokenDim, cfg.Heads, rng),
+		nn.NewDense("anvil.fc1", tokens*cfg.TokenDim, cfg.HiddenDim, rng),
+		&nn.ReLU{},
+		nn.NewDense("anvil.fc2", cfg.HiddenDim, classes, rng),
+	)
+
+	xp := a.pad(x)
+	opt := nn.NewAdam(cfg.LearningRate)
+	for e := 0; e < cfg.Epochs; e++ {
+		logits := a.net.Forward(xp, true)
+		_, g := nn.SoftmaxCrossEntropy(logits, labels)
+		a.net.Backward(g)
+		nn.ClipGradients(a.net.Params(), 5)
+		opt.Step(a.net.Params())
+	}
+	return a, nil
+}
+
+// pad right-pads fingerprints with zeros to a whole number of tokens.
+func (a *ANVIL) pad(x *mat.Matrix) *mat.Matrix {
+	want := a.tokens * a.dim
+	if x.Cols == want {
+		return x
+	}
+	out := mat.New(x.Rows, want)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), x.Row(i))
+	}
+	return out
+}
+
+// Name identifies the framework.
+func (a *ANVIL) Name() string { return "ANVIL" }
+
+// Predict returns the argmax RP per row.
+func (a *ANVIL) Predict(x *mat.Matrix) []int { return a.net.Predict(a.pad(x)) }
+
+// InputGradient satisfies Differentiable: the gradient of the padded input is
+// truncated back to the AP count, giving the attacker white-box access
+// through the attention block.
+func (a *ANVIL) InputGradient(x *mat.Matrix, labels []int) *mat.Matrix {
+	g := a.net.InputGradient(a.pad(x), labels)
+	if g.Cols == x.Cols {
+		return g
+	}
+	out := mat.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), g.Row(i)[:x.Cols])
+	}
+	return out
+}
+
+var _ Localizer = (*ANVIL)(nil)
+var _ Differentiable = (*ANVIL)(nil)

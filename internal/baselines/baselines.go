@@ -1,0 +1,52 @@
+// Package baselines re-implements the comparison frameworks of the paper's
+// evaluation (§V): the classical KNN/GPC/DNN localizers of Fig 1 and the four
+// state-of-the-art frameworks of Fig 6 — AdvLoc [24] (DNN with adversarial
+// training), SANGRIA [19] (stacked autoencoder + gradient-boosted trees),
+// ANVIL [17] (multi-head attention), and WiDeep [14] (denoising autoencoder +
+// Gaussian-process classifier). Each is rebuilt from its source paper's
+// architecture description at the same scale as CALLOC and exposes the common
+// Localizer interface consumed by the experiment drivers.
+package baselines
+
+import (
+	"calloc/internal/mat"
+)
+
+// Localizer is a fitted indoor-localization model: it maps a batch of
+// normalised RSS fingerprints to reference-point predictions.
+type Localizer interface {
+	Name() string
+	Predict(x *mat.Matrix) []int
+}
+
+// Differentiable is implemented by localizers that expose white-box input
+// gradients; the attack package uses it directly. Non-differentiable models
+// are attacked through a trained surrogate (attack.NewSurrogate).
+type Differentiable interface {
+	InputGradient(x *mat.Matrix, labels []int) *mat.Matrix
+}
+
+// MeanError computes the mean localization error in metres of predictions
+// against true labels under a distance function (typically
+// Dataset.ErrorMeters).
+func MeanError(preds, labels []int, dist func(a, b int) float64) float64 {
+	if len(preds) == 0 {
+		return 0
+	}
+	var total float64
+	for i, p := range preds {
+		total += dist(p, labels[i])
+	}
+	return total / float64(len(preds))
+}
+
+// WorstError computes the maximum localization error in metres.
+func WorstError(preds, labels []int, dist func(a, b int) float64) float64 {
+	var worst float64
+	for i, p := range preds {
+		if d := dist(p, labels[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,110 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calloc/internal/attack"
+	"calloc/internal/mat"
+	"calloc/internal/nn"
+)
+
+// DNNConfig configures the plain deep-neural-network localizer [15] and its
+// adversarially trained variant AdvLoc [24].
+type DNNConfig struct {
+	Hidden       []int   // hidden widths (default 128, 64)
+	Epochs       int     // training epochs (default 300)
+	LearningRate float64 // Adam LR (default 0.01)
+	// AdvFraction is the share of each epoch's batch replaced by FGSM
+	// samples crafted against the current model (AdvLoc's defence;
+	// 0 for the plain DNN).
+	AdvFraction float64
+	// AdvEpsilon is the crafting strength for AdvFraction > 0.
+	AdvEpsilon float64
+	Seed       int64
+}
+
+// DefaultDNNConfig returns the plain DNN baseline configuration.
+func DefaultDNNConfig() DNNConfig {
+	return DNNConfig{Hidden: []int{128, 64}, Epochs: 300, LearningRate: 0.01, Seed: 1}
+}
+
+// DefaultAdvLocConfig returns the AdvLoc configuration: the same DNN with a
+// fixed share of FGSM adversarial samples mixed into the offline training
+// phase (no curriculum, no progression — the design point CALLOC improves
+// on).
+func DefaultAdvLocConfig() DNNConfig {
+	cfg := DefaultDNNConfig()
+	cfg.AdvFraction = 0.3
+	cfg.AdvEpsilon = 0.1
+	return cfg
+}
+
+// DNN is a fitted MLP localizer.
+type DNN struct {
+	name string
+	net  *nn.Network
+}
+
+// FitDNN trains the model on fingerprints x with RP labels.
+func FitDNN(name string, x *mat.Matrix, labels []int, classes int, cfg DNNConfig) (*DNN, error) {
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("baselines: empty training set for %s", name)
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{128, 64}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 300
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var layers []nn.Layer
+	in := x.Cols
+	for i, h := range cfg.Hidden {
+		layers = append(layers, nn.NewDense(fmt.Sprintf("%s.l%d", name, i), in, h, rng), &nn.ReLU{})
+		in = h
+	}
+	layers = append(layers, nn.NewDense(name+".out", in, classes, rng))
+	d := &DNN{name: name, net: nn.NewNetwork(layers...)}
+
+	opt := nn.NewAdam(cfg.LearningRate)
+	advRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for e := 0; e < cfg.Epochs; e++ {
+		batch := x
+		if cfg.AdvFraction > 0 {
+			adv := attack.Craft(attack.FGSM, d, x, labels, attack.Config{
+				Epsilon:    cfg.AdvEpsilon,
+				PhiPercent: 100,
+				Seed:       advRng.Int63(),
+			})
+			batch = x.Clone()
+			for i := 0; i < batch.Rows; i++ {
+				if advRng.Float64() < cfg.AdvFraction {
+					copy(batch.Row(i), adv.Row(i))
+				}
+			}
+		}
+		logits := d.net.Forward(batch, true)
+		_, g := nn.SoftmaxCrossEntropy(logits, labels)
+		d.net.Backward(g)
+		opt.Step(d.net.Params())
+	}
+	return d, nil
+}
+
+// Name identifies the framework.
+func (d *DNN) Name() string { return d.name }
+
+// Predict returns the argmax RP per row.
+func (d *DNN) Predict(x *mat.Matrix) []int { return d.net.Predict(x) }
+
+// InputGradient satisfies Differentiable for white-box attacks.
+func (d *DNN) InputGradient(x *mat.Matrix, labels []int) *mat.Matrix {
+	return d.net.InputGradient(x, labels)
+}
+
+var _ Localizer = (*DNN)(nil)
+var _ Differentiable = (*DNN)(nil)

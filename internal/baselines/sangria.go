@@ -1,0 +1,89 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calloc/internal/autoenc"
+	"calloc/internal/gbdt"
+	"calloc/internal/mat"
+	"calloc/internal/nn"
+)
+
+// SANGRIAConfig configures the SANGRIA reproduction [19]: a layer-wise
+// pretrained stacked autoencoder compresses fingerprints, and a multiclass
+// gradient-boosted tree ensemble classifies the codes. SANGRIA's augmentation
+// gives it noise resilience, but the tree head has no adversarial defence.
+type SANGRIAConfig struct {
+	AE   autoenc.Config
+	GBDT gbdt.Config
+}
+
+// DefaultSANGRIAConfig mirrors the source paper's shape at our scale.
+func DefaultSANGRIAConfig() SANGRIAConfig {
+	ae := autoenc.DefaultConfig()
+	return SANGRIAConfig{AE: ae, GBDT: gbdt.DefaultConfig()}
+}
+
+// SANGRIA is the fitted stacked-autoencoder + boosted-trees localizer.
+type SANGRIA struct {
+	ae      *autoenc.Autoencoder
+	clf     *gbdt.Classifier
+	student *nn.Network // distilled mimic of the tree head, for attacks
+}
+
+// FitSANGRIA trains the autoencoder on the offline fingerprints, the boosted
+// trees on the resulting codes, and a distilled student MLP that mimics the
+// tree head's predictions on the codes. Gradient-boosted trees are genuinely
+// non-differentiable, so the paper's white-box adversary attacks them through
+// model distillation — the student matches the victim's decision surface far
+// better than an independently trained surrogate.
+func FitSANGRIA(x *mat.Matrix, labels []int, classes int, cfg SANGRIAConfig) (*SANGRIA, error) {
+	ae, err := autoenc.Fit(x, cfg.AE)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: SANGRIA autoencoder: %w", err)
+	}
+	codes := ae.Encode(x)
+	clf, err := gbdt.Fit(codes, labels, classes, cfg.GBDT)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: SANGRIA boosted trees: %w", err)
+	}
+	s := &SANGRIA{ae: ae, clf: clf}
+
+	// Distill: the student learns the trees' own predictions on the codes.
+	rng := rand.New(rand.NewSource(cfg.GBDT.Seed + 99))
+	s.student = nn.NewNetwork(
+		nn.NewDense("sangria.student1", codes.Cols, 64, rng),
+		&nn.ReLU{},
+		nn.NewDense("sangria.student2", 64, classes, rng),
+	)
+	teacher := clf.Predict(codes)
+	opt := nn.NewAdam(0.01)
+	for e := 0; e < 200; e++ {
+		logits := s.student.Forward(codes, true)
+		_, g := nn.SoftmaxCrossEntropy(logits, teacher)
+		s.student.Backward(g)
+		opt.Step(s.student.Params())
+	}
+	return s, nil
+}
+
+// Name identifies the framework.
+func (s *SANGRIA) Name() string { return "SANGRIA" }
+
+// Predict encodes the queries and classifies the codes.
+func (s *SANGRIA) Predict(x *mat.Matrix) []int {
+	return s.clf.Predict(s.ae.Encode(x))
+}
+
+// InputGradient satisfies Differentiable via the distilled student: the
+// student's cross-entropy gradient with respect to the codes is chained
+// through the (differentiable) encoder.
+func (s *SANGRIA) InputGradient(x *mat.Matrix, labels []int) *mat.Matrix {
+	codes := s.ae.Encode(x)
+	gradCodes := s.student.InputGradient(codes, labels)
+	return s.ae.EncoderInputGradient(x, gradCodes)
+}
+
+var _ Localizer = (*SANGRIA)(nil)
+var _ Differentiable = (*SANGRIA)(nil)

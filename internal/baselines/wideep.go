@@ -1,0 +1,66 @@
+package baselines
+
+import (
+	"fmt"
+
+	"calloc/internal/autoenc"
+	"calloc/internal/gp"
+	"calloc/internal/mat"
+)
+
+// WiDeepConfig configures the WiDeep reproduction [14]: a denoising
+// autoencoder feeds a Gaussian-process classifier. The paper attributes
+// WiDeep's poor showing under attack to the GPC's extreme noise sensitivity
+// (§V.D) — a behaviour this reproduction preserves.
+type WiDeepConfig struct {
+	AE autoenc.Config
+	GP gp.Config
+}
+
+// DefaultWiDeepConfig mirrors the source paper's shape at our scale.
+func DefaultWiDeepConfig() WiDeepConfig {
+	ae := autoenc.DefaultConfig()
+	ae.DenoiseSigma = 0.05
+	return WiDeepConfig{AE: ae, GP: gp.DefaultConfig()}
+}
+
+// WiDeep is the fitted denoising-autoencoder + GP localizer.
+type WiDeep struct {
+	ae  *autoenc.Autoencoder
+	clf *gp.Classifier
+}
+
+// FitWiDeep trains the denoising autoencoder and the GP head on its codes.
+func FitWiDeep(x *mat.Matrix, labels []int, classes int, cfg WiDeepConfig) (*WiDeep, error) {
+	ae, err := autoenc.Fit(x, cfg.AE)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: WiDeep autoencoder: %w", err)
+	}
+	codes := ae.Encode(x)
+	clf, err := gp.Fit(codes, labels, classes, cfg.GP)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: WiDeep GP head: %w", err)
+	}
+	return &WiDeep{ae: ae, clf: clf}, nil
+}
+
+// Name identifies the framework.
+func (w *WiDeep) Name() string { return "WiDeep" }
+
+// Predict encodes the queries and classifies the codes.
+func (w *WiDeep) Predict(x *mat.Matrix) []int {
+	return w.clf.Predict(w.ae.Encode(x))
+}
+
+// InputGradient satisfies Differentiable: the GP head's closed-form gradient
+// with respect to the codes is chained through the encoder. WiDeep is
+// therefore fully white-box attackable, which (as the paper's §V.D notes) is
+// where its noise-sensitive GPC hurts it most.
+func (w *WiDeep) InputGradient(x *mat.Matrix, labels []int) *mat.Matrix {
+	codes := w.ae.Encode(x)
+	gradCodes := w.clf.InputGradient(codes, labels)
+	return w.ae.EncoderInputGradient(x, gradCodes)
+}
+
+var _ Localizer = (*WiDeep)(nil)
+var _ Differentiable = (*WiDeep)(nil)

@@ -1,0 +1,190 @@
+// Package bayes implements the attribute-weighted Gaussian Naive Bayes RSS
+// localizer of the paper's related work (§II, Man et al. [12]): per-RP
+// Gaussian likelihoods over each AP's RSS with attribute weights derived
+// from each AP's discriminative power (mutual-information proxy), classified
+// by maximum weighted log-posterior. It completes the classical-baseline set
+// (KNN, GPC, DNN) the paper positions CALLOC against.
+package bayes
+
+import (
+	"fmt"
+	"math"
+
+	"calloc/internal/mat"
+)
+
+// Classifier is a fitted weighted Gaussian Naive Bayes localizer.
+type Classifier struct {
+	classes  int
+	prior    []float64   // log prior per class
+	mean     *mat.Matrix // classes × d
+	variance *mat.Matrix // classes × d
+	weight   []float64   // per-attribute weight
+}
+
+// minVariance regularises per-class feature variances; repeated fingerprints
+// at 1 dB quantisation frequently have zero within-class variance.
+const minVariance = 1e-4
+
+// Fit estimates per-class Gaussians and attribute weights from the offline
+// database.
+func Fit(x *mat.Matrix, labels []int, classes int) (*Classifier, error) {
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("bayes: empty training set")
+	}
+	if x.Rows != len(labels) {
+		return nil, fmt.Errorf("bayes: %d rows vs %d labels", x.Rows, len(labels))
+	}
+	if classes <= 1 {
+		return nil, fmt.Errorf("bayes: need at least 2 classes, got %d", classes)
+	}
+	d := x.Cols
+	c := &Classifier{
+		classes:  classes,
+		prior:    make([]float64, classes),
+		mean:     mat.New(classes, d),
+		variance: mat.New(classes, d),
+		weight:   make([]float64, d),
+	}
+	counts := make([]float64, classes)
+	for i := 0; i < x.Rows; i++ {
+		y := labels[i]
+		if y < 0 || y >= classes {
+			return nil, fmt.Errorf("bayes: label %d out of range [0,%d)", y, classes)
+		}
+		counts[y]++
+		row := x.Row(i)
+		mrow := c.mean.Row(y)
+		for j, v := range row {
+			mrow[j] += v
+		}
+	}
+	for cl := 0; cl < classes; cl++ {
+		n := counts[cl]
+		c.prior[cl] = math.Log((n + 1) / float64(x.Rows+classes))
+		if n == 0 {
+			continue
+		}
+		mrow := c.mean.Row(cl)
+		for j := range mrow {
+			mrow[j] /= n
+		}
+	}
+	for i := 0; i < x.Rows; i++ {
+		y := labels[i]
+		row := x.Row(i)
+		mrow := c.mean.Row(y)
+		vrow := c.variance.Row(y)
+		for j, v := range row {
+			dev := v - mrow[j]
+			vrow[j] += dev * dev
+		}
+	}
+	for cl := 0; cl < classes; cl++ {
+		if counts[cl] == 0 {
+			continue
+		}
+		vrow := c.variance.Row(cl)
+		for j := range vrow {
+			vrow[j] = vrow[j]/counts[cl] + minVariance
+		}
+	}
+
+	// Attribute weights ∝ between-class variance of the attribute's class
+	// means over its pooled within-class variance — attributes that separate
+	// locations get more say (the "attribute-independent weighting" of [12]).
+	for j := 0; j < d; j++ {
+		var grand, between, within float64
+		var used float64
+		for cl := 0; cl < classes; cl++ {
+			if counts[cl] == 0 {
+				continue
+			}
+			grand += c.mean.At(cl, j)
+			used++
+		}
+		grand /= used
+		for cl := 0; cl < classes; cl++ {
+			if counts[cl] == 0 {
+				continue
+			}
+			dev := c.mean.At(cl, j) - grand
+			between += dev * dev
+			within += c.variance.At(cl, j)
+		}
+		c.weight[j] = (between / used) / (within/used + 1e-12)
+	}
+	// Normalise weights to mean 1 so the posterior scale stays comparable.
+	var wsum float64
+	for _, w := range c.weight {
+		wsum += w
+	}
+	if wsum > 0 {
+		scale := float64(d) / wsum
+		for j := range c.weight {
+			c.weight[j] *= scale
+		}
+	}
+	return c, nil
+}
+
+// LogPosteriors returns the weighted log-posterior of every class for each
+// query row.
+func (c *Classifier) LogPosteriors(q *mat.Matrix) *mat.Matrix {
+	out := mat.New(q.Rows, c.classes)
+	for i := 0; i < q.Rows; i++ {
+		row := q.Row(i)
+		orow := out.Row(i)
+		for cl := 0; cl < c.classes; cl++ {
+			lp := c.prior[cl]
+			mrow := c.mean.Row(cl)
+			vrow := c.variance.Row(cl)
+			for j, v := range row {
+				dev := v - mrow[j]
+				ll := -0.5*(dev*dev/vrow[j]) - 0.5*math.Log(2*math.Pi*vrow[j])
+				lp += c.weight[j] * ll
+			}
+			orow[cl] = lp
+		}
+	}
+	return out
+}
+
+// Predict returns the maximum-posterior class per query row.
+func (c *Classifier) Predict(q *mat.Matrix) []int {
+	post := c.LogPosteriors(q)
+	out := make([]int, q.Rows)
+	for i := range out {
+		out[i] = mat.ArgMax(post.Row(i))
+	}
+	return out
+}
+
+// InputGradient returns ∂CE(softmax(logposteriors), labels)/∂q in closed
+// form, giving the white-box adversary the same access to Naive Bayes it has
+// to every other victim: ∂lp_c/∂q_j = −w_j (q_j − μ_cj)/σ²_cj.
+func (c *Classifier) InputGradient(q *mat.Matrix, labels []int) *mat.Matrix {
+	post := c.LogPosteriors(q)
+	probs := mat.Softmax(post)
+	out := mat.New(q.Rows, q.Cols)
+	for i := 0; i < q.Rows; i++ {
+		prow := probs.Row(i)
+		dscore := make([]float64, c.classes)
+		copy(dscore, prow)
+		dscore[labels[i]]--
+		qrow := q.Row(i)
+		orow := out.Row(i)
+		for cl := 0; cl < c.classes; cl++ {
+			ds := dscore[cl]
+			if ds == 0 {
+				continue
+			}
+			mrow := c.mean.Row(cl)
+			vrow := c.variance.Row(cl)
+			for j := range orow {
+				orow[j] += ds * c.weight[j] * -(qrow[j] - mrow[j]) / vrow[j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"calloc/internal/mat"
+)
+
+func blobs(rng *rand.Rand, n, classes, dim int) (*mat.Matrix, []int) {
+	x := mat.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, float64(c)*0.4+rng.NormFloat64()*0.08)
+		}
+	}
+	return x, labels
+}
+
+func accuracy(preds, labels []int) float64 {
+	var correct int
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(mat.New(0, 3), nil, 2); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := Fit(mat.New(2, 3), []int{0}, 2); err == nil {
+		t.Fatal("expected error for label mismatch")
+	}
+	if _, err := Fit(mat.New(2, 3), []int{0, 0}, 1); err == nil {
+		t.Fatal("expected error for single class")
+	}
+	if _, err := Fit(mat.New(2, 3), []int{0, 9}, 2); err == nil {
+		t.Fatal("expected error for out-of-range label")
+	}
+}
+
+func TestClassifiesSeparableBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := blobs(rng, 120, 4, 6)
+	c, err := Fit(x, labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(c.Predict(x), labels); acc < 0.95 {
+		t.Fatalf("training accuracy %.3f, want ≥0.95", acc)
+	}
+}
+
+func TestHandlesZeroVarianceFeatures(t *testing.T) {
+	// Quantised fingerprints often repeat exactly: variance would be zero
+	// without regularisation.
+	x := mat.FromRows([][]float64{{0.5, 0.1}, {0.5, 0.1}, {0.9, 0.8}, {0.9, 0.8}})
+	c, err := Fit(x, []int{0, 0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := c.Predict(mat.FromRows([][]float64{{0.52, 0.12}, {0.88, 0.79}}))
+	if preds[0] != 0 || preds[1] != 1 {
+		t.Fatalf("preds = %v", preds)
+	}
+}
+
+func TestWeightsFavorDiscriminativeAttributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100
+	x := mat.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cl := i % 2
+		labels[i] = cl
+		x.Set(i, 0, float64(cl)+rng.NormFloat64()*0.05) // discriminative
+		x.Set(i, 1, rng.NormFloat64())                  // pure noise
+	}
+	c, err := Fit(x, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.weight[0] <= c.weight[1] {
+		t.Fatalf("weights %v: discriminative attribute should outweigh noise", c.weight)
+	}
+}
+
+func TestLogPosteriorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, labels := blobs(rng, 30, 3, 4)
+	c, err := Fit(x, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := c.LogPosteriors(mat.New(5, 4))
+	if post.Rows != 5 || post.Cols != 3 {
+		t.Fatalf("posteriors %dx%d, want 5x3", post.Rows, post.Cols)
+	}
+}
+
+func TestInputGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, labels := blobs(rng, 60, 3, 4)
+	c, err := Fit(x, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mat.New(2, 4)
+	for i := range q.Data {
+		q.Data[i] = rng.Float64()
+	}
+	ql := []int{0, 2}
+	grad := c.InputGradient(q, ql)
+	loss := func() float64 {
+		probs := mat.Softmax(c.LogPosteriors(q))
+		var l float64
+		for i, y := range ql {
+			l += -math.Log(probs.At(i, y) + 1e-300)
+		}
+		return l
+	}
+	const h = 1e-6
+	for _, idx := range []int{0, 3, 5} {
+		orig := q.Data[idx]
+		q.Data[idx] = orig + h
+		lp := loss()
+		q.Data[idx] = orig - h
+		lm := loss()
+		q.Data[idx] = orig
+		numeric := (lp - lm) / (2 * h)
+		diff := math.Abs(numeric - grad.Data[idx])
+		scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(grad.Data[idx])))
+		if diff/scale > 1e-4 {
+			t.Errorf("grad[%d]: analytic %.8f vs numeric %.8f", idx, grad.Data[idx], numeric)
+		}
+	}
+}
+
+func TestWhiteBoxStepHurtsAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, labels := blobs(rng, 90, 3, 4)
+	c, err := Fit(x, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := c.InputGradient(x, labels)
+	adv := x.Clone()
+	for i := range adv.Data {
+		if grad.Data[i] > 0 {
+			adv.Data[i] += 0.3
+		} else if grad.Data[i] < 0 {
+			adv.Data[i] -= 0.3
+		}
+	}
+	if accuracy(c.Predict(adv), labels) >= accuracy(c.Predict(x), labels) {
+		t.Fatal("white-box step did not hurt Naive Bayes")
+	}
+}
+
+func TestImbalancedClassPriors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 110
+	x := mat.New(n, 3)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cl := 0
+		if i%11 == 0 {
+			cl = 1
+		}
+		labels[i] = cl
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, float64(cl)*0.5+rng.NormFloat64()*0.05)
+		}
+	}
+	c, err := Fit(x, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(c.Predict(x), labels); acc < 0.98 {
+		t.Fatalf("imbalanced accuracy %.3f", acc)
+	}
+}

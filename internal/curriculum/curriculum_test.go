@@ -1,0 +1,165 @@
+package curriculum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultScheduleMatchesPaper(t *testing.T) {
+	lessons := DefaultSchedule()
+	if len(lessons) != 10 {
+		t.Fatalf("%d lessons, want 10", len(lessons))
+	}
+	first := lessons[0]
+	if first.PhiPercent != 0 || first.OriginalFraction != 1 {
+		t.Fatalf("lesson 1 = %+v; want ø=0, 100%% original", first)
+	}
+	second := lessons[1]
+	if second.PhiPercent != 10 {
+		t.Fatalf("lesson 2 ø = %d, want 10", second.PhiPercent)
+	}
+	last := lessons[9]
+	if last.PhiPercent != 100 {
+		t.Fatalf("lesson 10 ø = %d, want 100", last.PhiPercent)
+	}
+	if last.OriginalFraction != 0 {
+		t.Fatalf("lesson 10 original fraction = %g, want 0", last.OriginalFraction)
+	}
+	for _, l := range lessons {
+		if l.Epsilon != 0.1 {
+			t.Fatalf("lesson %d ε = %g, want fixed 0.1", l.Number, l.Epsilon)
+		}
+	}
+}
+
+func TestScheduleMonotone(t *testing.T) {
+	lessons := DefaultSchedule()
+	for i := 1; i < len(lessons); i++ {
+		if lessons[i].PhiPercent < lessons[i-1].PhiPercent {
+			t.Fatalf("ø not non-decreasing at lesson %d", i+1)
+		}
+		if lessons[i].OriginalFraction > lessons[i-1].OriginalFraction {
+			t.Fatalf("original fraction not non-increasing at lesson %d", i+1)
+		}
+	}
+}
+
+// Property: any schedule has monotone ø, starts at 0, ends at maxPhi.
+func TestScheduleProperty(t *testing.T) {
+	f := func(nRaw, maxRaw uint8) bool {
+		n := 2 + int(nRaw)%12
+		maxPhi := 20 + int(maxRaw)%81
+		ls := Schedule(n, maxPhi, 0.1)
+		if len(ls) != n || ls[0].PhiPercent != 0 || ls[n-1].PhiPercent != maxPhi {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if ls[i].PhiPercent < ls[i-1].PhiPercent {
+				return false
+			}
+			if ls[i].Number != i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleMinimumLessons(t *testing.T) {
+	ls := Schedule(0, 100, 0.1)
+	if len(ls) != 2 {
+		t.Fatalf("degenerate schedule has %d lessons, want clamp to 2", len(ls))
+	}
+}
+
+func TestEasePhi(t *testing.T) {
+	if got := EasePhi(10); got != 8 {
+		t.Fatalf("EasePhi(10) = %d, want 8", got)
+	}
+	if got := EasePhi(1); got != 0 {
+		t.Fatalf("EasePhi(1) = %d, want 0", got)
+	}
+	if got := EasePhi(0); got != 0 {
+		t.Fatalf("EasePhi(0) = %d, want 0", got)
+	}
+}
+
+func TestMonitorSnapshotsOnImprovement(t *testing.T) {
+	m := NewMonitor(3)
+	if d := m.Observe(1.0); d != Snapshot {
+		t.Fatalf("first loss decision = %v, want Snapshot", d)
+	}
+	if d := m.Observe(0.8); d != Snapshot {
+		t.Fatalf("improving loss decision = %v, want Snapshot", d)
+	}
+	best, ok := m.Best()
+	if !ok || best >= 1.0 {
+		t.Fatalf("Best = %g (ok=%v), want smoothed value below 1.0", best, ok)
+	}
+}
+
+func TestMonitorRevertsAfterPatience(t *testing.T) {
+	m := NewMonitor(3)
+	m.Observe(1.0)
+	if d := m.Observe(1.1); d != Continue {
+		t.Fatalf("1st rise = %v, want Continue", d)
+	}
+	if d := m.Observe(1.2); d != Continue {
+		t.Fatalf("2nd rise = %v, want Continue", d)
+	}
+	if d := m.Observe(1.3); d != Revert {
+		t.Fatalf("3rd rise = %v, want Revert", d)
+	}
+	// Streak resets after revert.
+	if d := m.Observe(1.4); d != Continue {
+		t.Fatalf("post-revert rise = %v, want Continue (streak reset)", d)
+	}
+}
+
+func TestMonitorPlateauDoesNotRevert(t *testing.T) {
+	m := NewMonitor(2)
+	m.Observe(1.0)
+	for i := 0; i < 10; i++ {
+		if d := m.Observe(1.0); d == Revert {
+			t.Fatal("flat loss must not trigger revert")
+		}
+	}
+}
+
+func TestMonitorRecoveryClearsStreak(t *testing.T) {
+	m := NewMonitor(3)
+	m.Observe(1.0)
+	m.Observe(1.1)
+	m.Observe(1.2)
+	m.Observe(0.9) // recovery (also a new best)
+	if d := m.Observe(1.0); d != Continue {
+		t.Fatalf("rise after recovery = %v, want Continue", d)
+	}
+}
+
+func TestMonitorResetLessonClearsState(t *testing.T) {
+	m := NewMonitor(2)
+	m.Observe(0.5)
+	m.Observe(0.9)
+	m.ResetLesson()
+	// After reset the previous-loss memory is cleared, so the first epoch of
+	// the new lesson can never count as "increasing" — and it establishes a
+	// fresh per-lesson best (losses are not comparable across lessons).
+	if d := m.Observe(2.0); d != Snapshot {
+		t.Fatalf("first epoch of new lesson = %v, want Snapshot (fresh best)", d)
+	}
+	best, ok := m.Best()
+	if !ok || best != 2.0 {
+		t.Fatalf("per-lesson best = %g, want 2.0", best)
+	}
+}
+
+func TestMonitorDefaultPatience(t *testing.T) {
+	m := NewMonitor(0)
+	if m.Patience != 3 {
+		t.Fatalf("default patience = %d, want 3", m.Patience)
+	}
+}

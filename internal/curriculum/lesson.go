@@ -1,0 +1,75 @@
+// Package curriculum implements CALLOC's curriculum learning strategy
+// (paper §IV.A and §IV.D): a ten-lesson schedule that escalates the fraction
+// of attacked APs ø while the attack strength ε stays fixed and small, and an
+// adaptive monitor that detects training divergence, triggers reversion to
+// the best-performing weights, and eases the lesson by reducing ø in steps of
+// two.
+package curriculum
+
+import "math"
+
+// Lesson is one stage of the curriculum.
+type Lesson struct {
+	// Number is the 1-based lesson index.
+	Number int
+	// PhiPercent is ø for this lesson: the percentage of APs attacked in
+	// the lesson's adversarial data.
+	PhiPercent int
+	// Epsilon is the (fixed, small) crafting strength; the paper holds it
+	// at 0.1 through the whole curriculum.
+	Epsilon float64
+	// OriginalFraction is the share of clean (attack-free) fingerprints in
+	// the lesson data; it decreases as lessons progress (§IV.A:
+	// "subsequent lessons contain higher ø and lower number of original
+	// data").
+	OriginalFraction float64
+}
+
+// DefaultLessons and DefaultEpsilon mirror the paper: 10 lessons, ε=0.1.
+const (
+	DefaultLessons = 10
+	DefaultEpsilon = 0.1
+)
+
+// Schedule builds the n-lesson curriculum. Lesson 1 is the baseline with
+// ø=0 and 100% original data; lesson 2 starts at ø=10; the final lesson
+// reaches ø=maxPhi with no original data. Intermediate lessons interpolate
+// linearly (the paper fixes only the endpoints and the lesson count).
+func Schedule(n, maxPhi int, epsilon float64) []Lesson {
+	if n < 2 {
+		n = 2
+	}
+	lessons := make([]Lesson, n)
+	lessons[0] = Lesson{Number: 1, PhiPercent: 0, Epsilon: epsilon, OriginalFraction: 1}
+	firstPhi := math.Min(10, float64(maxPhi))
+	for i := 1; i < n; i++ {
+		t := 1.0 // with only two lessons, jump straight to maxPhi
+		if n > 2 {
+			t = float64(i-1) / float64(n-2) // 0 at lesson 2, 1 at lesson n
+		}
+		phi := firstPhi + t*(float64(maxPhi)-firstPhi)
+		lessons[i] = Lesson{
+			Number:           i + 1,
+			PhiPercent:       int(math.Round(phi)),
+			Epsilon:          epsilon,
+			OriginalFraction: 1 - float64(i)/float64(n-1),
+		}
+	}
+	return lessons
+}
+
+// DefaultSchedule returns the paper's curriculum: 10 lessons, ø from 0 to
+// 100, ε = 0.1.
+func DefaultSchedule() []Lesson {
+	return Schedule(DefaultLessons, 100, DefaultEpsilon)
+}
+
+// EasePhi applies the adaptive adjustment of §IV.D: after a divergence the
+// lesson's ø is reduced in steps of two, never below zero.
+func EasePhi(phi int) int {
+	phi -= 2
+	if phi < 0 {
+		return 0
+	}
+	return phi
+}

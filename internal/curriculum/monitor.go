@@ -1,0 +1,88 @@
+package curriculum
+
+// Decision is the adaptive monitor's verdict after observing one epoch loss.
+type Decision int
+
+const (
+	// Continue: training is progressing; keep going.
+	Continue Decision = iota
+	// Snapshot: this epoch achieved a new best loss; the caller should
+	// snapshot the weights (and keep going).
+	Snapshot
+	// Revert: the loss has risen for Patience consecutive epochs —
+	// training is diverging. The caller must restore the best weights and
+	// ease the lesson (reduce ø by two).
+	Revert
+)
+
+// Monitor watches the per-epoch training loss of the final fully connected
+// layer (§IV.D) and decides when to snapshot weights and when divergence
+// warrants a revert-and-ease. Raw epoch losses are noisy (fresh adversarial
+// data, dropout, and Gaussian noise every epoch), so the monitor tracks an
+// exponential moving average and judges trends on it. It is a pure state
+// machine so the adaptive policy is testable in isolation from training.
+type Monitor struct {
+	// Patience is how many consecutive smoothed-loss increases count as
+	// divergence.
+	Patience int
+	// Smoothing is the EMA coefficient in (0,1]: 1 means no smoothing.
+	Smoothing float64
+
+	best       float64
+	haveBest   bool
+	ema        float64
+	prev       float64
+	havePrev   bool
+	increasing int
+}
+
+// NewMonitor creates a monitor; patience ≤ 0 selects the default of 3, with
+// EMA smoothing 0.3.
+func NewMonitor(patience int) *Monitor {
+	if patience <= 0 {
+		patience = 3
+	}
+	return &Monitor{Patience: patience, Smoothing: 0.3}
+}
+
+// Observe records one epoch's loss and returns the decision.
+func (m *Monitor) Observe(loss float64) Decision {
+	alpha := m.Smoothing
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	if m.havePrev {
+		loss = alpha*loss + (1-alpha)*m.ema
+	}
+	m.ema = loss
+	defer func() { m.prev, m.havePrev = loss, true }()
+
+	if m.havePrev && loss > m.prev {
+		m.increasing++
+	} else {
+		m.increasing = 0
+	}
+	if m.increasing >= m.Patience {
+		m.increasing = 0
+		return Revert
+	}
+	if !m.haveBest || loss < m.best {
+		m.best, m.haveBest = loss, true
+		return Snapshot
+	}
+	return Continue
+}
+
+// Best returns the lowest loss observed so far (and whether any loss has
+// been observed).
+func (m *Monitor) Best() (float64, bool) { return m.best, m.haveBest }
+
+// ResetLesson clears the divergence streak and the best-loss memory when a
+// new lesson starts. Losses are only comparable within a lesson — later
+// lessons train on harder adversarial mixes and naturally sit at higher loss,
+// so reverting across lesson boundaries would undo curriculum progress.
+func (m *Monitor) ResetLesson() {
+	m.increasing = 0
+	m.havePrev = false
+	m.haveBest = false
+}

@@ -1,0 +1,138 @@
+// Package device models smartphone heterogeneity: the six handsets of the
+// paper's Table I, each rendered as a deterministic RSS transform (chipset
+// gain and offset, firmware noise filtering, detection threshold, and ADC
+// quantisation). Two devices capturing the same fingerprint at the same
+// location therefore report measurably different RSS vectors — the paper's
+// definition of device heterogeneity (§II). OP3 is the reference device used
+// to collect offline training data (§V.A).
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calloc/internal/radio"
+)
+
+// Device is one smartphone model as an RSS measurement pipeline.
+type Device struct {
+	Manufacturer string
+	Model        string
+	Acronym      string
+
+	// Gain and OffsetDB apply a per-chipset linear distortion in dB space:
+	// reported = Gain·rss + OffsetDB.
+	Gain     float64
+	OffsetDB float64
+	// NoiseSigma is extra per-capture measurement noise in dB introduced by
+	// the firmware's filtering stack.
+	NoiseSigma float64
+	// DetectThreshold is the weakest RSS (dBm) the chipset can detect;
+	// weaker APs report radio.RSSFloor (missing).
+	DetectThreshold float64
+	// QuantStep is the RSS reporting granularity in dB (most chipsets
+	// round to 1 dB).
+	QuantStep float64
+	// ChannelOffsetDB is the chipset's frequency response: an extra RSS
+	// offset per 802.11 channel. Because different APs sit on different
+	// channels, this distorts the fingerprint *shape*, not just its level —
+	// the component of device heterogeneity that defeats distance-based
+	// matching (two devices disagree more on some APs than others).
+	ChannelOffsetDB map[int]float64
+}
+
+// TrainingDevice is the acronym of the handset used to collect the offline
+// fingerprint database in the paper.
+const TrainingDevice = "OP3"
+
+// Registry returns the six smartphones of Table I. OP3 is the neutral
+// reference; the others differ in gain, offset, noise, and sensitivity, with
+// parameter spreads chosen so cross-device testing degrades accuracy the way
+// the paper's heatmaps show (MOTO and BLU being the most dissimilar).
+func Registry() []Device {
+	return []Device{
+		{Manufacturer: "BLU", Model: "Vivo 8", Acronym: "BLU",
+			Gain: 1.08, OffsetDB: -5, NoiseSigma: 2.2, DetectThreshold: -89, QuantStep: 1,
+			ChannelOffsetDB: map[int]float64{1: -4, 6: 2, 11: -6, 36: 3, 40: -3, 44: 5, 48: -2}},
+		{Manufacturer: "HTC", Model: "U11", Acronym: "HTC",
+			Gain: 0.96, OffsetDB: 2.5, NoiseSigma: 1.4, DetectThreshold: -93, QuantStep: 1,
+			ChannelOffsetDB: map[int]float64{1: 2, 6: -3, 11: 4, 36: -2, 40: 3, 44: -4, 48: 2}},
+		{Manufacturer: "Samsung", Model: "Galaxy S7", Acronym: "S7",
+			Gain: 1.03, OffsetDB: -2, NoiseSigma: 1.2, DetectThreshold: -94, QuantStep: 1,
+			ChannelOffsetDB: map[int]float64{1: -2, 6: 3, 11: -3, 36: 2, 40: -2, 44: 3, 48: -3}},
+		{Manufacturer: "LG", Model: "V20", Acronym: "LG",
+			Gain: 0.94, OffsetDB: 3.5, NoiseSigma: 1.6, DetectThreshold: -92, QuantStep: 1,
+			ChannelOffsetDB: map[int]float64{1: 3, 6: -4, 11: 2, 36: -3, 40: 4, 44: -2, 48: 3}},
+		{Manufacturer: "Motorola", Model: "Z2", Acronym: "MOTO",
+			Gain: 1.10, OffsetDB: 6, NoiseSigma: 2.6, DetectThreshold: -88, QuantStep: 2,
+			ChannelOffsetDB: map[int]float64{1: -6, 6: 5, 11: -4, 36: 6, 40: -5, 44: 4, 48: -6}},
+		{Manufacturer: "Oneplus", Model: "3", Acronym: "OP3",
+			Gain: 1.0, OffsetDB: 0, NoiseSigma: 1.0, DetectThreshold: -96, QuantStep: 1},
+	}
+}
+
+// ByAcronym returns the registry device with the given acronym.
+func ByAcronym(acr string) (Device, error) {
+	for _, d := range Registry() {
+		if d.Acronym == acr {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("device: unknown acronym %q", acr)
+}
+
+// Acronyms returns the registry acronyms in registry order.
+func Acronyms() []string {
+	regs := Registry()
+	out := make([]string, len(regs))
+	for i, d := range regs {
+		out[i] = d.Acronym
+	}
+	return out
+}
+
+// Measure transforms true channel RSS values (dBm) into what this device
+// reports: gain/offset distortion, the chipset's per-channel frequency
+// response, firmware noise, detection thresholding, and quantisation.
+// channels carries each AP's 802.11 channel and may be nil (no frequency
+// response applied). The inputs are not modified.
+func (d Device) Measure(trueRSS []float64, channels []int, rng *rand.Rand) []float64 {
+	out := make([]float64, len(trueRSS))
+	for i, rss := range trueRSS {
+		if rss <= radio.RSSFloor {
+			out[i] = radio.RSSFloor
+			continue
+		}
+		v := d.Gain*rss + d.OffsetDB + rng.NormFloat64()*d.NoiseSigma
+		if channels != nil && d.ChannelOffsetDB != nil {
+			v += d.ChannelOffsetDB[channels[i]]
+		}
+		if v < d.DetectThreshold {
+			out[i] = radio.RSSFloor
+			continue
+		}
+		if d.QuantStep > 0 {
+			v = quantize(v, d.QuantStep)
+		}
+		if v > radio.RSSCeiling {
+			v = radio.RSSCeiling
+		}
+		if v < radio.RSSFloor {
+			v = radio.RSSFloor
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func quantize(v, step float64) float64 {
+	n := int(v/step + 0.5*sign(v))
+	return float64(n) * step
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

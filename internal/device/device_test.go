@@ -1,0 +1,140 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"calloc/internal/radio"
+)
+
+func TestRegistryMatchesTableI(t *testing.T) {
+	regs := Registry()
+	if len(regs) != 6 {
+		t.Fatalf("registry has %d devices, want 6", len(regs))
+	}
+	want := map[string]string{
+		"BLU": "Vivo 8", "HTC": "U11", "S7": "Galaxy S7",
+		"LG": "V20", "MOTO": "Z2", "OP3": "3",
+	}
+	for _, d := range regs {
+		model, ok := want[d.Acronym]
+		if !ok {
+			t.Errorf("unexpected device %q", d.Acronym)
+			continue
+		}
+		if d.Model != model {
+			t.Errorf("%s: model %q, want %q", d.Acronym, d.Model, model)
+		}
+	}
+}
+
+func TestByAcronym(t *testing.T) {
+	d, err := ByAcronym("OP3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Manufacturer != "Oneplus" {
+		t.Fatalf("OP3 manufacturer %q", d.Manufacturer)
+	}
+	if _, err := ByAcronym("NOPE"); err == nil {
+		t.Fatal("expected error for unknown acronym")
+	}
+}
+
+func TestTrainingDeviceIsNeutral(t *testing.T) {
+	d, err := ByAcronym(TrainingDevice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Gain != 1 || d.OffsetDB != 0 {
+		t.Fatalf("training device should be the neutral reference, got gain=%g offset=%g", d.Gain, d.OffsetDB)
+	}
+}
+
+func TestMeasurePreservesFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := ByAcronym("OP3")
+	out := d.Measure([]float64{radio.RSSFloor, -50}, nil, rng)
+	if out[0] != radio.RSSFloor {
+		t.Fatalf("missing AP became %g, want floor", out[0])
+	}
+	if out[1] == radio.RSSFloor {
+		t.Fatal("strong AP should not be dropped")
+	}
+}
+
+func TestMeasureThresholdDropsWeakAPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Device{Acronym: "X", Gain: 1, NoiseSigma: 0, DetectThreshold: -80, QuantStep: 1}
+	out := d.Measure([]float64{-85, -70}, nil, rng)
+	if out[0] != radio.RSSFloor {
+		t.Fatalf("below-threshold AP = %g, want floor", out[0])
+	}
+	if out[1] == radio.RSSFloor {
+		t.Fatal("above-threshold AP was dropped")
+	}
+}
+
+func TestMeasureDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, _ := ByAcronym("MOTO")
+	in := []float64{-60, -70}
+	d.Measure(in, nil, rng)
+	if in[0] != -60 || in[1] != -70 {
+		t.Fatal("Measure mutated its input")
+	}
+}
+
+func TestMeasureBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, d := range Registry() {
+		for i := 0; i < 200; i++ {
+			rss := radio.RSSFloor + rng.Float64()*(radio.RSSCeiling-radio.RSSFloor)
+			out := d.Measure([]float64{rss}, nil, rng)
+			if out[0] < radio.RSSFloor || out[0] > radio.RSSCeiling {
+				t.Fatalf("%s: output %g outside RSS range", d.Acronym, out[0])
+			}
+		}
+	}
+}
+
+// TestHeterogeneityIsObservable: different devices measuring the same channel
+// RSS must disagree systematically — the premise of the paper's
+// device-heterogeneity evaluation.
+func TestHeterogeneityIsObservable(t *testing.T) {
+	op3, _ := ByAcronym("OP3")
+	moto, _ := ByAcronym("MOTO")
+	truth := make([]float64, 50)
+	for i := range truth {
+		truth[i] = -40 - float64(i)
+	}
+	// Use noise-free copies to isolate the systematic distortion.
+	op3.NoiseSigma, moto.NoiseSigma = 0, 0
+	rng := rand.New(rand.NewSource(5))
+	a := op3.Measure(truth, nil, rng)
+	b := moto.Measure(truth, nil, rng)
+	var diff float64
+	for i := range a {
+		diff += math.Abs(a[i] - b[i])
+	}
+	if diff/float64(len(a)) < 1 {
+		t.Fatalf("mean |OP3−MOTO| = %.2f dB; heterogeneity should exceed 1 dB", diff/float64(len(a)))
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := Device{Gain: 1, NoiseSigma: 0, DetectThreshold: -99, QuantStep: 2}
+	out := d.Measure([]float64{-50.7}, nil, rng)
+	if rem := math.Mod(out[0], 2); rem != 0 {
+		t.Fatalf("quantised value %g is not a multiple of 2", out[0])
+	}
+}
+
+func TestAcronymsOrder(t *testing.T) {
+	acr := Acronyms()
+	if len(acr) != 6 || acr[5] != "OP3" {
+		t.Fatalf("Acronyms() = %v", acr)
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"calloc/internal/attack"
+)
+
+// tinyMode is even smaller than QuickMode so the whole figure set runs in a
+// few seconds inside the test suite.
+func tinyMode() Mode {
+	return Mode{
+		Name:            "tiny",
+		BuildingIDs:     []int{3},
+		Devices:         []string{"OP3", "MOTO"},
+		Epsilons:        []float64{0.1, 0.3},
+		Phis:            []int{50},
+		APScale:         0.2,
+		PathScale:       0.15,
+		EpochsPerLesson: 10,
+		BaselineEpochs:  120,
+		Seed:            1,
+	}
+}
+
+func tinySuite(t testing.TB) *Suite {
+	t.Helper()
+	return NewSuite(tinyMode(), nil)
+}
+
+func TestDatasetCachedAndScaled(t *testing.T) {
+	s := tinySuite(t)
+	a, err := s.Dataset(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Dataset(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("dataset should be cached")
+	}
+	// Table II building 3 has 78 APs, 88 m path: scaled by 0.2/0.15.
+	if a.NumAPs != 16 {
+		t.Fatalf("scaled APs = %d, want 16", a.NumAPs)
+	}
+	if a.NumRPs != 13 {
+		t.Fatalf("scaled RPs = %d, want 13", a.NumRPs)
+	}
+}
+
+func TestDatasetUnknownBuilding(t *testing.T) {
+	s := tinySuite(t)
+	if _, err := s.Dataset(42); err == nil {
+		t.Fatal("expected error for unknown building")
+	}
+}
+
+func TestFrameworkRegistry(t *testing.T) {
+	s := tinySuite(t)
+	if _, err := s.Framework(3, "nope"); err == nil {
+		t.Fatal("expected error for unknown framework")
+	}
+	names := SOTAFrameworks()
+	if names[0] != NameCALLOC || len(names) != 5 {
+		t.Fatalf("SOTA frameworks = %v", names)
+	}
+}
+
+func TestFig1ShowsAttackDamage(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 (KNN, GPC, DNN)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.AttackedMean <= row.CleanMean {
+			t.Errorf("%s: attacked %.2f not above clean %.2f", row.Model, row.AttackedMean, row.CleanMean)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"KNN", "GPC", "DNN", "Fig 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2PerturbationsWithinPhysicalRange(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.APIndexes) == 0 {
+		t.Fatal("no targeted APs")
+	}
+	for i := range r.APIndexes {
+		for _, v := range []float64{r.Clean[i], r.WeakAdv[i], r.StrongAdv[i]} {
+			if v < -100 || v > 0 {
+				t.Fatalf("RSS %g outside [-100, 0] dBm", v)
+			}
+		}
+		// Strong attack moves RSS at least as far as the weak attack.
+		weakD := abs(r.WeakAdv[i] - r.Clean[i])
+		strongD := abs(r.StrongAdv[i] - r.Clean[i])
+		if strongD+1e-9 < weakD {
+			t.Fatalf("AP%d: strong attack moved %.1f dB < weak %.1f dB", r.APIndexes[i], strongD, weakD)
+		}
+	}
+	if !strings.Contains(r.Render(), "Fig 2") {
+		t.Fatal("render missing title")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestFig4HeatmapsComplete(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Heatmaps) != 3 {
+		t.Fatalf("%d heatmaps, want 3", len(r.Heatmaps))
+	}
+	for _, m := range attack.Methods() {
+		hm := r.Heatmaps[m]
+		if len(hm.Values) != len(s.Mode.BuildingIDs) {
+			t.Fatalf("%s: %d rows, want %d", m, len(hm.Values), len(s.Mode.BuildingIDs))
+		}
+		for _, row := range hm.Values {
+			if len(row) != len(s.Mode.Devices) {
+				t.Fatalf("%s: row has %d cols, want %d", m, len(row), len(s.Mode.Devices))
+			}
+			for _, v := range row {
+				if v < 0 {
+					t.Fatalf("%s: negative error %g", m, v)
+				}
+			}
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"FGSM", "PGD", "MIM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig5CurriculumSeries(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 6 { // 3 attacks × {curriculum, NC}
+		t.Fatalf("%d series, want 6", len(r.Series))
+	}
+	for name, series := range r.Series {
+		if len(series) != len(s.Mode.Epsilons) {
+			t.Fatalf("%s: %d points, want %d", name, len(series), len(s.Mode.Epsilons))
+		}
+	}
+	if !strings.Contains(r.Render(), "FGSM-NC") {
+		t.Fatal("render missing NC rows")
+	}
+}
+
+func TestFig6RatiosRelativeToCALLOC(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(r.Rows))
+	}
+	if r.Rows[0].Framework != NameCALLOC {
+		t.Fatal("first row should be CALLOC")
+	}
+	if r.Rows[0].MeanRatio != 1 {
+		t.Fatalf("CALLOC mean ratio = %g, want 1", r.Rows[0].MeanRatio)
+	}
+	if !strings.Contains(r.Render(), "WiDeep") {
+		t.Fatal("render missing WiDeep")
+	}
+}
+
+func TestFig7SeriesShapes(t *testing.T) {
+	s := tinySuite(t)
+	r, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range SOTAFrameworks() {
+		series, ok := r.Series[name]
+		if !ok {
+			t.Fatalf("missing series %s", name)
+		}
+		if len(series) != len(Fig7Phis) {
+			t.Fatalf("%s: %d points, want %d", name, len(series), len(Fig7Phis))
+		}
+	}
+	if !strings.Contains(r.Render(), "ø=100") {
+		t.Fatal("render missing phi columns")
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1 := Table1()
+	for _, want := range []string{"Oneplus", "Samsung", "OP3"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	t2 := Table2()
+	for _, want := range []string{"Building 5", "218", "88 meters"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	t3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"65,239", "42,496", "254.84"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table III missing %q", want)
+		}
+	}
+}
+
+func TestModes(t *testing.T) {
+	full := FullMode()
+	if len(full.BuildingIDs) != 5 || full.APScale != 1 {
+		t.Fatalf("full mode misconfigured: %+v", full)
+	}
+	quick := QuickMode()
+	if quick.APScale >= 1 {
+		t.Fatal("quick mode should shrink buildings")
+	}
+}

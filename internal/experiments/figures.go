@@ -1,0 +1,497 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"calloc/internal/attack"
+	"calloc/internal/baselines"
+	"calloc/internal/core"
+	"calloc/internal/device"
+	"calloc/internal/eval"
+	"calloc/internal/fingerprint"
+	"calloc/internal/floorplan"
+	"calloc/internal/gp"
+	"calloc/internal/knn"
+	"calloc/internal/mat"
+	"calloc/internal/radio"
+)
+
+// Fig1Result reproduces Fig 1: the localization-error increase of three
+// classical ML localizers (KNN [13], GPC [14], DNN [15]) under FGSM attack.
+type Fig1Result struct {
+	Building string
+	Rows     []Fig1Row
+}
+
+// Fig1Row is one model's clean and attacked mean error.
+type Fig1Row struct {
+	Model         string
+	CleanMean     float64
+	AttackedMean  float64
+	IncreaseRatio float64
+}
+
+// Fig1 runs the experiment on the first mode building with the mode's median
+// ε at full ø — the "well-known FGSM attack" demonstration.
+func (s *Suite) Fig1() (*Fig1Result, error) {
+	id := s.Mode.BuildingIDs[0]
+	ds, err := s.Dataset(id)
+	if err != nil {
+		return nil, err
+	}
+	x := fingerprint.X(ds.Train)
+	labels := fingerprint.Labels(ds.Train)
+
+	knnClf, err := knn.New(x, labels, 3)
+	if err != nil {
+		return nil, err
+	}
+	gpClf, err := gp.Fit(x, labels, ds.NumRPs, gp.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	dnnCfg := baselines.DefaultDNNConfig()
+	dnnCfg.Epochs = s.Mode.BaselineEpochs
+	dnnCfg.Seed = s.Mode.Seed
+	dnnClf, err := baselines.FitDNN(NameDNN, x, labels, ds.NumRPs, dnnCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	models := []struct {
+		name    string
+		predict func(*mat.Matrix) []int
+		grad    attack.GradientModel
+	}{
+		// Every victim is attacked through its own white-box gradient: the
+		// DNN by backprop, the GP classifier by its closed-form kernel
+		// gradient, KNN by its softmin relaxation.
+		{NameKNN, knnClf.Predict, knnClf},
+		{NameGPC, gpClf.Predict, gpClf},
+		{NameDNN, dnnClf.Predict, dnnClf},
+	}
+
+	eps := s.Mode.Epsilons[len(s.Mode.Epsilons)/2]
+	cfg := attack.Config{Epsilon: eps, PhiPercent: 50, Seed: s.Mode.Seed + 11}
+
+	res := &Fig1Result{Building: ds.BuildingName}
+	for _, m := range models {
+		var clean, attacked []float64
+		for _, dev := range s.Mode.Devices {
+			samples := ds.Test[dev]
+			tx := fingerprint.X(samples)
+			tl := fingerprint.Labels(samples)
+			adv := attack.Craft(attack.FGSM, m.grad, tx, tl, cfg)
+			for i, p := range m.predict(tx) {
+				clean = append(clean, ds.ErrorMeters(p, tl[i]))
+			}
+			for i, p := range m.predict(adv) {
+				attacked = append(attacked, ds.ErrorMeters(p, tl[i]))
+			}
+		}
+		cs, as := eval.Summarize(clean), eval.Summarize(attacked)
+		ratio := 0.0
+		if cs.Mean > 0 {
+			ratio = as.Mean / cs.Mean
+		}
+		res.Rows = append(res.Rows, Fig1Row{m.name, cs.Mean, as.Mean, ratio})
+	}
+	return res, nil
+}
+
+// Render formats the Fig 1 table.
+func (r *Fig1Result) Render() string {
+	t := eval.Table{
+		Title:   fmt.Sprintf("Fig 1 — FGSM attack impact on classical ML localizers (%s)", r.Building),
+		Headers: []string{"Model", "Clean mean err (m)", "Attacked mean err (m)", "Increase"},
+	}
+	for _, row := range r.Rows {
+		ratio := fmt.Sprintf("%.2fx", row.IncreaseRatio)
+		if row.CleanMean == 0 {
+			ratio = "—" // clean error was zero; any attack damage is infinite relative increase
+		}
+		t.AddRow(row.Model,
+			fmt.Sprintf("%.2f", row.CleanMean),
+			fmt.Sprintf("%.2f", row.AttackedMean),
+			ratio)
+	}
+	return t.String()
+}
+
+// Fig2Result illustrates weak (A:1) vs strong (A:2) channel-side attacks on a
+// single fingerprint, mirroring the paper's Fig 2 cartoon with real data.
+type Fig2Result struct {
+	Building  string
+	APIndexes []int
+	Clean     []float64
+	WeakAdv   []float64
+	StrongAdv []float64
+}
+
+// Fig2 crafts a weak (ε=0.1) and strong (ε=0.5) single-AP-set attack on one
+// test fingerprint of the first building.
+func (s *Suite) Fig2() (*Fig2Result, error) {
+	id := s.Mode.BuildingIDs[0]
+	ds, err := s.Dataset(id)
+	if err != nil {
+		return nil, err
+	}
+	m, err := s.CALLOC(id)
+	if err != nil {
+		return nil, err
+	}
+	samples := ds.Test[device.TrainingDevice][:1]
+	x := fingerprint.X(samples)
+	labels := fingerprint.Labels(samples)
+	weak := attack.Craft(attack.FGSM, m, x, labels,
+		attack.Config{Epsilon: 0.1, PhiPercent: 20, Seed: s.Mode.Seed})
+	strong := attack.Craft(attack.FGSM, m, x, labels,
+		attack.Config{Epsilon: 0.5, PhiPercent: 20, Seed: s.Mode.Seed})
+
+	cfg := attack.Config{PhiPercent: 20, Seed: s.Mode.Seed}
+	targets := cfg.TargetAPs(ds.NumAPs)
+	if len(targets) > 8 {
+		targets = targets[:8]
+	}
+	res := &Fig2Result{Building: ds.BuildingName, APIndexes: targets}
+	for _, ap := range targets {
+		res.Clean = append(res.Clean, radio.Denormalize(x.At(0, ap)))
+		res.WeakAdv = append(res.WeakAdv, radio.Denormalize(weak.At(0, ap)))
+		res.StrongAdv = append(res.StrongAdv, radio.Denormalize(strong.At(0, ap)))
+	}
+	return res, nil
+}
+
+// Render formats the Fig 2 illustration.
+func (r *Fig2Result) Render() string {
+	t := eval.Table{
+		Title: fmt.Sprintf("Fig 2 — channel-side MITM perturbation of one fingerprint (%s), targeted APs only",
+			r.Building),
+		Headers: []string{"AP", "Clean RSS (dBm)", "A:1 weak ε=0.1", "A:2 strong ε=0.5"},
+	}
+	for i, ap := range r.APIndexes {
+		t.AddRow(fmt.Sprintf("AP%d", ap),
+			fmt.Sprintf("%.1f", r.Clean[i]),
+			fmt.Sprintf("%.1f", r.WeakAdv[i]),
+			fmt.Sprintf("%.1f", r.StrongAdv[i]))
+	}
+	return t.String()
+}
+
+// Fig4Result holds one heatmap per attack method: mean error per building ×
+// device, averaged over the mode's ε and ø grids — the paper's Fig 4.
+type Fig4Result struct {
+	Methods  []attack.Method
+	Heatmaps map[attack.Method]*eval.Heatmap
+}
+
+// Fig4 evaluates CALLOC across devices, buildings, and the three attacks.
+func (s *Suite) Fig4() (*Fig4Result, error) {
+	res := &Fig4Result{
+		Methods:  attack.Methods(),
+		Heatmaps: make(map[attack.Method]*eval.Heatmap),
+	}
+	for _, method := range res.Methods {
+		hm := &eval.Heatmap{
+			Title:     fmt.Sprintf("Fig 4 — CALLOC mean error (m) under %s, ε∈%v, ø∈%v", method, s.Mode.Epsilons, s.Mode.Phis),
+			ColLabels: s.Mode.Devices,
+		}
+		for _, id := range s.Mode.BuildingIDs {
+			ds, err := s.Dataset(id)
+			if err != nil {
+				return nil, err
+			}
+			m, err := s.CALLOC(id)
+			if err != nil {
+				return nil, err
+			}
+			loc := &callocLocalizer{m}
+			row := make([]float64, 0, len(s.Mode.Devices))
+			for _, dev := range s.Mode.Devices {
+				var all []float64
+				for _, eps := range s.Mode.Epsilons {
+					for _, phi := range s.Mode.Phis {
+						errs, err := s.AttackedErrors(id, loc, dev, method, attack.Config{
+							Epsilon: eps, PhiPercent: phi, Seed: s.Mode.Seed + int64(phi),
+						})
+						if err != nil {
+							return nil, err
+						}
+						all = append(all, errs...)
+					}
+				}
+				row = append(row, eval.Summarize(all).Mean)
+			}
+			hm.RowLabels = append(hm.RowLabels, ds.BuildingName)
+			hm.Values = append(hm.Values, row)
+		}
+		res.Heatmaps[method] = hm
+	}
+	return res, nil
+}
+
+// Render formats all three heatmaps.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	for _, m := range r.Methods {
+		b.WriteString(r.Heatmaps[m].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig5Result compares CALLOC with and without curriculum learning across
+// attacks and ε values — the paper's Fig 5.
+type Fig5Result struct {
+	Epsilons []float64
+	// Series maps "FGSM"/"PGD"/"MIM" and the matching "-NC" variants to
+	// mean errors per ε.
+	Series map[string][]float64
+}
+
+// Fig5 runs the curriculum-impact study.
+func (s *Suite) Fig5() (*Fig5Result, error) {
+	res := &Fig5Result{Epsilons: s.Mode.Epsilons, Series: make(map[string][]float64)}
+	for _, method := range attack.Methods() {
+		for _, nc := range []bool{false, true} {
+			name := method.String()
+			if nc {
+				name += "-NC"
+			}
+			series := make([]float64, 0, len(s.Mode.Epsilons))
+			for _, eps := range s.Mode.Epsilons {
+				var all []float64
+				for _, id := range s.Mode.BuildingIDs {
+					var m *core.Model
+					var err error
+					if nc {
+						m, err = s.NC(id)
+					} else {
+						m, err = s.CALLOC(id)
+					}
+					if err != nil {
+						return nil, err
+					}
+					loc := &callocLocalizer{m}
+					for _, dev := range s.Mode.Devices {
+						for _, phi := range s.Mode.Phis {
+							errs, err := s.AttackedErrors(id, loc, dev, method, attack.Config{
+								Epsilon: eps, PhiPercent: phi, Seed: s.Mode.Seed + int64(phi),
+							})
+							if err != nil {
+								return nil, err
+							}
+							all = append(all, errs...)
+						}
+					}
+				}
+				series = append(series, eval.Summarize(all).Mean)
+			}
+			res.Series[name] = series
+		}
+	}
+	return res, nil
+}
+
+// Render formats the Fig 5 comparison.
+func (r *Fig5Result) Render() string {
+	headers := []string{"Attack"}
+	for _, e := range r.Epsilons {
+		headers = append(headers, fmt.Sprintf("ε=%.1f", e))
+	}
+	t := eval.Table{
+		Title:   "Fig 5 — curriculum impact: mean error (m) with curriculum vs NC (no curriculum)",
+		Headers: headers,
+	}
+	for _, method := range attack.Methods() {
+		for _, suffix := range []string{"", "-NC"} {
+			name := method.String() + suffix
+			row := []string{name}
+			for _, v := range r.Series[name] {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t.String()
+}
+
+// Fig6Result compares CALLOC against the state-of-the-art frameworks on mean
+// and worst-case error over the full attack grid — the paper's Fig 6.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6Row is one framework's aggregate performance.
+type Fig6Row struct {
+	Framework   string
+	Mean, Worst float64
+	// MeanRatio and WorstRatio are this framework's errors relative to
+	// CALLOC (the paper's headline "up to 6.03×" format).
+	MeanRatio, WorstRatio float64
+}
+
+// Fig6 runs the state-of-the-art comparison.
+func (s *Suite) Fig6() (*Fig6Result, error) {
+	res := &Fig6Result{}
+	for _, name := range SOTAFrameworks() {
+		var all []float64
+		for _, id := range s.Mode.BuildingIDs {
+			m, err := s.Framework(id, name)
+			if err != nil {
+				return nil, err
+			}
+			for _, method := range attack.Methods() {
+				for _, dev := range s.Mode.Devices {
+					for _, eps := range s.Mode.Epsilons {
+						for _, phi := range s.Mode.Phis {
+							errs, err := s.AttackedErrors(id, m, dev, method, attack.Config{
+								Epsilon: eps, PhiPercent: phi, Seed: s.Mode.Seed + int64(phi),
+							})
+							if err != nil {
+								return nil, err
+							}
+							all = append(all, errs...)
+						}
+					}
+				}
+			}
+		}
+		st := eval.Summarize(all)
+		res.Rows = append(res.Rows, Fig6Row{Framework: name, Mean: st.Mean, Worst: st.Worst})
+	}
+	base := res.Rows[0] // CALLOC is first in SOTAFrameworks
+	for i := range res.Rows {
+		if base.Mean > 0 {
+			res.Rows[i].MeanRatio = res.Rows[i].Mean / base.Mean
+		}
+		if base.Worst > 0 {
+			res.Rows[i].WorstRatio = res.Rows[i].Worst / base.Worst
+		}
+	}
+	return res, nil
+}
+
+// Render formats the Fig 6 table.
+func (r *Fig6Result) Render() string {
+	t := eval.Table{
+		Title:   "Fig 6 — CALLOC vs state-of-the-art: error over all attacks, devices, buildings, ε, ø",
+		Headers: []string{"Framework", "Mean err (m)", "Worst err (m)", "Mean vs CALLOC", "Worst vs CALLOC"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Framework,
+			fmt.Sprintf("%.2f", row.Mean),
+			fmt.Sprintf("%.2f", row.Worst),
+			fmt.Sprintf("%.2fx", row.MeanRatio),
+			fmt.Sprintf("%.2fx", row.WorstRatio))
+	}
+	return t.String()
+}
+
+// Fig7Result sweeps the number of attacked APs ø under FGSM for every
+// framework — the paper's Fig 7.
+type Fig7Result struct {
+	Phis   []int
+	Series map[string][]float64
+}
+
+// Fig7Phis is the ø sweep of the paper (1 to 100).
+var Fig7Phis = []int{1, 10, 20, 40, 60, 80, 100}
+
+// Fig7 runs the ø sweep at the curriculum's training ε (0.1).
+func (s *Suite) Fig7() (*Fig7Result, error) {
+	res := &Fig7Result{Phis: Fig7Phis, Series: make(map[string][]float64)}
+	for _, name := range SOTAFrameworks() {
+		series := make([]float64, 0, len(res.Phis))
+		for _, phi := range res.Phis {
+			var all []float64
+			for _, id := range s.Mode.BuildingIDs {
+				m, err := s.Framework(id, name)
+				if err != nil {
+					return nil, err
+				}
+				for _, dev := range s.Mode.Devices {
+					errs, err := s.AttackedErrors(id, m, dev, attack.FGSM, attack.Config{
+						Epsilon: 0.1, PhiPercent: phi, Seed: s.Mode.Seed + int64(phi),
+					})
+					if err != nil {
+						return nil, err
+					}
+					all = append(all, errs...)
+				}
+			}
+			series = append(series, eval.Summarize(all).Mean)
+		}
+		res.Series[name] = series
+	}
+	return res, nil
+}
+
+// Render formats the Fig 7 sweep.
+func (r *Fig7Result) Render() string {
+	headers := []string{"Framework"}
+	for _, p := range r.Phis {
+		headers = append(headers, fmt.Sprintf("ø=%d", p))
+	}
+	t := eval.Table{
+		Title:   "Fig 7 — mean error (m) vs attacked APs ø under FGSM (ε=0.1)",
+		Headers: headers,
+	}
+	for _, name := range SOTAFrameworks() {
+		row := []string{name}
+		for _, v := range r.Series[name] {
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Table1 renders the paper's Table I (smartphone details) from the device
+// registry.
+func Table1() string {
+	t := eval.Table{
+		Title:   "Table I — smartphone details",
+		Headers: []string{"Manufacturer", "Model", "Acronym"},
+	}
+	for _, d := range device.Registry() {
+		t.AddRow(d.Manufacturer, d.Model, d.Acronym)
+	}
+	return t.String()
+}
+
+// Table2 renders the paper's Table II (building floorplan details) from the
+// floorplan registry.
+func Table2() string {
+	t := eval.Table{
+		Title:   "Table II — building floorplan details",
+		Headers: []string{"Building", "Visible APs", "Path Length", "Characteristics"},
+	}
+	for _, spec := range floorplan.Registry() {
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%d", spec.VisibleAPs),
+			fmt.Sprintf("%d meters", spec.PathLengthM),
+			spec.Characteristics)
+	}
+	return t.String()
+}
+
+// Table3 renders the §V.A model-footprint audit against the paper's numbers.
+func Table3() (string, error) {
+	m, err := core.NewModel(core.PaperConfig())
+	if err != nil {
+		return "", err
+	}
+	embed, attn, fc := m.ParamBreakdown()
+	t := eval.Table{
+		Title:   "§V.A — CALLOC model footprint (paper vs this implementation)",
+		Headers: []string{"Component", "Paper", "This repo"},
+	}
+	t.AddRow("Embedding layers", "42,496", fmt.Sprintf("%d", embed))
+	t.AddRow("Attention layer", "18,961", fmt.Sprintf("%d", attn))
+	t.AddRow("Final FC layer", "3,782", fmt.Sprintf("%d", fc))
+	t.AddRow("Total parameters", "65,239", fmt.Sprintf("%d", m.NumParams()))
+	t.AddRow("Model size (float32)", "254.84 kB", fmt.Sprintf("%.2f kB", m.ModelSizeKB()))
+	return t.String(), nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestFullScaleOrdering runs the Fig-6 evaluation at full Table-II scale on
+// Building 3 and prints the framework comparison. It is opt-in (several
+// minutes of single-core training) — set CALLOC_FULL_DEBUG=1 to run it.
+func TestFullScaleOrdering(t *testing.T) {
+	if os.Getenv("CALLOC_FULL_DEBUG") == "" {
+		t.Skip("set CALLOC_FULL_DEBUG=1 to run")
+	}
+	m := FullMode()
+	m.BuildingIDs = []int{3}
+	m.Devices = []string{"OP3", "S7", "MOTO"}
+	m.Epsilons = []float64{0.1, 0.3, 0.5}
+	m.Phis = []int{20, 100}
+	s := NewSuite(m, os.Stderr)
+	r, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(r.Render())
+	r5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(r5.Render())
+	r7, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(r7.Render())
+	r4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(r4.Render())
+}

@@ -1,0 +1,181 @@
+// Package fingerprint implements the offline and online phases of Wi-Fi RSS
+// fingerprinting (paper §I): collecting a labelled fingerprint database at
+// every reference point with the training device, collecting per-device test
+// fingerprints, normalising RSS into the [0,1] model domain, and persisting
+// datasets with gob.
+package fingerprint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"calloc/internal/device"
+	"calloc/internal/floorplan"
+	"calloc/internal/mat"
+	"calloc/internal/radio"
+)
+
+// Sample is one captured fingerprint: a normalised RSS vector (one entry per
+// visible AP, in [0,1]) and the reference-point label where it was captured.
+type Sample struct {
+	RSS []float64
+	RP  int
+}
+
+// Dataset is a complete offline+online collection for one building.
+type Dataset struct {
+	BuildingID   int
+	BuildingName string
+	NumAPs       int
+	NumRPs       int
+	RPCoords     []radio.Point
+	// Train holds the offline database captured with the training device.
+	Train []Sample
+	// Test maps device acronym → online-phase fingerprints (one per RP in
+	// the paper's protocol).
+	Test map[string][]Sample
+}
+
+// CollectConfig controls dataset collection.
+type CollectConfig struct {
+	TrainPerRP  int    // fingerprints per RP in the offline phase (paper: 5)
+	TestPerRP   int    // fingerprints per RP per device online (paper: 1)
+	TrainDevice string // acronym of the offline collection device (paper: OP3)
+	Seed        int64
+}
+
+// DefaultCollectConfig mirrors the paper's §V.A protocol.
+func DefaultCollectConfig() CollectConfig {
+	return CollectConfig{TrainPerRP: 5, TestPerRP: 1, TrainDevice: device.TrainingDevice, Seed: 1}
+}
+
+// Collect runs both phases on a building for the given devices and returns
+// the dataset. Collection is deterministic in cfg.Seed.
+func Collect(b *floorplan.Building, devices []device.Device, cfg CollectConfig) (*Dataset, error) {
+	trainDev, err := device.ByAcronym(cfg.TrainDevice)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{
+		BuildingID:   b.Spec.ID,
+		BuildingName: b.Spec.Name,
+		NumAPs:       b.NumAPs(),
+		NumRPs:       b.NumRPs(),
+		RPCoords:     b.RPs,
+		Test:         make(map[string][]Sample),
+	}
+
+	// Offline phase: TrainPerRP captures per RP with the training device.
+	for rp := range b.RPs {
+		for s := 0; s < cfg.TrainPerRP; s++ {
+			ds.Train = append(ds.Train, capture(b, trainDev, rp, rng))
+		}
+	}
+
+	// Online phase: TestPerRP captures per RP for every device.
+	for _, dev := range devices {
+		var samples []Sample
+		for rp := range b.RPs {
+			for s := 0; s < cfg.TestPerRP; s++ {
+				samples = append(samples, capture(b, dev, rp, rng))
+			}
+		}
+		ds.Test[dev.Acronym] = samples
+	}
+	return ds, nil
+}
+
+// capture simulates one fingerprint capture: channel RSS per AP, then the
+// device's measurement pipeline, then normalisation.
+func capture(b *floorplan.Building, dev device.Device, rp int, rng *rand.Rand) Sample {
+	raw := make([]float64, b.NumAPs())
+	channels := make([]int, b.NumAPs())
+	for j, ap := range b.APs {
+		raw[j] = b.Spec.Model.SampleRSS(ap, b.RPs[rp], b.Shadow.Offset(rp, j), rng)
+		channels[j] = ap.Channel
+	}
+	measured := dev.Measure(raw, channels, rng)
+	norm := make([]float64, len(measured))
+	for j, v := range measured {
+		norm[j] = radio.Normalize(v)
+	}
+	return Sample{RSS: norm, RP: rp}
+}
+
+// X stacks the samples' RSS vectors into an n×NumAPs matrix.
+func X(samples []Sample) *mat.Matrix {
+	if len(samples) == 0 {
+		return mat.New(0, 0)
+	}
+	m := mat.New(len(samples), len(samples[0].RSS))
+	for i, s := range samples {
+		copy(m.Row(i), s.RSS)
+	}
+	return m
+}
+
+// Labels extracts the RP labels of the samples.
+func Labels(samples []Sample) []int {
+	out := make([]int, len(samples))
+	for i, s := range samples {
+		out[i] = s.RP
+	}
+	return out
+}
+
+// CloneSamples deep-copies a sample slice (attack code mutates RSS vectors).
+func CloneSamples(samples []Sample) []Sample {
+	out := make([]Sample, len(samples))
+	for i, s := range samples {
+		out[i] = Sample{RSS: append([]float64(nil), s.RSS...), RP: s.RP}
+	}
+	return out
+}
+
+// ErrorMeters returns the physical distance between predicted and true RPs.
+func (d *Dataset) ErrorMeters(predRP, trueRP int) float64 {
+	return d.RPCoords[predRP].Distance(d.RPCoords[trueRP])
+}
+
+// Encode serialises the dataset with gob.
+func (d *Dataset) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		return nil, fmt.Errorf("fingerprint: encode dataset: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises a dataset produced by Encode.
+func Decode(data []byte) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("fingerprint: decode dataset: %w", err)
+	}
+	return &d, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) error {
+	data, err := d.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("fingerprint: save dataset: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a dataset previously written by SaveFile.
+func LoadFile(path string) (*Dataset, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: load dataset: %w", err)
+	}
+	return Decode(data)
+}

@@ -1,0 +1,204 @@
+package fingerprint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"calloc/internal/device"
+	"calloc/internal/floorplan"
+)
+
+// smallBuilding returns a reduced building for fast tests.
+func smallBuilding(t *testing.T) *floorplan.Building {
+	t.Helper()
+	spec := floorplan.Spec{
+		ID: 99, Name: "TestBuilding", VisibleAPs: 20, PathLengthM: 12,
+		Characteristics: "test",
+		Model:           floorplan.Registry()[0].Model,
+	}
+	return floorplan.Build(spec, 1)
+}
+
+func collectSmall(t *testing.T) *Dataset {
+	t.Helper()
+	b := smallBuilding(t)
+	cfg := DefaultCollectConfig()
+	ds, err := Collect(b, device.Registry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestCollectShapes(t *testing.T) {
+	ds := collectSmall(t)
+	if ds.NumAPs != 20 || ds.NumRPs != 12 {
+		t.Fatalf("dataset %d APs, %d RPs; want 20, 12", ds.NumAPs, ds.NumRPs)
+	}
+	// Paper protocol: 5 train per RP, 1 test per RP per device.
+	if len(ds.Train) != 5*12 {
+		t.Fatalf("train size %d, want 60", len(ds.Train))
+	}
+	if len(ds.Test) != 6 {
+		t.Fatalf("%d test devices, want 6", len(ds.Test))
+	}
+	for acr, samples := range ds.Test {
+		if len(samples) != 12 {
+			t.Fatalf("device %s has %d test samples, want 12", acr, len(samples))
+		}
+	}
+}
+
+func TestSamplesNormalized(t *testing.T) {
+	ds := collectSmall(t)
+	check := func(samples []Sample) {
+		for _, s := range samples {
+			if len(s.RSS) != ds.NumAPs {
+				t.Fatalf("sample has %d features, want %d", len(s.RSS), ds.NumAPs)
+			}
+			if s.RP < 0 || s.RP >= ds.NumRPs {
+				t.Fatalf("label %d out of range", s.RP)
+			}
+			for _, v := range s.RSS {
+				if v < 0 || v > 1 {
+					t.Fatalf("RSS %g outside [0,1]", v)
+				}
+			}
+		}
+	}
+	check(ds.Train)
+	for _, samples := range ds.Test {
+		check(samples)
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	b := smallBuilding(t)
+	cfg := DefaultCollectConfig()
+	a, err := Collect(b, device.Registry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Collect(b, device.Registry(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train {
+		for j := range a.Train[i].RSS {
+			if a.Train[i].RSS[j] != c.Train[i].RSS[j] {
+				t.Fatal("collection is not deterministic in the seed")
+			}
+		}
+	}
+}
+
+func TestCollectRejectsUnknownTrainDevice(t *testing.T) {
+	b := smallBuilding(t)
+	cfg := DefaultCollectConfig()
+	cfg.TrainDevice = "NOPE"
+	if _, err := Collect(b, device.Registry(), cfg); err == nil {
+		t.Fatal("expected error for unknown training device")
+	}
+}
+
+// TestFingerprintsAreLocationDiscriminative: mean fingerprints of distant RPs
+// must differ more than repeated captures at the same RP, otherwise
+// localization would be impossible.
+func TestFingerprintsAreLocationDiscriminative(t *testing.T) {
+	ds := collectSmall(t)
+	byRP := make(map[int][][]float64)
+	for _, s := range ds.Train {
+		byRP[s.RP] = append(byRP[s.RP], s.RSS)
+	}
+	mean := func(v [][]float64) []float64 {
+		out := make([]float64, len(v[0]))
+		for _, row := range v {
+			for j, x := range row {
+				out[j] += x
+			}
+		}
+		for j := range out {
+			out[j] /= float64(len(v))
+		}
+		return out
+	}
+	m0 := mean(byRP[0])
+	mFar := mean(byRP[ds.NumRPs-1])
+	var between float64
+	for j := range m0 {
+		d := m0[j] - mFar[j]
+		between += d * d
+	}
+	var within float64
+	for j := range byRP[0][0] {
+		d := byRP[0][0][j] - byRP[0][1][j]
+		within += d * d
+	}
+	if between <= within {
+		t.Fatalf("between-RP distance² %.4f should exceed within-RP %.4f", between, within)
+	}
+}
+
+func TestXAndLabels(t *testing.T) {
+	ds := collectSmall(t)
+	x := X(ds.Train)
+	if x.Rows != len(ds.Train) || x.Cols != ds.NumAPs {
+		t.Fatalf("X is %dx%d", x.Rows, x.Cols)
+	}
+	y := Labels(ds.Train)
+	if len(y) != len(ds.Train) {
+		t.Fatalf("Labels has %d entries", len(y))
+	}
+	if y[0] != ds.Train[0].RP {
+		t.Fatal("labels do not match samples")
+	}
+	if empty := X(nil); empty.Rows != 0 {
+		t.Fatal("X(nil) should be empty")
+	}
+}
+
+func TestCloneSamplesIndependence(t *testing.T) {
+	ds := collectSmall(t)
+	clone := CloneSamples(ds.Train[:2])
+	clone[0].RSS[0] = 99
+	if ds.Train[0].RSS[0] == 99 {
+		t.Fatal("CloneSamples shares storage")
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	ds := collectSmall(t)
+	path := filepath.Join(t.TempDir(), "ds.gob")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BuildingName != ds.BuildingName || len(got.Train) != len(ds.Train) {
+		t.Fatal("round trip lost data")
+	}
+	if got.Train[3].RSS[5] != ds.Train[3].RSS[5] {
+		t.Fatal("round trip corrupted RSS values")
+	}
+	if len(got.Test["OP3"]) != len(ds.Test["OP3"]) {
+		t.Fatal("round trip lost test samples")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestErrorMeters(t *testing.T) {
+	ds := collectSmall(t)
+	if ds.ErrorMeters(0, 0) != 0 {
+		t.Fatal("self error should be 0")
+	}
+	if ds.ErrorMeters(0, 3) != 3 {
+		t.Fatalf("corridor error = %g, want 3", ds.ErrorMeters(0, 3))
+	}
+}

@@ -1,0 +1,158 @@
+// Package floorplan defines the five building floorplans of the paper's
+// Table II and turns each specification into a concrete simulated building:
+// a serpentine walking path of reference points at 1 m granularity, a set of
+// visible access points, and a building-specific propagation model derived
+// from the stated construction characteristics.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"calloc/internal/radio"
+)
+
+// Spec is one row of Table II plus the propagation parameters this
+// reproduction derives from the stated characteristics.
+type Spec struct {
+	ID              int
+	Name            string
+	VisibleAPs      int
+	PathLengthM     int
+	Characteristics string
+	Model           radio.PropagationModel
+}
+
+// Registry returns the five buildings of Table II. Propagation parameters
+// follow the characteristics column: metallic interiors raise the path-loss
+// exponent, wide/dynamic spaces raise the temporal fading (the paper notes
+// Buildings 1 and 5 show the highest environmental noise).
+func Registry() []Spec {
+	return []Spec{
+		{
+			ID: 1, Name: "Building 1", VisibleAPs: 156, PathLengthM: 64,
+			Characteristics: "Wood and Concrete",
+			Model: radio.PropagationModel{
+				PathLossExponent: 2.8, RefLoss: 40, ShadowSigma: 4.5, FadingSigma: 3.0,
+				WallEveryM: 5, WallLossDB: 3.0,
+			},
+		},
+		{
+			ID: 2, Name: "Building 2", VisibleAPs: 125, PathLengthM: 62,
+			Characteristics: "Heavy Metallic Equipments",
+			Model: radio.PropagationModel{
+				PathLossExponent: 3.3, RefLoss: 42, ShadowSigma: 5.0, FadingSigma: 2.0,
+				WallEveryM: 5, WallLossDB: 5.0,
+			},
+		},
+		{
+			ID: 3, Name: "Building 3", VisibleAPs: 78, PathLengthM: 88,
+			Characteristics: "Wood, Concrete, Metal",
+			Model: radio.PropagationModel{
+				PathLossExponent: 3.0, RefLoss: 40, ShadowSigma: 4.0, FadingSigma: 1.6,
+				WallEveryM: 5, WallLossDB: 3.5,
+			},
+		},
+		{
+			ID: 4, Name: "Building 4", VisibleAPs: 112, PathLengthM: 68,
+			Characteristics: "Wood, Concrete, Metal",
+			Model: radio.PropagationModel{
+				PathLossExponent: 3.0, RefLoss: 40, ShadowSigma: 4.0, FadingSigma: 1.6,
+				WallEveryM: 5, WallLossDB: 3.5,
+			},
+		},
+		{
+			ID: 5, Name: "Building 5", VisibleAPs: 218, PathLengthM: 60,
+			Characteristics: "Wide Spaces, Wood, Metal",
+			Model: radio.PropagationModel{
+				PathLossExponent: 2.5, RefLoss: 38, ShadowSigma: 5.5, FadingSigma: 3.2,
+				WallEveryM: 9, WallLossDB: 2.0,
+			},
+		},
+	}
+}
+
+// SpecByID returns the Table-II spec with the given ID.
+func SpecByID(id int) (Spec, error) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("floorplan: no building with id %d (valid: 1-5)", id)
+}
+
+// Building is a concrete simulated floorplan: reference points along the
+// walking path, placed APs, and the static shadowing field connecting them.
+type Building struct {
+	Spec   Spec
+	RPs    []radio.Point // one reference point per metre of path
+	APs    []radio.AP
+	Shadow *radio.ShadowField
+}
+
+// segmentLength is the corridor length in metres before the serpentine path
+// turns; corridorGap is the spacing between parallel corridors.
+const (
+	segmentLength = 16
+	corridorGap   = 3.0
+)
+
+// Build instantiates a spec: lays out the serpentine RP path at 1 m
+// granularity, scatters the visible APs across (and slightly beyond) the
+// floor area, and draws the static shadowing field. The same seed always
+// yields the same building.
+func Build(spec Spec, seed int64) *Building {
+	rng := rand.New(rand.NewSource(seed))
+	rps := serpentinePath(spec.PathLengthM)
+
+	rows := int(math.Ceil(float64(spec.PathLengthM) / segmentLength))
+	maxX := float64(segmentLength)
+	maxY := float64(rows) * corridorGap
+	// APs scatter well beyond the walking path: with wall attenuation the
+	// far ones drop below device detection thresholds at some locations,
+	// reproducing the partial-visibility structure of real fingerprints.
+	const margin = 20.0
+
+	aps := make([]radio.AP, spec.VisibleAPs)
+	for i := range aps {
+		pos := radio.Point{
+			X: -margin + rng.Float64()*(maxX+2*margin),
+			Y: -margin + rng.Float64()*(maxY+2*margin),
+		}
+		tx := 14 + rng.Float64()*8 // 14–22 dBm, typical enterprise APs
+		ch := []int{1, 6, 11, 36, 40, 44, 48}[rng.Intn(7)]
+		aps[i] = radio.NewAP(i, pos, tx, ch)
+	}
+
+	shadow := radio.NewShadowField(len(rps), len(aps), spec.Model.ShadowSigma, rng)
+	return &Building{Spec: spec, RPs: rps, APs: aps, Shadow: shadow}
+}
+
+// serpentinePath lays n reference points 1 m apart along corridors of
+// segmentLength metres joined in a serpentine.
+func serpentinePath(n int) []radio.Point {
+	pts := make([]radio.Point, n)
+	for i := 0; i < n; i++ {
+		row := i / segmentLength
+		col := i % segmentLength
+		if row%2 == 1 {
+			col = segmentLength - 1 - col
+		}
+		pts[i] = radio.Point{X: float64(col), Y: float64(row) * corridorGap}
+	}
+	return pts
+}
+
+// NumRPs returns the number of reference points (location classes).
+func (b *Building) NumRPs() int { return len(b.RPs) }
+
+// NumAPs returns the number of visible access points (input features).
+func (b *Building) NumAPs() int { return len(b.APs) }
+
+// ErrorMeters returns the physical distance in metres between two RP indexes,
+// the localization-error metric used throughout the evaluation.
+func (b *Building) ErrorMeters(predRP, trueRP int) float64 {
+	return b.RPs[predRP].Distance(b.RPs[trueRP])
+}

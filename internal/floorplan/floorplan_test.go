@@ -1,0 +1,108 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegistryMatchesTableII(t *testing.T) {
+	specs := Registry()
+	if len(specs) != 5 {
+		t.Fatalf("registry has %d buildings, want 5", len(specs))
+	}
+	want := []struct {
+		aps, path int
+	}{{156, 64}, {125, 62}, {78, 88}, {112, 68}, {218, 60}}
+	for i, s := range specs {
+		if s.VisibleAPs != want[i].aps {
+			t.Errorf("%s: VisibleAPs = %d, want %d", s.Name, s.VisibleAPs, want[i].aps)
+		}
+		if s.PathLengthM != want[i].path {
+			t.Errorf("%s: PathLength = %d, want %d", s.Name, s.PathLengthM, want[i].path)
+		}
+		if s.ID != i+1 {
+			t.Errorf("%s: ID = %d, want %d", s.Name, s.ID, i+1)
+		}
+	}
+}
+
+func TestSpecByID(t *testing.T) {
+	s, err := SpecByID(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VisibleAPs != 78 {
+		t.Fatalf("building 3 has %d APs, want 78", s.VisibleAPs)
+	}
+	if _, err := SpecByID(9); err == nil {
+		t.Fatal("expected error for unknown building")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec, _ := SpecByID(1)
+	a := Build(spec, 7)
+	b := Build(spec, 7)
+	if a.APs[0].Pos != b.APs[0].Pos {
+		t.Fatal("same seed should give same AP placement")
+	}
+	if a.Shadow.Offset(0, 0) != b.Shadow.Offset(0, 0) {
+		t.Fatal("same seed should give same shadow field")
+	}
+	c := Build(spec, 8)
+	if a.APs[0].Pos == c.APs[0].Pos {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestBuildCounts(t *testing.T) {
+	for _, spec := range Registry() {
+		b := Build(spec, 1)
+		if b.NumAPs() != spec.VisibleAPs {
+			t.Errorf("%s: %d APs, want %d", spec.Name, b.NumAPs(), spec.VisibleAPs)
+		}
+		if b.NumRPs() != spec.PathLengthM {
+			t.Errorf("%s: %d RPs, want %d", spec.Name, b.NumRPs(), spec.PathLengthM)
+		}
+	}
+}
+
+func TestPathGranularityIsOneMeter(t *testing.T) {
+	spec, _ := SpecByID(1)
+	b := Build(spec, 1)
+	for i := 1; i < len(b.RPs); i++ {
+		d := b.RPs[i].Distance(b.RPs[i-1])
+		// Consecutive points are 1 m apart along corridors; at serpentine
+		// turns the step is the corridor gap.
+		if d < 0.99 || d > corridorGap+0.01 {
+			t.Fatalf("RP %d→%d distance %.3f m outside [1, %g]", i-1, i, d, corridorGap)
+		}
+	}
+}
+
+func TestErrorMetersSymmetricAndZeroOnDiagonal(t *testing.T) {
+	spec, _ := SpecByID(2)
+	b := Build(spec, 1)
+	if b.ErrorMeters(3, 3) != 0 {
+		t.Fatal("self distance should be 0")
+	}
+	if math.Abs(b.ErrorMeters(0, 10)-b.ErrorMeters(10, 0)) > 1e-12 {
+		t.Fatal("error metric should be symmetric")
+	}
+	if b.ErrorMeters(0, 5) != 5 {
+		t.Fatalf("straight-corridor distance = %g, want 5", b.ErrorMeters(0, 5))
+	}
+}
+
+func TestDistinctRPPositions(t *testing.T) {
+	spec, _ := SpecByID(3) // longest path, exercises multiple serpentine rows
+	b := Build(spec, 1)
+	seen := make(map[[2]float64]bool)
+	for _, p := range b.RPs {
+		key := [2]float64{p.X, p.Y}
+		if seen[key] {
+			t.Fatalf("duplicate RP position %v", p)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,146 @@
+package gbdt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"calloc/internal/mat"
+)
+
+// Config holds boosting hyperparameters.
+type Config struct {
+	// Rounds is the number of boosting iterations (trees per class).
+	Rounds int
+	// LearningRate shrinks each tree's contribution.
+	LearningRate float64
+	// MaxDepth limits tree depth.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf.
+	MinLeaf int
+	// FeatureSubset is the number of candidate features per tree
+	// (0 selects 2·√d).
+	FeatureSubset int
+	// Seed drives feature subsampling.
+	Seed int64
+}
+
+// DefaultConfig returns settings suited to autoencoder codes (tens of
+// features, a few hundred samples).
+func DefaultConfig() Config {
+	return Config{Rounds: 25, LearningRate: 0.3, MaxDepth: 3, MinLeaf: 2, Seed: 1}
+}
+
+// Classifier is a fitted multiclass gradient-boosted tree ensemble.
+type Classifier struct {
+	classes int
+	trees   [][]*tree // [round][class]
+	lr      float64
+	base    []float64 // per-class prior logits
+}
+
+// Fit trains the ensemble with the multiclass softmax objective.
+func Fit(x *mat.Matrix, labels []int, classes int, cfg Config) (*Classifier, error) {
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("gbdt: empty training set")
+	}
+	if x.Rows != len(labels) {
+		return nil, fmt.Errorf("gbdt: %d rows vs %d labels", x.Rows, len(labels))
+	}
+	if cfg.Rounds <= 0 || cfg.LearningRate <= 0 || cfg.MaxDepth <= 0 {
+		return nil, fmt.Errorf("gbdt: Rounds, LearningRate, MaxDepth must be positive: %+v", cfg)
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 1
+	}
+	n, d := x.Rows, x.Cols
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	subset := cfg.FeatureSubset
+	if subset <= 0 {
+		subset = defaultFeatureSubset(d)
+	}
+
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+
+	// Class priors as base logits.
+	base := make([]float64, classes)
+	for _, lab := range labels {
+		base[lab]++
+	}
+	for c := range base {
+		base[c] = math.Log((base[c] + 1) / float64(n+classes))
+	}
+
+	f := mat.New(n, classes) // current logits
+	for i := 0; i < n; i++ {
+		copy(f.Row(i), base)
+	}
+
+	clf := &Classifier{classes: classes, lr: cfg.LearningRate, base: base}
+	probs := mat.New(n, classes)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := 0; i < n; i++ {
+			mat.SoftmaxRow(probs.Row(i), f.Row(i))
+		}
+		roundTrees := make([]*tree, classes)
+		for c := 0; c < classes; c++ {
+			for i := 0; i < n; i++ {
+				p := probs.At(i, c)
+				y := 0.0
+				if labels[i] == c {
+					y = 1
+				}
+				grad[i] = y - p
+				hess[i] = p * (1 - p)
+			}
+			b := &treeBuilder{
+				x: rows, grad: grad, hess: hess,
+				maxDepth: cfg.MaxDepth, minLeaf: cfg.MinLeaf,
+				features: sampleFeatures(d, subset, rng),
+			}
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			t := b.build(idx)
+			roundTrees[c] = t
+			for i := 0; i < n; i++ {
+				f.Data[i*classes+c] += cfg.LearningRate * t.predict(rows[i])
+			}
+		}
+		clf.trees = append(clf.trees, roundTrees)
+	}
+	return clf, nil
+}
+
+// Logits returns the raw per-class scores for every row of q.
+func (c *Classifier) Logits(q *mat.Matrix) *mat.Matrix {
+	out := mat.New(q.Rows, c.classes)
+	for i := 0; i < q.Rows; i++ {
+		row := q.Row(i)
+		orow := out.Row(i)
+		copy(orow, c.base)
+		for _, round := range c.trees {
+			for cl, t := range round {
+				orow[cl] += c.lr * t.predict(row)
+			}
+		}
+	}
+	return out
+}
+
+// Predict returns the argmax class per query row.
+func (c *Classifier) Predict(q *mat.Matrix) []int {
+	logits := c.Logits(q)
+	out := make([]int, q.Rows)
+	for i := range out {
+		out[i] = mat.ArgMax(logits.Row(i))
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package gbdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"calloc/internal/mat"
+)
+
+func blobs(rng *rand.Rand, n, classes, dim int) (*mat.Matrix, []int) {
+	x := mat.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		for j := 0; j < dim; j++ {
+			x.Set(i, j, float64(c)*0.5+rng.NormFloat64()*0.1)
+		}
+	}
+	return x, labels
+}
+
+func accuracy(preds, labels []int) float64 {
+	var correct int
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(mat.New(0, 2), nil, 2, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := Fit(mat.New(3, 2), []int{0}, 2, DefaultConfig()); err == nil {
+		t.Fatal("expected error for label mismatch")
+	}
+	bad := DefaultConfig()
+	bad.Rounds = 0
+	if _, err := Fit(mat.New(3, 2), []int{0, 1, 0}, 2, bad); err == nil {
+		t.Fatal("expected error for zero rounds")
+	}
+}
+
+func TestLearnsSeparableBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := blobs(rng, 120, 4, 6)
+	clf, err := Fit(x, labels, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(clf.Predict(x), labels); acc < 0.95 {
+		t.Fatalf("training accuracy %.3f, want ≥0.95", acc)
+	}
+}
+
+func TestLearnsNonAxisAlignedXOR(t *testing.T) {
+	// XOR-style labels require depth ≥ 2 splits — a single stump cannot fit.
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	x := mat.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		if (a > 0.5) != (b > 0.5) {
+			labels[i] = 1
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Rounds = 40
+	clf, err := Fit(x, labels, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(clf.Predict(x), labels); acc < 0.9 {
+		t.Fatalf("XOR accuracy %.3f, want ≥0.9", acc)
+	}
+}
+
+func TestMoreRoundsDoNotHurtTrainingFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, labels := blobs(rng, 100, 3, 4)
+	short := DefaultConfig()
+	short.Rounds = 2
+	long := DefaultConfig()
+	long.Rounds = 30
+	a, err := Fit(x, labels, 3, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(x, labels, 3, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accuracy(b.Predict(x), labels) < accuracy(a.Predict(x), labels)-1e-9 {
+		t.Fatal("more boosting rounds reduced training accuracy")
+	}
+}
+
+func TestLogitsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, labels := blobs(rng, 30, 3, 4)
+	clf, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := clf.Logits(mat.New(7, 4))
+	if lg.Rows != 7 || lg.Cols != 3 {
+		t.Fatalf("logits %dx%d, want 7x3", lg.Rows, lg.Cols)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, labels := blobs(rng, 60, 3, 5)
+	a, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mat.New(10, 5)
+	for i := range q.Data {
+		q.Data[i] = rng.Float64()
+	}
+	pa, pb := a.Predict(q), b.Predict(q)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed should give identical models")
+		}
+	}
+}
+
+func TestImbalancedPriors(t *testing.T) {
+	// 90/10 imbalance: the base logits should start near the prior and the
+	// trees should still recover the minority class on separable data.
+	rng := rand.New(rand.NewSource(6))
+	n := 100
+	x := mat.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := 0
+		if i%10 == 0 {
+			c = 1
+		}
+		labels[i] = c
+		x.Set(i, 0, float64(c)+rng.NormFloat64()*0.05)
+		x.Set(i, 1, float64(c)+rng.NormFloat64()*0.05)
+	}
+	clf, err := Fit(x, labels, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(clf.Predict(x), labels); acc < 0.98 {
+		t.Fatalf("imbalanced accuracy %.3f, want ≥0.98", acc)
+	}
+}
+
+func TestSampleFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	all := sampleFeatures(5, 0, rng)
+	if len(all) != 5 {
+		t.Fatalf("want all 5 features, got %d", len(all))
+	}
+	sub := sampleFeatures(10, 3, rng)
+	if len(sub) != 3 {
+		t.Fatalf("want 3 features, got %d", len(sub))
+	}
+	seen := map[int]bool{}
+	for _, f := range sub {
+		if f < 0 || f >= 10 || seen[f] {
+			t.Fatalf("bad feature subset %v", sub)
+		}
+		seen[f] = true
+	}
+}

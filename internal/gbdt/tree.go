@@ -1,0 +1,173 @@
+// Package gbdt implements gradient-boosted CART regression trees with a
+// multiclass softmax objective — the classifier head of the SANGRIA baseline
+// [19], which stacks a gradient-boosted tree ensemble on autoencoder codes.
+// Trees are grown greedily on squared-error reduction with optional feature
+// subsampling; leaves take Newton steps on the softmax residuals.
+package gbdt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a regression tree stored in a flat slice.
+type treeNode struct {
+	feature   int     // split feature, −1 for leaf
+	threshold float64 // go left if x[feature] ≤ threshold
+	left      int     // child indexes
+	right     int
+	value     float64 // leaf output
+}
+
+// tree is a fitted regression tree.
+type tree struct {
+	nodes []treeNode
+}
+
+// predict returns the leaf value for one sample.
+func (t *tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// treeBuilder grows a tree on gradient/hessian targets.
+type treeBuilder struct {
+	x        [][]float64 // column-major feature access: x[row] = features
+	grad     []float64   // first-order residuals (negative gradients)
+	hess     []float64   // second-order terms
+	maxDepth int
+	minLeaf  int
+	features []int // candidate features for this tree
+}
+
+// build grows the tree on the given sample indexes and returns it.
+func (b *treeBuilder) build(idx []int) *tree {
+	t := &tree{}
+	b.grow(t, idx, 0)
+	return t
+}
+
+// grow appends the subtree for idx and returns its node index.
+func (b *treeBuilder) grow(t *tree, idx []int, depth int) int {
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{feature: -1})
+
+	if depth >= b.maxDepth || len(idx) < 2*b.minLeaf {
+		t.nodes[self].value = b.leafValue(idx)
+		return self
+	}
+	feat, thr, ok := b.bestSplit(idx)
+	if !ok {
+		t.nodes[self].value = b.leafValue(idx)
+		return self
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.minLeaf || len(right) < b.minLeaf {
+		t.nodes[self].value = b.leafValue(idx)
+		return self
+	}
+	t.nodes[self].feature = feat
+	t.nodes[self].threshold = thr
+	t.nodes[self].left = b.grow(t, left, depth+1)
+	t.nodes[self].right = b.grow(t, right, depth+1)
+	return self
+}
+
+// leafValue takes one Newton step: Σg / (Σh + ε), clamped for stability.
+func (b *treeBuilder) leafValue(idx []int) float64 {
+	var g, h float64
+	for _, i := range idx {
+		g += b.grad[i]
+		h += b.hess[i]
+	}
+	v := g / (h + 1e-9)
+	const clip = 4.0
+	if v > clip {
+		return clip
+	}
+	if v < -clip {
+		return -clip
+	}
+	return v
+}
+
+// bestSplit searches candidate features for the split maximising the
+// variance-reduction gain of the gradient targets.
+func (b *treeBuilder) bestSplit(idx []int) (feat int, thr float64, ok bool) {
+	var totalG float64
+	for _, i := range idx {
+		totalG += b.grad[i]
+	}
+	n := float64(len(idx))
+	baseScore := totalG * totalG / n
+
+	bestGain := 1e-12
+	type pair struct{ v, g float64 }
+	pairs := make([]pair, 0, len(idx))
+	for _, f := range b.features {
+		pairs = pairs[:0]
+		for _, i := range idx {
+			pairs = append(pairs, pair{b.x[i][f], b.grad[i]})
+		}
+		sort.Slice(pairs, func(a, c int) bool { return pairs[a].v < pairs[c].v })
+		var leftG float64
+		for k := 0; k < len(pairs)-1; k++ {
+			leftG += pairs[k].g
+			if pairs[k].v == pairs[k+1].v {
+				continue // no threshold between equal values
+			}
+			nl, nr := float64(k+1), n-float64(k+1)
+			if int(nl) < b.minLeaf || int(nr) < b.minLeaf {
+				continue
+			}
+			rightG := totalG - leftG
+			gain := leftG*leftG/nl + rightG*rightG/nr - baseScore
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = (pairs[k].v + pairs[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// sampleFeatures picks a random subset of features for one tree.
+func sampleFeatures(total, want int, rng *rand.Rand) []int {
+	if want <= 0 || want >= total {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	return rng.Perm(total)[:want]
+}
+
+// defaultFeatureSubset mirrors the √d heuristic of random-forest practice.
+func defaultFeatureSubset(d int) int {
+	s := int(math.Ceil(math.Sqrt(float64(d)))) * 2
+	if s > d {
+		return d
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+// Package gp implements a Gaussian-process classifier with an RBF kernel:
+// one-vs-rest GP regression onto ±1 targets with a softmax readout, solved
+// exactly via Cholesky factorisation. It serves two roles in the paper's
+// evaluation: the standalone GPC baseline of Fig 1 [14] and the classifier
+// head of the WiDeep framework (denoising autoencoder + GPC).
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"calloc/internal/mat"
+)
+
+// Config holds GP hyperparameters.
+type Config struct {
+	// LengthScale is the RBF kernel's ℓ: k(a,b) = exp(−‖a−b‖²/(2ℓ²)).
+	LengthScale float64
+	// Noise is the diagonal observation-noise variance σ².
+	Noise float64
+}
+
+// DefaultConfig returns hyperparameters that work well for normalised RSS
+// fingerprints (features in [0,1], a few hundred training points).
+func DefaultConfig() Config { return Config{LengthScale: 0.5, Noise: 0.01} }
+
+// Classifier is a fitted one-vs-rest GP classifier.
+type Classifier struct {
+	cfg     Config
+	x       *mat.Matrix // training inputs
+	alpha   *mat.Matrix // K⁻¹·Y, one column per class
+	classes int
+}
+
+// Fit trains the classifier on x (n×d) with integer labels in [0, classes).
+func Fit(x *mat.Matrix, labels []int, classes int, cfg Config) (*Classifier, error) {
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("gp: empty training set")
+	}
+	if x.Rows != len(labels) {
+		return nil, fmt.Errorf("gp: %d rows vs %d labels", x.Rows, len(labels))
+	}
+	if cfg.LengthScale <= 0 || cfg.Noise <= 0 {
+		return nil, fmt.Errorf("gp: LengthScale and Noise must be positive, got %+v", cfg)
+	}
+	n := x.Rows
+	k := kernelMatrix(x, x, cfg.LengthScale)
+	for i := 0; i < n; i++ {
+		k.Data[i*n+i] += cfg.Noise
+	}
+	l, err := mat.Cholesky(k)
+	if err != nil {
+		// Retry with jitter: kernel matrices of near-duplicate fingerprints
+		// are frequently near-singular.
+		for i := 0; i < n; i++ {
+			k.Data[i*n+i] += 1e-6
+		}
+		l, err = mat.Cholesky(k)
+		if err != nil {
+			return nil, fmt.Errorf("gp: kernel matrix not positive definite: %w", err)
+		}
+	}
+
+	alpha := mat.New(n, classes)
+	y := make([]float64, n)
+	for c := 0; c < classes; c++ {
+		for i, lab := range labels {
+			if lab == c {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		col := mat.SolveCholesky(l, y)
+		for i, v := range col {
+			alpha.Set(i, c, v)
+		}
+	}
+	return &Classifier{cfg: cfg, x: x.Clone(), alpha: alpha, classes: classes}, nil
+}
+
+// Scores returns the per-class latent scores k(q, X)·α for every row of q.
+func (c *Classifier) Scores(q *mat.Matrix) *mat.Matrix {
+	kq := kernelMatrix(q, c.x, c.cfg.LengthScale) // q.Rows × n
+	return mat.Mul(kq, c.alpha)
+}
+
+// Predict returns the argmax class per query row.
+func (c *Classifier) Predict(q *mat.Matrix) []int {
+	scores := c.Scores(q)
+	out := make([]int, q.Rows)
+	for i := range out {
+		out[i] = mat.ArgMax(scores.Row(i))
+	}
+	return out
+}
+
+// Probabilities returns softmax-normalised class probabilities.
+func (c *Classifier) Probabilities(q *mat.Matrix) *mat.Matrix {
+	return mat.Softmax(c.Scores(q))
+}
+
+// InputGradient returns ∂CE(softmax(scores), labels)/∂q for every query row —
+// the closed-form white-box gradient of the GP classifier. The RBF kernel is
+// smooth: ∂k(q,x_j)/∂q = k(q,x_j)·(x_j−q)/ℓ², so
+// ∂CE/∂q = Σ_j k(q,x_j)·(x_j−q)/ℓ² · Σ_c (p_c − y_c)·α_jc.
+// This is what makes GP-based localizers fully attackable under the paper's
+// white-box threat model even though they are not neural networks.
+func (c *Classifier) InputGradient(q *mat.Matrix, labels []int) *mat.Matrix {
+	kq := kernelMatrix(q, c.x, c.cfg.LengthScale) // B×n
+	scores := mat.Mul(kq, c.alpha)                // B×C
+	probs := mat.Softmax(scores)
+	invL2 := 1 / (c.cfg.LengthScale * c.cfg.LengthScale)
+	out := mat.New(q.Rows, q.Cols)
+	for i := 0; i < q.Rows; i++ {
+		prow := probs.Row(i)
+		// dscore_c = p_c − onehot_c (mean CE over the batch is a constant
+		// factor the attacker's sign step ignores).
+		dscore := make([]float64, c.classes)
+		copy(dscore, prow)
+		dscore[labels[i]]--
+		qrow := q.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < c.x.Rows; j++ {
+			// weight_j = k(q, x_j) · Σ_c dscore_c · α_jc
+			var w float64
+			arow := c.alpha.Row(j)
+			for cl, ds := range dscore {
+				w += ds * arow[cl]
+			}
+			w *= kq.At(i, j) * invL2
+			if w == 0 {
+				continue
+			}
+			xrow := c.x.Row(j)
+			for d := range orow {
+				orow[d] += w * (xrow[d] - qrow[d])
+			}
+		}
+	}
+	return out
+}
+
+// kernelMatrix computes the RBF Gram matrix between the rows of a and b.
+func kernelMatrix(a, b *mat.Matrix, ell float64) *mat.Matrix {
+	out := mat.New(a.Rows, b.Rows)
+	inv := 1 / (2 * ell * ell)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var d2 float64
+			for k, av := range arow {
+				d := av - brow[k]
+				d2 += d * d
+			}
+			orow[j] = math.Exp(-d2 * inv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"calloc/internal/mat"
+)
+
+func blobs(rng *rand.Rand, n, classes int) (*mat.Matrix, []int) {
+	x := mat.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels[i] = c
+		x.Set(i, 0, float64(c)+rng.NormFloat64()*0.1)
+		x.Set(i, 1, float64(c)*0.5+rng.NormFloat64()*0.1)
+	}
+	return x, labels
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(mat.New(0, 2), nil, 2, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+	if _, err := Fit(mat.New(2, 2), []int{0}, 2, DefaultConfig()); err == nil {
+		t.Fatal("expected error for label mismatch")
+	}
+	bad := DefaultConfig()
+	bad.LengthScale = 0
+	if _, err := Fit(mat.New(2, 2), []int{0, 1}, 2, bad); err == nil {
+		t.Fatal("expected error for zero length scale")
+	}
+}
+
+func TestClassifiesSeparableBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := blobs(rng, 60, 3)
+	c, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := c.Predict(x)
+	var correct int
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(preds)); acc < 0.95 {
+		t.Fatalf("training accuracy %.3f, want ≥0.95", acc)
+	}
+}
+
+func TestGeneralizesToNearbyPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, labels := blobs(rng, 90, 3)
+	c, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mat.FromRows([][]float64{{0, 0}, {1, 0.5}, {2, 1}})
+	preds := c.Predict(q)
+	for i, p := range preds {
+		if p != i {
+			t.Fatalf("query %d: predicted %d", i, p)
+		}
+	}
+	_ = labels
+}
+
+func TestProbabilitiesAreDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, labels := blobs(rng, 30, 3)
+	c, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := c.Probabilities(x)
+	for i := 0; i < probs.Rows; i++ {
+		var sum float64
+		for _, v := range probs.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %g outside [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestHandlesDuplicateInputs(t *testing.T) {
+	// Exact duplicates make the kernel matrix singular without noise/jitter.
+	x := mat.FromRows([][]float64{{1, 1}, {1, 1}, {2, 2}, {2, 2}})
+	c, err := Fit(x, []int{0, 0, 1, 1}, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Predict(mat.FromRows([][]float64{{1.05, 0.95}}))[0]; p != 0 {
+		t.Fatalf("duplicate-input GP predicted %d, want 0", p)
+	}
+}
+
+func TestScoresShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, labels := blobs(rng, 20, 4)
+	c, err := Fit(x, labels, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Scores(mat.New(5, 2))
+	if s.Rows != 5 || s.Cols != 4 {
+		t.Fatalf("scores %dx%d, want 5x4", s.Rows, s.Cols)
+	}
+}
+
+// TestNoiseSensitivity documents the property the CALLOC paper exploits in
+// §V.D: GP classification accuracy degrades quickly as input noise grows.
+func TestNoiseSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, labels := blobs(rng, 90, 3)
+	c, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := func(noise float64) float64 {
+		q := x.Clone()
+		for i := range q.Data {
+			q.Data[i] += rng.NormFloat64() * noise
+		}
+		preds := c.Predict(q)
+		var correct int
+		for i, p := range preds {
+			if p == labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(preds))
+	}
+	clean, noisy := acc(0), acc(1.0)
+	if noisy >= clean {
+		t.Fatalf("accuracy should degrade with noise: clean %.3f vs noisy %.3f", clean, noisy)
+	}
+}
+
+// TestInputGradientMatchesFiniteDifference verifies the closed-form white-box
+// gradient of the GP classifier against central differences of the
+// cross-entropy loss.
+func TestInputGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, labels := blobs(rng, 30, 3)
+	c, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mat.FromRows([][]float64{{0.4, 0.1}, {1.6, 0.7}})
+	ql := []int{0, 2}
+	grad := c.InputGradient(q, ql)
+
+	loss := func() float64 {
+		probs := c.Probabilities(q)
+		var l float64
+		for i, y := range ql {
+			l += -math.Log(probs.At(i, y) + 1e-300)
+		}
+		return l
+	}
+	const h = 1e-6
+	for _, idx := range []int{0, 1, 2, 3} {
+		orig := q.Data[idx]
+		q.Data[idx] = orig + h
+		lp := loss()
+		q.Data[idx] = orig - h
+		lm := loss()
+		q.Data[idx] = orig
+		numeric := (lp - lm) / (2 * h)
+		diff := math.Abs(numeric - grad.Data[idx])
+		scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(grad.Data[idx])))
+		if diff/scale > 1e-4 {
+			t.Errorf("grad[%d]: analytic %.8f vs numeric %.8f", idx, grad.Data[idx], numeric)
+		}
+	}
+}
+
+// TestWhiteBoxAttackHurtsGP: an FGSM-style step along the gradient must
+// increase the GP's error on its own training data.
+func TestWhiteBoxAttackHurtsGP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, labels := blobs(rng, 90, 3)
+	c, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := c.InputGradient(x, labels)
+	adv := x.Clone()
+	for i := range adv.Data {
+		if grad.Data[i] > 0 {
+			adv.Data[i] += 0.5
+		} else if grad.Data[i] < 0 {
+			adv.Data[i] -= 0.5
+		}
+	}
+	cleanAcc, advAcc := 0, 0
+	cp, ap := c.Predict(x), c.Predict(adv)
+	for i := range labels {
+		if cp[i] == labels[i] {
+			cleanAcc++
+		}
+		if ap[i] == labels[i] {
+			advAcc++
+		}
+	}
+	if advAcc >= cleanAcc {
+		t.Fatalf("white-box step did not hurt GP: clean %d vs adv %d", cleanAcc, advAcc)
+	}
+}

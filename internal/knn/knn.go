@@ -1,0 +1,127 @@
+// Package knn implements the k-nearest-neighbour RSS fingerprint classifier
+// used as a classical baseline in the paper's Fig 1 (Ferreira et al. [13]):
+// Euclidean distance in normalised RSS space with majority vote over the k
+// closest offline fingerprints.
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"calloc/internal/mat"
+)
+
+// Classifier is a fitted KNN model.
+type Classifier struct {
+	K      int
+	x      *mat.Matrix
+	labels []int
+}
+
+// New fits (stores) the training set. k ≤ 0 selects the conventional k=3.
+func New(x *mat.Matrix, labels []int, k int) (*Classifier, error) {
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("knn: empty training set")
+	}
+	if x.Rows != len(labels) {
+		return nil, fmt.Errorf("knn: %d rows vs %d labels", x.Rows, len(labels))
+	}
+	if k <= 0 {
+		k = 3
+	}
+	if k > x.Rows {
+		k = x.Rows
+	}
+	return &Classifier{K: k, x: x.Clone(), labels: append([]int(nil), labels...)}, nil
+}
+
+// InputGradient returns the white-box gradient of a differentiable
+// relaxation of KNN: class scores are a softmin-weighted vote over the
+// stored fingerprints, s_j = softmax(−‖q−x_j‖²/T) with T the mean squared
+// neighbour distance, and the returned value is ∂CE(vote, label)/∂q. Attacks
+// crafted on the relaxation transfer to the hard classifier because both
+// share the same distance field — the standard way to attack
+// nearest-neighbour models under a white-box threat model.
+func (c *Classifier) InputGradient(q *mat.Matrix, labels []int) *mat.Matrix {
+	classes := 0
+	for _, l := range c.labels {
+		if l+1 > classes {
+			classes = l + 1
+		}
+	}
+	out := mat.New(q.Rows, q.Cols)
+	n := c.x.Rows
+	d2 := make([]float64, n)
+	s := make([]float64, n)
+	for i := 0; i < q.Rows; i++ {
+		qrow := q.Row(i)
+		var meanD2 float64
+		for j := 0; j < n; j++ {
+			dd := mat.EuclideanDistance(qrow, c.x.Row(j))
+			d2[j] = dd * dd
+			meanD2 += d2[j]
+		}
+		temp := meanD2 / float64(n)
+		if temp <= 0 {
+			temp = 1
+		}
+		for j := 0; j < n; j++ {
+			s[j] = -d2[j] / temp
+		}
+		mat.SoftmaxRow(s, s)
+		// vote_c = Σ_j s_j [y_j = c]; dvote = p − onehot with p = vote
+		// (the vote is already a distribution).
+		dvote := make([]float64, classes)
+		for j := 0; j < n; j++ {
+			dvote[c.labels[j]] += s[j]
+		}
+		dvote[labels[i]]--
+		// ds_j = dvote_{y_j}; dz_j = s_j(ds_j − Σ_k ds_k s_k); dq += dz_j · ∂(−d²/T)/∂q.
+		var dot float64
+		for j := 0; j < n; j++ {
+			dot += dvote[c.labels[j]] * s[j]
+		}
+		orow := out.Row(i)
+		for j := 0; j < n; j++ {
+			dz := s[j] * (dvote[c.labels[j]] - dot)
+			if dz == 0 {
+				continue
+			}
+			scale := -2 * dz / temp
+			xrow := c.x.Row(j)
+			for dIdx := range orow {
+				orow[dIdx] += scale * (qrow[dIdx] - xrow[dIdx])
+			}
+		}
+	}
+	return out
+}
+
+// Predict returns the majority label among the k nearest neighbours of each
+// row of q. Ties break toward the nearer neighbour's label.
+func (c *Classifier) Predict(q *mat.Matrix) []int {
+	out := make([]int, q.Rows)
+	type cand struct {
+		d     float64
+		label int
+	}
+	for i := 0; i < q.Rows; i++ {
+		row := q.Row(i)
+		cands := make([]cand, c.x.Rows)
+		for j := 0; j < c.x.Rows; j++ {
+			cands[j] = cand{mat.EuclideanDistance(row, c.x.Row(j)), c.labels[j]}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		votes := make(map[int]int)
+		bestLabel, bestVotes := cands[0].label, 0
+		for _, cd := range cands[:c.K] {
+			votes[cd.label]++
+			if votes[cd.label] > bestVotes {
+				bestVotes = votes[cd.label]
+				bestLabel = cd.label
+			}
+		}
+		out[i] = bestLabel
+	}
+	return out
+}

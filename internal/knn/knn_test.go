@@ -1,0 +1,132 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"calloc/internal/mat"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(mat.New(0, 3), nil, 3); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+	if _, err := New(mat.New(2, 3), []int{0}, 3); err == nil {
+		t.Fatal("expected error for label count mismatch")
+	}
+}
+
+func TestKDefaults(t *testing.T) {
+	x := mat.FromRows([][]float64{{0}, {1}})
+	c, err := New(x, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 2 { // default 3 clamped to n=2
+		t.Fatalf("K = %d, want 2", c.K)
+	}
+}
+
+func TestNearestNeighborExact(t *testing.T) {
+	x := mat.FromRows([][]float64{{0, 0}, {1, 1}, {5, 5}})
+	c, err := New(x, []int{0, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := c.Predict(mat.FromRows([][]float64{{0.1, 0.1}, {4.8, 5.2}}))
+	if preds[0] != 0 || preds[1] != 2 {
+		t.Fatalf("preds = %v, want [0 2]", preds)
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	// Two class-1 points near the query beat one closer class-0 point.
+	x := mat.FromRows([][]float64{{0}, {0.3}, {0.35}})
+	c, err := New(x, []int{0, 1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := c.Predict(mat.FromRows([][]float64{{0.1}}))[0]; p != 1 {
+		t.Fatalf("majority vote gave %d, want 1", p)
+	}
+}
+
+func TestTrainingSetMemorized(t *testing.T) {
+	// k=1 must perfectly classify its own training points.
+	rng := rand.New(rand.NewSource(1))
+	x := mat.New(30, 4)
+	labels := make([]int, 30)
+	for i := 0; i < 30; i++ {
+		labels[i] = i % 3
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, rng.Float64())
+		}
+	}
+	c, err := New(x, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := c.Predict(x)
+	for i, p := range preds {
+		if p != labels[i] {
+			t.Fatalf("sample %d: predicted %d, want %d", i, p, labels[i])
+		}
+	}
+}
+
+func TestFitDataIsCopied(t *testing.T) {
+	x := mat.FromRows([][]float64{{0}, {10}})
+	c, err := New(x, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Set(0, 0, 999) // mutate caller's data
+	if p := c.Predict(mat.FromRows([][]float64{{0.1}}))[0]; p != 0 {
+		t.Fatal("classifier shares storage with caller")
+	}
+}
+
+// TestInputGradientAttacksKNN: perturbing along the softmin-relaxation
+// gradient must degrade the hard KNN classifier.
+func TestInputGradientAttacksKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 60
+	x := mat.New(n, 4)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, float64(c)*0.4+rng.NormFloat64()*0.05)
+		}
+	}
+	clf, err := New(x, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := clf.InputGradient(x, labels)
+	if grad.Rows != n || grad.Cols != 4 {
+		t.Fatalf("gradient %dx%d", grad.Rows, grad.Cols)
+	}
+	adv := x.Clone()
+	for i := range adv.Data {
+		if grad.Data[i] > 0 {
+			adv.Data[i] += 0.3
+		} else if grad.Data[i] < 0 {
+			adv.Data[i] -= 0.3
+		}
+	}
+	clean, attacked := 0, 0
+	cp, ap := clf.Predict(x), clf.Predict(adv)
+	for i := range labels {
+		if cp[i] == labels[i] {
+			clean++
+		}
+		if ap[i] == labels[i] {
+			attacked++
+		}
+	}
+	if attacked >= clean {
+		t.Fatalf("softmin gradient attack failed: clean %d vs attacked %d", clean, attacked)
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters in place from their accumulated gradients and
+// clears the gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param][]float64
+}
+
+// NewSGD creates an SGD optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param][]float64)}
+}
+
+// Step applies one SGD update: v ← μv − η·g; w ← w + v.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := s.velocity[p]
+		if !ok {
+			v = make([]float64, len(p.W.Data))
+			s.velocity[p] = v
+		}
+		for i := range p.W.Data {
+			v[i] = s.Momentum*v[i] - s.LR*p.G.Data[i]
+			p.W.Data[i] += v[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam creates an Adam optimizer with standard β₁=0.9, β₂=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64),
+	}
+}
+
+// Step applies one Adam update with bias-corrected moments.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W.Data))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.W.Data))
+		}
+		v := a.v[p]
+		for i := range p.W.Data {
+			g := p.G.Data[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p.W.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradients scales all gradients down so that their global L2 norm does
+// not exceed maxNorm. Returns the pre-clip norm.
+func ClipGradients(params []*Param, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.G.Data {
+				p.G.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,129 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testModel = PropagationModel{
+	PathLossExponent: 3.0, RefLoss: 40, ShadowSigma: 4, FadingSigma: 2,
+}
+
+func TestMeanRSSMonotoneInDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d1 := 1 + r.Float64()*50
+		d2 := d1 + 1 + r.Float64()*20
+		return testModel.MeanRSS(20, d1) >= testModel.MeanRSS(20, d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanRSSSaturatesInsideReferenceDistance(t *testing.T) {
+	if got, want := testModel.MeanRSS(20, 0.1), testModel.MeanRSS(20, 1); got != want {
+		t.Fatalf("RSS at 0.1m = %g, want saturation at %g", got, want)
+	}
+}
+
+func TestMeanRSSKnownValue(t *testing.T) {
+	// P=20, PL0=40, n=3, d=10 → 20−40−30 = −50 dBm.
+	if got := testModel.MeanRSS(20, 10); math.Abs(got-(-50)) > 1e-12 {
+		t.Fatalf("MeanRSS = %g, want -50", got)
+	}
+}
+
+func TestMeanRSSClampsToFloor(t *testing.T) {
+	if got := testModel.MeanRSS(0, 1e6); got != RSSFloor {
+		t.Fatalf("far-field RSS = %g, want floor %g", got, RSSFloor)
+	}
+}
+
+func TestSampleRSSWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ap := NewAP(0, Point{0, 0}, 20, 6)
+	for i := 0; i < 1000; i++ {
+		v := testModel.SampleRSS(ap, Point{5, 5}, 0, rng)
+		if v < RSSFloor || v > RSSCeiling {
+			t.Fatalf("sample %g outside [%g,%g]", v, RSSFloor, RSSCeiling)
+		}
+	}
+}
+
+func TestShadowFieldIsStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := NewShadowField(3, 4, 4, rng)
+	a := f.Offset(1, 2)
+	b := f.Offset(1, 2)
+	if a != b {
+		t.Fatal("shadow offset changed between reads")
+	}
+}
+
+func TestShadowFieldSigma(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := NewShadowField(100, 100, 4, rng)
+	var sum, sq float64
+	n := 0
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 100; j++ {
+			v := f.Offset(i, j)
+			sum += v
+			sq += v * v
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sq/float64(n) - mean*mean)
+	if math.Abs(std-4) > 0.2 {
+		t.Fatalf("shadow std %.3f, want ≈4", std)
+	}
+}
+
+func TestNormalizeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dbm := RSSFloor + r.Float64()*(RSSCeiling-RSSFloor)
+		n := Normalize(dbm)
+		if n < 0 || n > 1 {
+			return false
+		}
+		return math.Abs(Denormalize(n)-dbm) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeEndpoints(t *testing.T) {
+	if Normalize(RSSFloor) != 0 {
+		t.Fatal("floor should normalise to 0")
+	}
+	if Normalize(RSSCeiling) != 1 {
+		t.Fatal("ceiling should normalise to 1")
+	}
+	if Normalize(-200) != 0 {
+		t.Fatal("below-floor values should clamp to 0")
+	}
+}
+
+func TestPointDistance(t *testing.T) {
+	if d := (Point{0, 0}).Distance(Point{3, 4}); d != 5 {
+		t.Fatalf("distance = %g, want 5", d)
+	}
+}
+
+func TestNewAPMACDeterministic(t *testing.T) {
+	a := NewAP(258, Point{}, 20, 1)
+	b := NewAP(258, Point{}, 20, 1)
+	if a.MAC != b.MAC || a.MAC == "" {
+		t.Fatalf("MACs %q vs %q", a.MAC, b.MAC)
+	}
+	c := NewAP(259, Point{}, 20, 1)
+	if c.MAC == a.MAC {
+		t.Fatal("different APs share a MAC")
+	}
+}
