@@ -384,6 +384,113 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// randDense builds an r×c matrix of standard normals.
+func randDense(rng *rand.Rand, r, c int) *mat.Matrix {
+	m := mat.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// matShapes are representative CALLOC products: batch × AP-count × embedding
+// (the embedding layers at paper dimensions), batch × embed × d_k (the
+// attention projections), memory × d_k scores, and the 256³ reference shape
+// the parallel-speedup acceptance criterion is stated at.
+var matShapes = []struct {
+	name    string
+	m, k, n int
+}{
+	{"embed_256x165x128", 256, 165, 128},
+	{"attnproj_256x128x74", 256, 128, 74},
+	{"scores_256x74x512", 256, 74, 512},
+	{"square_256x256x256", 256, 256, 256},
+}
+
+// benchProducts measures one product kernel sequentially and in parallel at
+// every representative shape, with allocation counts.
+func benchProducts(b *testing.B, mul func(x, y *mat.Matrix) *mat.Matrix, transposeB bool) {
+	for _, sh := range matShapes {
+		rng := rand.New(rand.NewSource(2))
+		x := randDense(rng, sh.m, sh.k)
+		y := randDense(rng, sh.k, sh.n)
+		if transposeB {
+			y = randDense(rng, sh.n, sh.k)
+		}
+		for _, par := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(sh.name+"/"+par.name, func(b *testing.B) {
+				prev := mat.SetParallelism(par.workers)
+				defer mat.SetParallelism(prev)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mul(x, y)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMatMulShapes: x·y at CALLOC shapes, sequential vs parallel.
+func BenchmarkMatMulShapes(b *testing.B) { benchProducts(b, mat.Mul, false) }
+
+// BenchmarkMatMulTShapes: x·yᵀ (attention scores), sequential vs parallel.
+func BenchmarkMatMulTShapes(b *testing.B) { benchProducts(b, mat.MulT, true) }
+
+// BenchmarkMatTMulShapes: xᵀ·y (weight gradients), sequential vs parallel.
+// TMul contracts over rows, so the operands are built k×m · k×n directly.
+func BenchmarkMatTMulShapes(b *testing.B) {
+	for _, sh := range matShapes {
+		rng := rand.New(rand.NewSource(2))
+		x := randDense(rng, sh.k, sh.m)
+		y := randDense(rng, sh.k, sh.n)
+		for _, par := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(sh.name+"/"+par.name, func(b *testing.B) {
+				prev := mat.SetParallelism(par.workers)
+				defer mat.SetParallelism(prev)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mat.TMul(x, y)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures batched localization throughput — the
+// serving-path figure — sequentially and with the row-sharded concurrent
+// predictor.
+func BenchmarkPredictBatch(b *testing.B) {
+	m, ds := trainedBenchModel(b)
+	var samples []fingerprint.Sample
+	for _, dev := range []string{"OP3", "S7", "MOTO"} {
+		samples = append(samples, ds.Test[dev]...)
+	}
+	x := fingerprint.X(samples)
+	for _, par := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(par.name, func(b *testing.B) {
+			prev := mat.SetParallelism(par.workers)
+			defer mat.SetParallelism(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(x)
+			}
+			b.ReportMetric(float64(x.Rows)*float64(b.N)/b.Elapsed().Seconds(), "fingerprints/s")
+		})
+	}
+}
+
 func seriesMean(s []float64) float64 {
 	if len(s) == 0 {
 		return 0

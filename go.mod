@@ -1,0 +1,3 @@
+module calloc
+
+go 1.24

@@ -424,6 +424,9 @@ func TestTrainRecordsLossHistory(t *testing.T) {
 	ds := testDataset(t)
 	m, _ := NewModel(smallConfig(ds))
 	cfg := quickTrainConfig()
+	if testing.Short() {
+		cfg.EpochsPerLesson = 5 // history shape is iteration-insensitive
+	}
 	res, err := m.Train(ds.Train, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -462,6 +465,9 @@ func TestVerboseCallback(t *testing.T) {
 	ds := testDataset(t)
 	m, _ := NewModel(smallConfig(ds))
 	cfg := quickTrainConfig()
+	if testing.Short() {
+		cfg.EpochsPerLesson = 5 // callback count is per lesson, not per epoch
+	}
 	var lines int
 	cfg.Verbose = func(string, ...any) { lines++ }
 	if _, err := m.Train(ds.Train, cfg); err != nil {
@@ -529,5 +535,46 @@ func TestModelWeightsRoundTrip(t *testing.T) {
 	}
 	if err := other.UnmarshalWeights(blob); err == nil {
 		t.Fatal("expected shape mismatch error")
+	}
+}
+
+// TestPredictBatchMatchesSequential: the row-sharded concurrent predictor
+// must agree exactly with single-shard sequential inference for every batch
+// size, including empty and sub-shard batches.
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	ds := testDataset(t)
+	m, err := NewModel(smallConfig(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetMemory(ds.Train); err != nil {
+		t.Fatal(err)
+	}
+	x := fingerprint.X(ds.Test["OP3"])
+	// Sequential reference: argmax over the caching Logits path.
+	logits := m.Logits(x)
+	want := make([]int, logits.Rows)
+	for i := range want {
+		want[i] = mat.ArgMax(logits.Row(i))
+	}
+	for _, rows := range []int{0, 1, 7, x.Rows} {
+		sub := mat.FromSlice(rows, x.Cols, x.Data[:rows*x.Cols])
+		got := m.PredictBatch(sub)
+		if len(got) != rows {
+			t.Fatalf("rows=%d: got %d predictions", rows, len(got))
+		}
+		for i, p := range got {
+			if p != want[i] {
+				t.Fatalf("rows=%d: prediction %d = %d, want %d", rows, i, p, want[i])
+			}
+		}
+	}
+	// Forcing maximum fan-out must not change results.
+	prev := mat.SetParallelism(8)
+	defer mat.SetParallelism(prev)
+	for i, p := range m.PredictBatch(x) {
+		if p != want[i] {
+			t.Fatalf("parallel prediction %d = %d, want %d", i, p, want[i])
+		}
 	}
 }

@@ -24,6 +24,7 @@ type Model struct {
 	memX    *mat.Matrix // clean fingerprints (M×NumAPs)
 	memV    *mat.Matrix // one-hot RP labels (M×NumRPs)
 	memKeys *mat.Matrix // cached eval-mode EmbedO(memX), refreshed after training
+	memKp   *mat.Matrix // cached key projection memKeys·Wk for batched inference
 
 	rng *rand.Rand
 }
@@ -86,10 +87,13 @@ func (m *Model) MemorySize() int {
 }
 
 // RefreshMemoryKeys recomputes the eval-mode key embeddings of the memory
-// database; call after every weight update that should be visible at
-// inference (the trainer does this automatically).
+// database and their attention projection; call after every weight update
+// that should be visible at inference (the trainer does this
+// automatically). The cache-free Infer pass leaves the training caches of
+// embedO untouched.
 func (m *Model) RefreshMemoryKeys() {
-	m.memKeys = m.embedO.Forward(m.memX, false)
+	m.memKeys = m.embedO.Infer(m.memX)
+	m.memKp = m.attn.ProjectKeys(m.memKeys)
 }
 
 // Params returns every trainable parameter of the model.
@@ -130,13 +134,50 @@ func (m *Model) Logits(x *mat.Matrix) *mat.Matrix {
 	return m.fc.Forward(att, false)
 }
 
-// Predict returns the RP class for every row of x.
-func (m *Model) Predict(x *mat.Matrix) []int {
-	logits := m.Logits(x)
-	out := make([]int, logits.Rows)
-	for i := range out {
-		out[i] = mat.ArgMax(logits.Row(i))
+// logitsInfer runs the inference path without writing any layer caches, so
+// multiple goroutines may evaluate disjoint batches simultaneously. Every
+// layer on the path (Dense, ReLU, dropout/noise at eval, cross-attention)
+// implements nn.Inferencer; the memory-key projection is served from the
+// cache maintained by RefreshMemoryKeys.
+func (m *Model) logitsInfer(x *mat.Matrix) *mat.Matrix {
+	if m.memKeys == nil {
+		panic("core: model has no memory; call SetMemory first")
 	}
+	hc := m.embedC.Infer(x)
+	att := m.attn.InferProjected(hc, m.memKp, m.memV)
+	return m.fc.Infer(att)
+}
+
+// Predict returns the RP class for every row of x. Large batches are
+// evaluated concurrently; see PredictBatch.
+func (m *Model) Predict(x *mat.Matrix) []int { return m.PredictBatch(x) }
+
+// predictShardRows is the minimum number of fingerprints per shard when
+// PredictBatch fans a batch out across goroutines; below 2× this size the
+// batch is evaluated inline.
+const predictShardRows = 16
+
+// PredictBatch evaluates every row of x and returns its RP class,
+// row-sharding the batch across up to mat.Parallelism() worker goroutines
+// via mat.ShardRows (one shared worker budget with the parallel kernels, so
+// batch-level and kernel-level sharding never oversubscribe the scheduler).
+// The inference path is cache-free (nn.Inferencer), the model's weights and
+// memory keys are read-only during evaluation, and each worker owns a
+// disjoint slice of the output, so the fan-out is race-free and the result
+// is identical to sequential evaluation.
+func (m *Model) PredictBatch(x *mat.Matrix) []int {
+	out := make([]int, x.Rows)
+	maxShards := x.Rows / predictShardRows
+	if maxShards < 1 {
+		maxShards = 1 // sub-shard batches stay inline (ShardRows reads ≤0 as uncapped)
+	}
+	mat.ShardRows(x.Rows, maxShards, func(lo, hi int) {
+		shard := mat.FromSlice(hi-lo, x.Cols, x.Data[lo*x.Cols:hi*x.Cols])
+		logits := m.logitsInfer(shard)
+		for i := 0; i < logits.Rows; i++ {
+			out[lo+i] = mat.ArgMax(logits.Row(i))
+		}
+	})
 	return out
 }
 
@@ -192,13 +233,24 @@ func (m *Model) zeroGrads() {
 }
 
 // snapshot and restore support the adaptive curriculum's revert mechanism.
-func (m *Model) snapshot() [][]float64 {
+func (m *Model) snapshot() [][]float64 { return m.snapshotInto(nil) }
+
+// snapshotInto copies the current weights into dst, reusing its backing
+// slices when the shapes line up (the trainer snapshots up to once per
+// epoch, so buffer reuse keeps the hot loop allocation-free). Passing nil
+// allocates a fresh snapshot.
+func (m *Model) snapshotInto(dst [][]float64) [][]float64 {
 	ps := m.Params()
-	out := make([][]float64, len(ps))
-	for i, p := range ps {
-		out[i] = append([]float64(nil), p.W.Data...)
+	if len(dst) != len(ps) {
+		dst = make([][]float64, len(ps))
 	}
-	return out
+	for i, p := range ps {
+		if len(dst[i]) != len(p.W.Data) {
+			dst[i] = make([]float64, len(p.W.Data))
+		}
+		copy(dst[i], p.W.Data)
+	}
+	return dst
 }
 
 func (m *Model) restore(snap [][]float64) {
@@ -243,7 +295,7 @@ func (m *Model) trainStep(xc, xo *mat.Matrix, labels []int) float64 {
 	m.embedO.Backward(dmem) // embedO cache = memX: consistent
 
 	// Query branch: attention gradient plus the λ-weighted MSE pull.
-	dq.AddInPlace(mseGradC.Scale(m.Cfg.HyperspaceLambda))
+	dq.AddScaledInPlace(mseGradC, m.Cfg.HyperspaceLambda)
 	m.embedC.Backward(dq) // embedC cache = xc: consistent
 
 	return ceLoss + m.Cfg.HyperspaceLambda*mseLoss

@@ -123,12 +123,13 @@ func (m *Model) Train(db []fingerprint.Sample, cfg TrainConfig) (TrainResult, er
 	monitor := curriculum.NewMonitor(cfg.Patience)
 
 	var res TrainResult
+	var best [][]float64 // lesson-best weights, backing buffers reused across epochs
 
 	for _, lesson := range lessons {
 		phi := lesson.PhiPercent
 		reverts := 0
 		monitor.ResetLesson()
-		best := m.snapshot() // the lesson's best-performing weights (§IV.D)
+		best = m.snapshotInto(best) // the lesson's best-performing weights (§IV.D)
 		lessonSpec := lesson
 		if lessonSpec.OriginalFraction < cfg.MinOriginalFraction {
 			lessonSpec.OriginalFraction = cfg.MinOriginalFraction
@@ -144,7 +145,7 @@ func (m *Model) Train(db []fingerprint.Sample, cfg TrainConfig) (TrainResult, er
 			sinceBest++
 			switch monitor.Observe(loss) {
 			case curriculum.Snapshot:
-				best = m.snapshot()
+				best = m.snapshotInto(best)
 				sinceBest = 0
 			case curriculum.Revert:
 				// The revert-and-ease mechanism is part of the adaptive

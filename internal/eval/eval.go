@@ -1,6 +1,7 @@
 // Package eval provides the error metrics and plain-text rendering used to
 // regenerate the paper's tables and figures on a terminal: mean/worst-case
-// localization error aggregation and ASCII tables/heatmaps.
+// localization error aggregation and ASCII tables/heatmaps, plus a small
+// fan-out helper for evaluating test points concurrently.
 package eval
 
 import (
@@ -8,7 +9,25 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"calloc/internal/mat"
 )
+
+// ParallelMap evaluates f(i) for every i in [0, n) and returns the results
+// in order, fanning out through mat.ShardRows so the goroutines share the
+// same global worker budget as the parallel kernels (and run inline when
+// that budget is busy, on one core, or for n < 2). f must be safe for
+// concurrent invocation; the experiment drivers use it with pure per-sample
+// metric functions.
+func ParallelMap(n int, f func(i int) float64) []float64 {
+	out := make([]float64, n)
+	mat.ShardRows(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(i)
+		}
+	})
+	return out
+}
 
 // Stats summarises a sample of localization errors in metres.
 type Stats struct {

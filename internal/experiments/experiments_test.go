@@ -8,9 +8,11 @@ import (
 )
 
 // tinyMode is even smaller than QuickMode so the whole figure set runs in a
-// few seconds inside the test suite.
+// few seconds inside the test suite; -short shrinks the training budgets
+// further (the figure assertions are qualitative, so lightly trained models
+// still satisfy them).
 func tinyMode() Mode {
-	return Mode{
+	m := Mode{
 		Name:            "tiny",
 		BuildingIDs:     []int{3},
 		Devices:         []string{"OP3", "MOTO"},
@@ -22,6 +24,11 @@ func tinyMode() Mode {
 		BaselineEpochs:  120,
 		Seed:            1,
 	}
+	if testing.Short() {
+		m.EpochsPerLesson = 6
+		m.BaselineEpochs = 60
+	}
+	return m
 }
 
 func tinySuite(t testing.TB) *Suite {

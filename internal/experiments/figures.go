@@ -83,12 +83,13 @@ func (s *Suite) Fig1() (*Fig1Result, error) {
 			tx := fingerprint.X(samples)
 			tl := fingerprint.Labels(samples)
 			adv := attack.Craft(attack.FGSM, m.grad, tx, tl, cfg)
-			for i, p := range m.predict(tx) {
-				clean = append(clean, ds.ErrorMeters(p, tl[i]))
-			}
-			for i, p := range m.predict(adv) {
-				attacked = append(attacked, ds.ErrorMeters(p, tl[i]))
-			}
+			cleanPreds, advPreds := m.predict(tx), m.predict(adv)
+			clean = append(clean, eval.ParallelMap(len(tl), func(i int) float64 {
+				return ds.ErrorMeters(cleanPreds[i], tl[i])
+			})...)
+			attacked = append(attacked, eval.ParallelMap(len(tl), func(i int) float64 {
+				return ds.ErrorMeters(advPreds[i], tl[i])
+			})...)
 		}
 		cs, as := eval.Summarize(clean), eval.Summarize(attacked)
 		ratio := 0.0

@@ -14,6 +14,7 @@ import (
 	"calloc/internal/baselines"
 	"calloc/internal/core"
 	"calloc/internal/device"
+	"calloc/internal/eval"
 	"calloc/internal/fingerprint"
 	"calloc/internal/floorplan"
 	"calloc/internal/mat"
@@ -339,10 +340,13 @@ func (s *Suite) AttackedErrors(id int, m baselines.Localizer, dev string, method
 	}
 	x := fingerprint.X(samples)
 	labels := fingerprint.Labels(samples)
-	errs := make([]float64, len(labels))
-	for i, p := range m.Predict(x) {
-		errs[i] = ds.ErrorMeters(p, labels[i])
-	}
+	// Predictions stay a single batched call (localizer caches are not safe
+	// for concurrent use); converting them to per-sample metre errors fans
+	// out across cores.
+	preds := m.Predict(x)
+	errs := eval.ParallelMap(len(labels), func(i int) float64 {
+		return ds.ErrorMeters(preds[i], labels[i])
+	})
 	if cfg.PhiPercent <= 0 || cfg.Epsilon <= 0 {
 		return errs, nil
 	}
@@ -352,8 +356,12 @@ func (s *Suite) AttackedErrors(id int, m baselines.Localizer, dev string, method
 	}
 	for _, grad := range grads {
 		adv := attack.Craft(method, grad, x, labels, cfg)
-		for i, p := range m.Predict(adv) {
-			if e := ds.ErrorMeters(p, labels[i]); e > errs[i] {
+		advPreds := m.Predict(adv)
+		advErrs := eval.ParallelMap(len(labels), func(i int) float64 {
+			return ds.ErrorMeters(advPreds[i], labels[i])
+		})
+		for i, e := range advErrs {
+			if e > errs[i] {
 				errs[i] = e
 			}
 		}

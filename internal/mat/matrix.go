@@ -85,69 +85,15 @@ func sameShape(a, b *Matrix, op string) {
 	}
 }
 
-// Mul returns the matrix product a·b.
-func Mul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: Mul inner mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
-}
+// Mul returns the matrix product a·b. Large products are sharded across
+// goroutines; see the parallelism knobs in parallel.go.
+func Mul(a, b *Matrix) *Matrix { return MulInto(nil, a, b) }
 
 // MulT returns a·bᵀ without materialising the transpose.
-func MulT(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MulT inner mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			out.Data[i*out.Cols+j] = s
-		}
-	}
-	return out
-}
+func MulT(a, b *Matrix) *Matrix { return MulTInto(nil, a, b) }
 
 // TMul returns aᵀ·b without materialising the transpose.
-func TMul(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("mat: TMul inner mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
-}
+func TMul(a, b *Matrix) *Matrix { return TMulInto(nil, a, b) }
 
 // Transpose returns a new matrix mᵀ.
 func (m *Matrix) Transpose() *Matrix {
@@ -161,33 +107,45 @@ func (m *Matrix) Transpose() *Matrix {
 }
 
 // Add returns a+b.
-func Add(a, b *Matrix) *Matrix {
+func Add(a, b *Matrix) *Matrix { return AddInto(nil, a, b) }
+
+// AddInto computes a+b into dst (allocating it when nil) and returns dst.
+// dst may alias a or b.
+func AddInto(dst, a, b *Matrix) *Matrix {
 	sameShape(a, b, "Add")
-	out := New(a.Rows, a.Cols)
+	dst = prepDst(dst, a.Rows, a.Cols, "AddInto")
 	for i, v := range a.Data {
-		out.Data[i] = v + b.Data[i]
+		dst.Data[i] = v + b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Sub returns a−b.
-func Sub(a, b *Matrix) *Matrix {
+func Sub(a, b *Matrix) *Matrix { return SubInto(nil, a, b) }
+
+// SubInto computes a−b into dst (allocating it when nil) and returns dst.
+// dst may alias a or b.
+func SubInto(dst, a, b *Matrix) *Matrix {
 	sameShape(a, b, "Sub")
-	out := New(a.Rows, a.Cols)
+	dst = prepDst(dst, a.Rows, a.Cols, "SubInto")
 	for i, v := range a.Data {
-		out.Data[i] = v - b.Data[i]
+		dst.Data[i] = v - b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Hadamard returns the element-wise product a∘b.
-func Hadamard(a, b *Matrix) *Matrix {
+func Hadamard(a, b *Matrix) *Matrix { return HadamardInto(nil, a, b) }
+
+// HadamardInto computes a∘b into dst (allocating it when nil) and returns
+// dst. dst may alias a or b.
+func HadamardInto(dst, a, b *Matrix) *Matrix {
 	sameShape(a, b, "Hadamard")
-	out := New(a.Rows, a.Cols)
+	dst = prepDst(dst, a.Rows, a.Cols, "HadamardInto")
 	for i, v := range a.Data {
-		out.Data[i] = v * b.Data[i]
+		dst.Data[i] = v * b.Data[i]
 	}
-	return out
+	return dst
 }
 
 // Scale returns s·m as a new matrix.
@@ -241,11 +199,26 @@ func (m *Matrix) ColSums() []float64 {
 
 // Apply returns a new matrix with f applied to every element.
 func (m *Matrix) Apply(f func(float64) float64) *Matrix {
-	out := New(m.Rows, m.Cols)
+	return m.ApplyInto(nil, f)
+}
+
+// ApplyInto writes f applied to every element of m into dst (allocating it
+// when nil) and returns dst. dst may alias m.
+func (m *Matrix) ApplyInto(dst *Matrix, f func(float64) float64) *Matrix {
+	dst = prepDst(dst, m.Rows, m.Cols, "ApplyInto")
 	for i, v := range m.Data {
-		out.Data[i] = f(v)
+		dst.Data[i] = f(v)
 	}
-	return out
+	return dst
+}
+
+// AddScaledInPlace adds s·b into m (axpy), avoiding the temporary that
+// b.Scale(s) would allocate.
+func (m *Matrix) AddScaledInPlace(b *Matrix, s float64) {
+	sameShape(m, b, "AddScaledInPlace")
+	for i, v := range b.Data {
+		m.Data[i] += s * v
+	}
 }
 
 // MaxAbs returns the largest absolute element of m (0 for an empty matrix).

@@ -1,0 +1,49 @@
+package mat
+
+import "sync"
+
+// Scratch-buffer pool.
+//
+// The forward/backward passes of the network stack create many short-lived
+// temporaries (projected activations, gradient accumulators) whose lifetime
+// is a single kernel call. GetScratch/PutScratch recycle their backing
+// storage through a sync.Pool so steady-state training and batched inference
+// allocate close to nothing.
+//
+// Pooled matrices hold unspecified element values: every Into kernel
+// overwrites its destination, but callers that accumulate must Zero first.
+
+// scratchPool recycles float64 backing slices by capacity.
+var scratchPool = sync.Pool{
+	New: func() any { return &Matrix{} },
+}
+
+// GetScratch returns an r×c matrix whose storage may come from the pool.
+// The element values are unspecified; call Zero to clear them. Release the
+// matrix with PutScratch once it is no longer referenced.
+func GetScratch(r, c int) *Matrix {
+	m := scratchPool.Get().(*Matrix)
+	n := r * c
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:n]
+	return m
+}
+
+// PutScratch returns a matrix obtained from GetScratch to the pool. The
+// caller must not use m afterwards. Putting a nil or zero-capacity matrix is
+// a no-op.
+func PutScratch(m *Matrix) {
+	if m == nil || cap(m.Data) == 0 {
+		return
+	}
+	scratchPool.Put(m)
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}

@@ -8,23 +8,22 @@ import (
 	"calloc/internal/mat"
 )
 
-// softmaxRowsBackward computes the gradient through a row-wise softmax:
-// given s = softmax(z) and dL/ds, it returns dL/dz where
-// dz_i = s_i·(ds_i − Σ_j ds_j·s_j).
+// softmaxRowsBackward computes the gradient through a row-wise softmax in
+// place: given s = softmax(z) and dL/ds, it overwrites ds with dL/dz where
+// dz_i = s_i·(ds_i − Σ_j ds_j·s_j), and returns ds. In-place is safe because
+// each row's dot product is fully reduced before the row is rewritten.
 func softmaxRowsBackward(s, ds *mat.Matrix) *mat.Matrix {
-	out := mat.New(s.Rows, s.Cols)
 	for i := 0; i < s.Rows; i++ {
 		srow, dsrow := s.Row(i), ds.Row(i)
 		var dot float64
 		for j, sv := range srow {
 			dot += dsrow[j] * sv
 		}
-		orow := out.Row(i)
 		for j, sv := range srow {
-			orow[j] = sv * (dsrow[j] - dot)
+			dsrow[j] = sv * (dsrow[j] - dot)
 		}
 	}
-	return out
+	return ds
 }
 
 // CrossAttention is the scaled dot-product attention at the centre of CALLOC
@@ -81,20 +80,71 @@ func (ca *CrossAttention) Forward(q, k, v *mat.Matrix) *mat.Matrix {
 // interpretability and tests.
 func (ca *CrossAttention) AttentionWeights() *mat.Matrix { return ca.lastS }
 
+// Infer computes the same attention output as Forward in eval mode but
+// touches no caches, so it is safe to call concurrently (e.g. from the
+// row-sharded batch predictor). All temporaries come from the scratch pool.
+func (ca *CrossAttention) Infer(q, k, v *mat.Matrix) *mat.Matrix {
+	if k.Cols != ca.Wk.W.Rows {
+		panic(fmt.Sprintf("nn: CrossAttention dims k%dx%d vs W %dx%d",
+			k.Rows, k.Cols, ca.Wk.W.Rows, ca.Wk.W.Cols))
+	}
+	kp := mat.MulInto(mat.GetScratch(k.Rows, ca.DK), k, ca.Wk.W)
+	out := ca.InferProjected(q, kp, v)
+	mat.PutScratch(kp)
+	return out
+}
+
+// ProjectKeys returns k·Wk, the key projection of Infer, as a standalone
+// step. The memory keys of a deployed model are fixed between weight
+// updates, so callers evaluating many query batches against one memory
+// (core.Model.PredictBatch) project once and reuse the result with
+// InferProjected instead of re-projecting per batch shard.
+func (ca *CrossAttention) ProjectKeys(k *mat.Matrix) *mat.Matrix {
+	return mat.Mul(k, ca.Wk.W)
+}
+
+// InferProjected is Infer with the key projection kp = ProjectKeys(k)
+// precomputed. Cache-free and safe for concurrent use.
+func (ca *CrossAttention) InferProjected(q, kp, v *mat.Matrix) *mat.Matrix {
+	if q.Cols != ca.Wq.W.Rows || kp.Cols != ca.DK {
+		panic(fmt.Sprintf("nn: CrossAttention dims q%dx%d kp%dx%d vs W %dx%d",
+			q.Rows, q.Cols, kp.Rows, kp.Cols, ca.Wq.W.Rows, ca.Wq.W.Cols))
+	}
+	if kp.Rows != v.Rows {
+		panic(fmt.Sprintf("nn: CrossAttention memory mismatch K rows %d vs V rows %d", kp.Rows, v.Rows))
+	}
+	qp := mat.MulInto(mat.GetScratch(q.Rows, ca.DK), q, ca.Wq.W)
+	scores := mat.MulTInto(mat.GetScratch(q.Rows, kp.Rows), qp, kp)
+	scores.ScaleInPlace(1 / math.Sqrt(float64(ca.DK)))
+	for i := 0; i < scores.Rows; i++ {
+		mat.SoftmaxRow(scores.Row(i), scores.Row(i))
+	}
+	out := mat.Mul(scores, v)
+	mat.PutScratch(qp)
+	mat.PutScratch(scores)
+	return out
+}
+
 // Backward takes dL/d(output) (B×C) and returns (dL/dq, dL/dk). Parameter
 // gradients accumulate into Wq.G and Wk.G. V is treated as constant.
 func (ca *CrossAttention) Backward(gradOut *mat.Matrix) (dq, dk *mat.Matrix) {
-	// dS = dOut·Vᵀ
-	dS := mat.MulT(gradOut, ca.lastV)
-	dZ := softmaxRowsBackward(ca.lastS, dS)
+	// dS = dOut·Vᵀ, turned into dZ in place by the softmax backward.
+	dZ := mat.MulTInto(mat.GetScratch(gradOut.Rows, ca.lastV.Rows), gradOut, ca.lastV)
+	softmaxRowsBackward(ca.lastS, dZ)
 	dZ.ScaleInPlace(1 / math.Sqrt(float64(ca.DK)))
 	// Z = Qp·Kpᵀ ⇒ dQp = dZ·Kp, dKp = dZᵀ·Qp.
-	dQp := mat.Mul(dZ, ca.lastKp)
-	dKp := mat.TMul(dZ, ca.lastQp)
-	ca.Wq.G.AddInPlace(mat.TMul(ca.lastQ, dQp))
-	ca.Wk.G.AddInPlace(mat.TMul(ca.lastK, dKp))
+	dQp := mat.MulInto(mat.GetScratch(dZ.Rows, ca.DK), dZ, ca.lastKp)
+	dKp := mat.TMulInto(mat.GetScratch(dZ.Cols, ca.DK), dZ, ca.lastQp)
+	gw := mat.TMulInto(mat.GetScratch(ca.Wq.W.Rows, ca.Wq.W.Cols), ca.lastQ, dQp)
+	ca.Wq.G.AddInPlace(gw)
+	mat.TMulInto(gw, ca.lastK, dKp)
+	ca.Wk.G.AddInPlace(gw)
+	mat.PutScratch(gw)
 	dq = mat.MulT(dQp, ca.Wq.W)
 	dk = mat.MulT(dKp, ca.Wk.W)
+	mat.PutScratch(dQp)
+	mat.PutScratch(dKp)
+	mat.PutScratch(dZ)
 	return dq, dk
 }
 

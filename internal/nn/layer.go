@@ -54,12 +54,23 @@ func (d *Dense) Forward(x *mat.Matrix, _ bool) *mat.Matrix {
 	return y
 }
 
+// Infer computes x·W + b without caching the input, so it is safe to call
+// concurrently. Backward must not follow an Infer call.
+func (d *Dense) Infer(x *mat.Matrix) *mat.Matrix {
+	y := mat.Mul(x, d.W.W)
+	y.AddRowVector(d.B.W.Data)
+	return y
+}
+
 // Backward accumulates ∂L/∂W and ∂L/∂b and returns ∂L/∂x.
 func (d *Dense) Backward(gradOut *mat.Matrix) *mat.Matrix {
-	d.W.G.AddInPlace(mat.TMul(d.lastX, gradOut))
-	bg := gradOut.ColSums()
-	for i, v := range bg {
-		d.B.G.Data[i] += v
+	gw := mat.TMulInto(mat.GetScratch(d.W.W.Rows, d.W.W.Cols), d.lastX, gradOut)
+	d.W.G.AddInPlace(gw)
+	mat.PutScratch(gw)
+	for i := 0; i < gradOut.Rows; i++ {
+		for j, v := range gradOut.Row(i) {
+			d.B.G.Data[j] += v
+		}
 	}
 	return mat.MulT(gradOut, d.W.W)
 }
@@ -73,6 +84,16 @@ type ReLU struct{ lastX *mat.Matrix }
 // Forward applies max(0, x).
 func (r *ReLU) Forward(x *mat.Matrix, _ bool) *mat.Matrix {
 	r.lastX = x
+	return x.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Infer applies max(0, x) without caching, safe for concurrent use.
+func (r *ReLU) Infer(x *mat.Matrix) *mat.Matrix {
 	return x.Apply(func(v float64) float64 {
 		if v > 0 {
 			return v
@@ -104,6 +125,9 @@ func (t *Tanh) Forward(x *mat.Matrix, _ bool) *mat.Matrix {
 	return t.lastY
 }
 
+// Infer applies tanh without caching, safe for concurrent use.
+func (t *Tanh) Infer(x *mat.Matrix) *mat.Matrix { return x.Apply(math.Tanh) }
+
 // Backward multiplies by 1−tanh².
 func (t *Tanh) Backward(gradOut *mat.Matrix) *mat.Matrix {
 	out := mat.New(gradOut.Rows, gradOut.Cols)
@@ -123,6 +147,12 @@ type Sigmoid struct{ lastY *mat.Matrix }
 func (s *Sigmoid) Forward(x *mat.Matrix, _ bool) *mat.Matrix {
 	s.lastY = x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
 	return s.lastY
+}
+
+// Infer applies the logistic function without caching, safe for concurrent
+// use.
+func (s *Sigmoid) Infer(x *mat.Matrix) *mat.Matrix {
+	return x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
 }
 
 // Backward multiplies by y(1−y).
@@ -171,6 +201,9 @@ func (d *Dropout) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	return out
 }
 
+// Infer is the identity: dropout is disabled at eval time.
+func (d *Dropout) Infer(x *mat.Matrix) *mat.Matrix { return x }
+
 // Backward applies the same mask to the gradient.
 func (d *Dropout) Backward(gradOut *mat.Matrix) *mat.Matrix {
 	if d.mask == nil {
@@ -206,6 +239,9 @@ func (g *GaussianNoise) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	}
 	return out
 }
+
+// Infer is the identity: noise is disabled at eval time.
+func (g *GaussianNoise) Infer(x *mat.Matrix) *mat.Matrix { return x }
 
 // Backward passes the gradient through unchanged (noise is additive).
 func (g *GaussianNoise) Backward(gradOut *mat.Matrix) *mat.Matrix { return gradOut }

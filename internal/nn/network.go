@@ -25,6 +25,39 @@ func (n *Network) Forward(x *mat.Matrix, train bool) *mat.Matrix {
 	return x
 }
 
+// Inferencer is implemented by layers whose eval-mode forward pass writes no
+// layer state, making it safe to run concurrently with other Infer calls on
+// the same layer. Backward must never follow an Infer call: inference leaves
+// the training caches untouched.
+type Inferencer interface {
+	Infer(x *mat.Matrix) *mat.Matrix
+}
+
+// Infer runs an eval-mode forward pass without disturbing any training
+// caches. Layers that do not implement Inferencer fall back to Forward(x,
+// false); see ConcurrentSafe for whether the whole stack is cache-free.
+func (n *Network) Infer(x *mat.Matrix) *mat.Matrix {
+	for _, l := range n.Layers {
+		if inf, ok := l.(Inferencer); ok {
+			x = inf.Infer(x)
+		} else {
+			x = l.Forward(x, false)
+		}
+	}
+	return x
+}
+
+// ConcurrentSafe reports whether every layer implements Inferencer, i.e.
+// whether Infer may be called from multiple goroutines simultaneously.
+func (n *Network) ConcurrentSafe() bool {
+	for _, l := range n.Layers {
+		if _, ok := l.(Inferencer); !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // Backward propagates gradOut through the stack in reverse, accumulating
 // parameter gradients, and returns the gradient with respect to the network
 // input (used by the white-box attacks).

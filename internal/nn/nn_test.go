@@ -383,3 +383,92 @@ func TestNetworkPredict(t *testing.T) {
 		}
 	}
 }
+
+// TestInferMatchesEvalForward: the cache-free Infer path must produce
+// bit-identical output to Forward in eval mode for every CALLOC layer type,
+// and must not disturb caches a pending Backward depends on.
+func TestInferMatchesEvalForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewNetwork(
+		NewDense("d1", 6, 8, rng),
+		&ReLU{},
+		NewDropout(0.3, rng),
+		NewGaussianNoise(0.2, rng),
+		NewDense("d2", 8, 4, rng),
+		&Tanh{},
+		&Sigmoid{},
+	)
+	if !net.ConcurrentSafe() {
+		t.Fatal("all-Inferencer network reported not concurrent-safe")
+	}
+	x := randMat(rng, 9, 6)
+	want := net.Forward(x, false)
+	got := net.Infer(x)
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("Infer diverges from eval Forward at %d: %g vs %g", i, got.Data[i], v)
+		}
+	}
+
+	// Infer between Forward(train) and Backward must not corrupt gradients.
+	labels := make([]int, x.Rows)
+	logits := net.Forward(x, false)
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	net.Infer(x) // must be cache-neutral
+	net.Backward(grad)
+	var nonZero bool
+	for _, p := range net.Params() {
+		if p.G.MaxAbs() > 0 {
+			nonZero = true
+		}
+	}
+	if !nonZero {
+		t.Fatal("no gradients accumulated after Infer interleave")
+	}
+	net.ZeroGrads()
+}
+
+func TestCrossAttentionInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ca := NewCrossAttention("a", 8, 5, rng)
+	q := randMat(rng, 7, 8)
+	k := randMat(rng, 11, 8)
+	v := randMat(rng, 11, 3)
+	want := ca.Forward(q, k, v)
+	got := ca.Infer(q, k, v)
+	for i, w := range want.Data {
+		if got.Data[i] != w {
+			t.Fatalf("CrossAttention Infer diverges at %d: %g vs %g", i, got.Data[i], w)
+		}
+	}
+	// The precomputed-key path (used by core.Model.PredictBatch) must agree.
+	kp := ca.ProjectKeys(k)
+	got = ca.InferProjected(q, kp, v)
+	for i, w := range want.Data {
+		if got.Data[i] != w {
+			t.Fatalf("CrossAttention InferProjected diverges at %d: %g vs %g", i, got.Data[i], w)
+		}
+	}
+}
+
+// TestNetworkInferFallback: a network containing a layer without Infer still
+// evaluates through the Forward fallback and reports itself unsafe for
+// concurrent inference.
+func TestNetworkInferFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewNetwork(
+		NewDense("d", 4, 4, rng),
+		NewMultiHeadSelfAttention("m", 2, 2, 1, rng),
+	)
+	if net.ConcurrentSafe() {
+		t.Fatal("MHSA has no Infer; network must not be concurrent-safe")
+	}
+	x := randMat(rng, 3, 4)
+	want := net.Forward(x, false)
+	got := net.Infer(x)
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("fallback Infer diverges at %d", i)
+		}
+	}
+}
