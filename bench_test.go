@@ -12,7 +12,9 @@ package calloc_test
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"calloc/internal/attack"
 	"calloc/internal/core"
@@ -22,6 +24,7 @@ import (
 	"calloc/internal/fingerprint"
 	"calloc/internal/floorplan"
 	"calloc/internal/mat"
+	"calloc/internal/serve"
 )
 
 // benchMode is the reduced experiment scale used by the figure benches.
@@ -61,6 +64,7 @@ func BenchmarkFig1AttackImpact(b *testing.B) {
 	if _, err := s.Fig1(); err != nil { // warm model caches outside the timer
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last *experiments.Fig1Result
 	for i := 0; i < b.N; i++ {
@@ -84,6 +88,7 @@ func BenchmarkFig2AttackIllustration(b *testing.B) {
 	if _, err := s.Fig2(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Fig2(); err != nil {
@@ -99,6 +104,7 @@ func BenchmarkFig4Heatmaps(b *testing.B) {
 	if _, err := s.Fig4(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last *experiments.Fig4Result
 	for i := 0; i < b.N; i++ {
@@ -128,6 +134,7 @@ func BenchmarkFig5CurriculumImpact(b *testing.B) {
 	if _, err := s.Fig5(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last *experiments.Fig5Result
 	for i := 0; i < b.N; i++ {
@@ -149,6 +156,7 @@ func BenchmarkFig6StateOfTheArt(b *testing.B) {
 	if _, err := s.Fig6(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last *experiments.Fig6Result
 	for i := 0; i < b.N; i++ {
@@ -179,6 +187,7 @@ func BenchmarkFig7PhiSweep(b *testing.B) {
 	if _, err := s.Fig7(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last *experiments.Fig7Result
 	for i := 0; i < b.N; i++ {
@@ -195,6 +204,7 @@ func BenchmarkFig7PhiSweep(b *testing.B) {
 // BenchmarkTableRegistries regenerates Tables I and II from the device and
 // floorplan registries.
 func BenchmarkTableRegistries(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Table1()
 		_ = experiments.Table2()
@@ -205,6 +215,7 @@ func BenchmarkTableRegistries(b *testing.B) {
 // count and deployed size for the paper-dimension model, plus construction
 // cost.
 func BenchmarkModelFootprint(b *testing.B) {
+	b.ReportAllocs()
 	var m *core.Model
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -278,6 +289,7 @@ func ablationError(b *testing.B, mutate func(*core.Config, *core.TrainConfig)) f
 // weights λ ∈ {0, 0.02 (default), 0.5}: the calibration story behind
 // DESIGN.md's λ choice.
 func BenchmarkAblationHyperspaceMSE(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		off := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.HyperspaceLambda = 0 })
 		def := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.HyperspaceLambda = 0.02 })
@@ -291,6 +303,7 @@ func BenchmarkAblationHyperspaceMSE(b *testing.B) {
 // BenchmarkAblationAdaptive compares the adaptive revert-and-ease mechanism
 // (§IV.D) against a static curriculum (no reverts).
 func BenchmarkAblationAdaptive(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		adaptive := ablationError(b, func(_ *core.Config, t *core.TrainConfig) { t.Patience = 3 })
 		static := ablationError(b, func(_ *core.Config, t *core.TrainConfig) {
@@ -304,6 +317,7 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 // BenchmarkAblationMemorySize compares full-database attention memory with
 // per-class subsampling, the deployment memory/accuracy trade-off.
 func BenchmarkAblationMemorySize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		full := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.MemoryPerClass = 0 })
 		two := ablationError(b, func(c *core.Config, _ *core.TrainConfig) { c.MemoryPerClass = 2 })
@@ -339,6 +353,7 @@ func trainedBenchModel(b *testing.B) (*core.Model, *fingerprint.Dataset) {
 func BenchmarkCALLOCInference(b *testing.B) {
 	m, ds := trainedBenchModel(b)
 	x := fingerprint.X(ds.Test["OP3"][:1])
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Predict(x)
@@ -351,6 +366,7 @@ func BenchmarkFGSMCraft(b *testing.B) {
 	x := fingerprint.X(ds.Test["OP3"])
 	labels := fingerprint.Labels(ds.Test["OP3"])
 	cfg := attack.Config{Epsilon: 0.3, PhiPercent: 50, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		attack.Craft(attack.FGSM, m, x, labels, cfg)
@@ -363,6 +379,7 @@ func BenchmarkPGDCraft(b *testing.B) {
 	x := fingerprint.X(ds.Test["OP3"])
 	labels := fingerprint.Labels(ds.Test["OP3"])
 	cfg := attack.Config{Epsilon: 0.3, PhiPercent: 50, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		attack.Craft(attack.PGD, m, x, labels, cfg)
@@ -378,6 +395,7 @@ func BenchmarkMatMul(b *testing.B) {
 		a.Data[i] = rng.NormFloat64()
 		c.Data[i] = rng.NormFloat64()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mat.Mul(a, c)
@@ -500,4 +518,182 @@ func seriesMean(s []float64) float64 {
 		sum += v
 	}
 	return sum / float64(len(s))
+}
+
+// --- Serving-path benchmarks (PR 2): steady-state allocation behaviour and
+// micro-batched concurrent throughput at CALLOC paper shapes. ---
+
+// paperShapeModel builds an untrained model at the paper's dimensions (165
+// APs, 61 RPs, d_k=74) with a synthetic attention memory — serving cost
+// depends only on shapes, not on trained weights, so benches skip training.
+func paperShapeModel(b *testing.B, memory int) *core.Model {
+	b.Helper()
+	cfg := core.PaperConfig()
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	db := make([]fingerprint.Sample, memory)
+	for i := range db {
+		rss := make([]float64, cfg.NumAPs)
+		for j := range rss {
+			rss[j] = rng.Float64()
+		}
+		db[i] = fingerprint.Sample{RSS: rss, RP: i % cfg.NumRPs}
+	}
+	if err := m.SetMemory(db); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// randQueries builds n random single-fingerprint queries at paper width.
+func randQueries(n, features int) [][]float64 {
+	rng := rand.New(rand.NewSource(42))
+	qs := make([][]float64, n)
+	for i := range qs {
+		qs[i] = make([]float64, features)
+		for j := range qs[i] {
+			qs[i][j] = rng.Float64()
+		}
+	}
+	return qs
+}
+
+// BenchmarkSteadyStateSingleQuery is the tentpole acceptance bench: the
+// single-query Predictor path at paper shapes must report 0 allocs/op once
+// the workspace and packed weight views are warm.
+func BenchmarkSteadyStateSingleQuery(b *testing.B) {
+	m := paperShapeModel(b, 512)
+	q := randQueries(1, core.PaperConfig().NumAPs)
+	x := mat.FromSlice(1, len(q[0]), q[0])
+	p := m.Predictor()
+	dst := make([]int, 1)
+	p.PredictInto(dst, x) // warm workspace and packed views
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictInto(dst, x)
+	}
+}
+
+// BenchmarkSteadyStateBatch measures the workspace batch path (one handle,
+// reused buffers) at a serving-window batch size.
+func BenchmarkSteadyStateBatch(b *testing.B) {
+	m := paperShapeModel(b, 512)
+	features := core.PaperConfig().NumAPs
+	qs := randQueries(8, features)
+	x := mat.New(8, features)
+	for i, q := range qs {
+		copy(x.Row(i), q)
+	}
+	p := m.Predictor()
+	dst := make([]int, 8)
+	p.PredictInto(dst, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictInto(dst, x)
+	}
+	b.ReportMetric(8*float64(b.N)/b.Elapsed().Seconds(), "fingerprints/s")
+}
+
+// serveClients drives exactly `clients` concurrent goroutines through fn
+// until b.N requests complete, independent of GOMAXPROCS.
+func serveClients(b *testing.B, clients int, fn func(client, i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				fn(c, i)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServeQPS is the coalescing acceptance bench: 8 concurrent clients
+// issuing single-fingerprint queries, served naively (one Model.Predict per
+// request) versus through the micro-batching engine. The engine amortises
+// the weight/memory streaming of the forward pass across the whole window,
+// so coalesced QPS must beat naive per-request QPS.
+func BenchmarkServeQPS(b *testing.B) {
+	const clients = 8
+	m := paperShapeModel(b, 1024)
+	features := core.PaperConfig().NumAPs
+	qs := randQueries(64, features)
+	rows := make([]*mat.Matrix, len(qs))
+	for i, q := range qs {
+		rows[i] = mat.FromSlice(1, features, q)
+	}
+
+	b.Run("naive_8clients", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		serveClients(b, clients, func(_, i int) {
+			m.Predict(rows[i%len(rows)])
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+
+	b.Run("coalesced_8clients", func(b *testing.B) {
+		engine, err := serve.New(
+			func() serve.Batcher { return m.Predictor() },
+			serve.Options{Features: features, MaxBatch: clients, MaxWait: 200 * time.Microsecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer engine.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		serveClients(b, clients, func(_, i int) {
+			if _, err := engine.Predict(nil, qs[i%len(qs)]); err != nil {
+				b.Error(err)
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+		b.ReportMetric(engine.Stats().AvgBatch, "avg_batch")
+	})
+}
+
+// BenchmarkMatMulPackedShapes compares the plain row-major product against
+// the packed-operand and fused-epilogue kernels at CALLOC shapes.
+func BenchmarkMatMulPackedShapes(b *testing.B) {
+	for _, sh := range matShapes {
+		rng := rand.New(rand.NewSource(2))
+		x := randDense(rng, sh.m, sh.k)
+		y := randDense(rng, sh.k, sh.n)
+		p := mat.Pack(y)
+		bias := make([]float64, sh.n)
+		for i := range bias {
+			bias[i] = rng.NormFloat64()
+		}
+		dst := mat.New(sh.m, sh.n)
+		for _, variant := range []struct {
+			name string
+			run  func()
+		}{
+			{"plain", func() { mat.MulInto(dst, x, y) }},
+			{"packed", func() { mat.MulPackedInto(dst, x, p) }},
+			{"packed_bias_relu", func() { mat.MulPackedBiasActInto(dst, x, p, bias, mat.ActReLU) }},
+		} {
+			b.Run(sh.name+"/"+variant.name, func(b *testing.B) {
+				prev := mat.SetParallelism(1)
+				defer mat.SetParallelism(prev)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					variant.run()
+				}
+			})
+		}
+	}
 }

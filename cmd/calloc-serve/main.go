@@ -1,0 +1,148 @@
+// Command calloc-serve exposes a trained CALLOC model as an HTTP
+// localization service backed by the micro-batching serve engine: concurrent
+// single-fingerprint requests are coalesced into batched forward passes.
+//
+// Usage:
+//
+//	calloc-serve -data b3.gob -weights b3.model            # serve trained weights
+//	calloc-serve -data b3.gob -train-epochs 10             # quick-train, then serve
+//	calloc-serve -data b3.gob -weights b3.model -addr :9000 -max-batch 64 -max-wait 1ms
+//
+// Endpoints:
+//
+//	POST /v1/localize  {"rss": [...]}  ->  {"rp": 17}
+//	GET  /v1/stats                     ->  engine throughput/latency counters
+//	GET  /healthz                      ->  200 ok
+//
+// SIGINT/SIGTERM shut down gracefully: the HTTP server stops accepting, then
+// the engine drains its queued requests before the process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"calloc/internal/core"
+	"calloc/internal/fingerprint"
+	"calloc/internal/serve"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset gob file from calloc-data (required)")
+	weights := flag.String("weights", "", "trained weights from calloc-train (omit to quick-train)")
+	trainEpochs := flag.Int("train-epochs", 10, "epochs per lesson when quick-training without -weights")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	maxBatch := flag.Int("max-batch", 32, "max coalesced requests per model call")
+	maxWait := flag.Duration("max-wait", 500*time.Microsecond, "max time the first request of a window waits (negative: dispatch immediately)")
+	workers := flag.Int("workers", 0, "concurrent batch dispatchers (0 = min(2, GOMAXPROCS))")
+	queueCap := flag.Int("queue", 0, "pending-request bound (0 = 4×max-batch)")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "calloc-serve: -data is required")
+		os.Exit(2)
+	}
+	ds, err := fingerprint.LoadFile(*data)
+	if err != nil {
+		fail(err)
+	}
+	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	if err != nil {
+		fail(err)
+	}
+	if err := model.SetMemory(ds.Train); err != nil {
+		fail(err)
+	}
+	if *weights != "" {
+		blob, err := os.ReadFile(*weights)
+		if err != nil {
+			fail(err)
+		}
+		if err := model.UnmarshalWeights(blob); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "calloc-serve: loaded weights from %s\n", *weights)
+	} else {
+		tc := core.DefaultTrainConfig()
+		tc.EpochsPerLesson = *trainEpochs
+		fmt.Fprintf(os.Stderr, "calloc-serve: no -weights given, quick-training (%d epochs/lesson)...\n", *trainEpochs)
+		if _, err := model.Train(ds.Train, tc); err != nil {
+			fail(err)
+		}
+	}
+
+	engine, err := serve.New(
+		func() serve.Batcher { return model.Predictor() },
+		serve.Options{
+			Features: ds.NumAPs,
+			MaxBatch: *maxBatch,
+			MaxWait:  *maxWait,
+			Workers:  *workers,
+			QueueCap: *queueCap,
+		})
+	if err != nil {
+		fail(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/localize", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			RSS []float64 `json:"rss"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rp, err := engine.Predict(r.Context(), req.RSS)
+		switch {
+		case errors.Is(err, serve.ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]int{"rp": rp})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(engine.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "calloc-serve: %s (%d RPs, %d APs, memory %d) listening on %s\n",
+		ds.BuildingName, ds.NumRPs, ds.NumAPs, model.MemorySize(), *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	engine.Close() // drain queued requests before exiting
+	st := engine.Stats()
+	fmt.Fprintf(os.Stderr, "calloc-serve: served %d requests in %d batches (avg %.1f/batch, avg latency %s)\n",
+		st.Requests, st.Batches, st.AvgBatch, st.AvgLatency)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "calloc-serve: %v\n", err)
+	os.Exit(1)
+}

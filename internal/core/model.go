@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"calloc/internal/fingerprint"
 	"calloc/internal/mat"
@@ -24,7 +25,11 @@ type Model struct {
 	memX    *mat.Matrix // clean fingerprints (M×NumAPs)
 	memV    *mat.Matrix // one-hot RP labels (M×NumRPs)
 	memKeys *mat.Matrix // cached eval-mode EmbedO(memX), refreshed after training
-	memKp   *mat.Matrix // cached key projection memKeys·Wk for batched inference
+	memKpT  *mat.Matrix // cached key projection memKeys·Wk, transposed (dk×M) for the axpy-kernel scores GEMM
+
+	// predPool recycles Predictor handles (and their workspaces) for the
+	// pooled Predict/PredictBatch entry points and batch shard workers.
+	predPool sync.Pool
 
 	rng *rand.Rand
 }
@@ -93,7 +98,7 @@ func (m *Model) MemorySize() int {
 // embedO untouched.
 func (m *Model) RefreshMemoryKeys() {
 	m.memKeys = m.embedO.Infer(m.memX)
-	m.memKp = m.attn.ProjectKeys(m.memKeys)
+	m.memKpT = m.attn.ProjectKeys(m.memKeys).Transpose()
 }
 
 // Params returns every trainable parameter of the model.
@@ -134,20 +139,6 @@ func (m *Model) Logits(x *mat.Matrix) *mat.Matrix {
 	return m.fc.Forward(att, false)
 }
 
-// logitsInfer runs the inference path without writing any layer caches, so
-// multiple goroutines may evaluate disjoint batches simultaneously. Every
-// layer on the path (Dense, ReLU, dropout/noise at eval, cross-attention)
-// implements nn.Inferencer; the memory-key projection is served from the
-// cache maintained by RefreshMemoryKeys.
-func (m *Model) logitsInfer(x *mat.Matrix) *mat.Matrix {
-	if m.memKeys == nil {
-		panic("core: model has no memory; call SetMemory first")
-	}
-	hc := m.embedC.Infer(x)
-	att := m.attn.InferProjected(hc, m.memKp, m.memV)
-	return m.fc.Infer(att)
-}
-
 // Predict returns the RP class for every row of x. Large batches are
 // evaluated concurrently; see PredictBatch.
 func (m *Model) Predict(x *mat.Matrix) []int { return m.PredictBatch(x) }
@@ -157,29 +148,33 @@ func (m *Model) Predict(x *mat.Matrix) []int { return m.PredictBatch(x) }
 // batch is evaluated inline.
 const predictShardRows = 16
 
-// PredictBatch evaluates every row of x and returns its RP class,
-// row-sharding the batch across up to mat.Parallelism() worker goroutines
-// via mat.ShardRows (one shared worker budget with the parallel kernels, so
-// batch-level and kernel-level sharding never oversubscribe the scheduler).
-// The inference path is cache-free (nn.Inferencer), the model's weights and
-// memory keys are read-only during evaluation, and each worker owns a
-// disjoint slice of the output, so the fan-out is race-free and the result
-// is identical to sequential evaluation.
+// PredictBatch evaluates every row of x and returns its RP class. It
+// delegates to a pooled Predictor handle: the forward pass draws all
+// temporaries from the handle's workspace and multiplies against
+// lazily-packed weight views, and large batches are row-sharded across up to
+// mat.Parallelism() worker goroutines (one shared worker budget with the
+// parallel kernels, so batch-level and kernel-level sharding never
+// oversubscribe the scheduler). The inference path is cache-free, the
+// model's weights and memory keys are read-only during evaluation, and each
+// worker owns a disjoint slice of the output, so the fan-out is race-free
+// and the result is identical to sequential evaluation. Callers that
+// localise repeatedly should hold their own Predictor and use
+// PredictInto/PredictBatchInto to avoid the per-call result allocation.
 func (m *Model) PredictBatch(x *mat.Matrix) []int {
-	out := make([]int, x.Rows)
-	maxShards := x.Rows / predictShardRows
-	if maxShards < 1 {
-		maxShards = 1 // sub-shard batches stay inline (ShardRows reads ≤0 as uncapped)
-	}
-	mat.ShardRows(x.Rows, maxShards, func(lo, hi int) {
-		shard := mat.FromSlice(hi-lo, x.Cols, x.Data[lo*x.Cols:hi*x.Cols])
-		logits := m.logitsInfer(shard)
-		for i := 0; i < logits.Rows; i++ {
-			out[lo+i] = mat.ArgMax(logits.Row(i))
-		}
-	})
-	return out
+	p := m.getPredictor()
+	defer m.putPredictor(p)
+	return p.PredictBatchInto(nil, x)
 }
+
+// getPredictor draws a pooled inference handle; return it with putPredictor.
+func (m *Model) getPredictor() *Predictor {
+	if v := m.predPool.Get(); v != nil {
+		return v.(*Predictor)
+	}
+	return m.Predictor()
+}
+
+func (m *Model) putPredictor(p *Predictor) { m.predPool.Put(p) }
 
 // InputGradient exposes ∂CE/∂x for white-box attacks against CALLOC itself.
 // The memory keys are fixed (as they are in a deployed model), so the
@@ -257,6 +252,7 @@ func (m *Model) restore(snap [][]float64) {
 	ps := m.Params()
 	for i, p := range ps {
 		copy(p.W.Data, snap[i])
+		p.NoteUpdate()
 	}
 }
 

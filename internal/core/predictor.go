@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"calloc/internal/mat"
+	"calloc/internal/nn"
+)
+
+// Predictor is a reusable inference handle over a model: it owns the scratch
+// workspace of the allocation-free forward pass, so the steady-state
+// single-query path (PredictInto on a stable shape) performs zero heap
+// allocations. The underlying weights and attention memory are shared with
+// the model and read-only during prediction.
+//
+// A Predictor is NOT safe for concurrent use — it exists precisely to hold
+// the mutable scratch state that the cache-free inference path keeps out of
+// the model. Create one per goroutine (they are cheap: buffers grow lazily),
+// or use the model's pooled Predict/PredictBatch entry points. Weight or
+// memory updates (training steps, RefreshMemoryKeys, UnmarshalWeights) must
+// not run concurrently with prediction; serving layers serialise them — see
+// serve.Engine.Refresh.
+type Predictor struct {
+	m  *Model
+	ws *nn.Workspace
+}
+
+// Predictor returns a new inference handle for the model.
+func (m *Model) Predictor() *Predictor {
+	return &Predictor{m: m, ws: nn.NewWorkspace()}
+}
+
+// logits runs the workspace forward pass: embed the query fingerprints into
+// H^C, attend over the cached projected memory keys, classify. The result is
+// valid until the next call on this predictor.
+func (p *Predictor) logits(x *mat.Matrix) *mat.Matrix {
+	m := p.m
+	if m.memKeys == nil {
+		panic("core: model has no memory; call SetMemory first")
+	}
+	p.ws.Reset()
+	hc := m.embedC.InferInto(p.ws, x)
+	att := m.attn.InferProjectedTInto(p.ws, hc, m.memKpT, m.memV)
+	return m.fc.InferInto(p.ws, att)
+}
+
+// PredictInto localises every row of x into dst and returns it, running
+// inline on the calling goroutine (no batch fan-out). A nil dst is
+// allocated; otherwise len(dst) must equal x.Rows. This is the steady-state
+// serving path: after the first call warms the workspace and packed weight
+// views, it performs zero heap allocations.
+func (p *Predictor) PredictInto(dst []int, x *mat.Matrix) []int {
+	dst = prepPredictDst(dst, x.Rows)
+	logits := p.logits(x)
+	for i := 0; i < logits.Rows; i++ {
+		dst[i] = mat.ArgMax(logits.Row(i))
+	}
+	return dst
+}
+
+// PredictBatchInto localises every row of x into dst and returns it,
+// row-sharding large batches across up to mat.Parallelism() goroutines (one
+// shared worker budget with the parallel kernels). Secondary shards draw
+// their own predictors from the model's pool, so the fan-out is race-free;
+// results are identical to PredictInto. A nil dst is allocated.
+func (p *Predictor) PredictBatchInto(dst []int, x *mat.Matrix) []int {
+	dst = prepPredictDst(dst, x.Rows)
+	maxShards := x.Rows / predictShardRows
+	if maxShards <= 1 {
+		return p.PredictInto(dst, x)
+	}
+	mat.ShardRows(x.Rows, maxShards, func(lo, hi int) {
+		sp := p
+		if lo != 0 {
+			// Secondary shards run on worker goroutines and need their own
+			// workspace; the calling goroutine's chunk reuses p itself.
+			sp = p.m.getPredictor()
+			defer p.m.putPredictor(sp)
+		}
+		shard := x
+		if lo != 0 || hi != x.Rows {
+			shard = mat.FromSlice(hi-lo, x.Cols, x.Data[lo*x.Cols:hi*x.Cols])
+		}
+		sp.PredictInto(dst[lo:hi], shard)
+	})
+	return dst
+}
+
+func prepPredictDst(dst []int, rows int) []int {
+	if dst == nil {
+		return make([]int, rows)
+	}
+	if len(dst) != rows {
+		panic(fmt.Sprintf("core: prediction destination length %d, want %d", len(dst), rows))
+	}
+	return dst
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"calloc/internal/fingerprint"
+	"calloc/internal/mat"
+)
+
+// syntheticModel builds an untrained model with synthetic attention memory —
+// prediction equivalence and allocation behaviour do not depend on trained
+// weights, so tests skip the expensive Train call.
+func syntheticModel(t testing.TB, numAPs, numRPs, memory int) (*Model, *mat.Matrix) {
+	t.Helper()
+	cfg := DefaultConfig(numAPs, numRPs)
+	cfg.EmbedDim, cfg.AttnDim = 16, 8
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	db := make([]fingerprint.Sample, memory)
+	for i := range db {
+		rss := make([]float64, numAPs)
+		for j := range rss {
+			rss[j] = rng.Float64()
+		}
+		db[i] = fingerprint.Sample{RSS: rss, RP: i % numRPs}
+	}
+	if err := m.SetMemory(db); err != nil {
+		t.Fatal(err)
+	}
+	x := mat.New(97, numAPs) // odd row count exercises uneven shards
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	return m, x
+}
+
+// TestPredictorMatchesPredict: the workspace single-goroutine path, the
+// sharded batch path, and the pooled model entry points must agree.
+func TestPredictorMatchesPredict(t *testing.T) {
+	m, x := syntheticModel(t, 12, 5, 40)
+	want := m.Predict(x)
+
+	p := m.Predictor()
+	if got := p.PredictInto(nil, x); !equalInts(got, want) {
+		t.Fatalf("PredictInto diverged from Predict:\n got %v\nwant %v", got, want)
+	}
+	dst := make([]int, x.Rows)
+	if got := p.PredictBatchInto(dst, x); !equalInts(got, want) {
+		t.Fatalf("PredictBatchInto diverged from Predict:\n got %v\nwant %v", got, want)
+	}
+
+	// Row-by-row single queries must agree with the batch.
+	single := m.Predictor()
+	out := make([]int, 1)
+	for i := 0; i < x.Rows; i++ {
+		row := mat.FromSlice(1, x.Cols, x.Row(i))
+		if single.PredictInto(out, row); out[0] != want[i] {
+			t.Fatalf("single-row predict %d = %d, want %d", i, out[0], want[i])
+		}
+	}
+}
+
+// TestPredictorReusedAcrossBatchSizes: workspace buffers must resize
+// correctly when the same handle sees varying batch shapes.
+func TestPredictorReusedAcrossBatchSizes(t *testing.T) {
+	m, x := syntheticModel(t, 12, 5, 40)
+	p := m.Predictor()
+	for _, rows := range []int{1, 33, 1, 97, 16} {
+		sub := mat.FromSlice(rows, x.Cols, x.Data[:rows*x.Cols])
+		want := m.Predict(sub)
+		if got := p.PredictBatchInto(nil, sub); !equalInts(got, want) {
+			t.Fatalf("rows=%d: PredictBatchInto diverged", rows)
+		}
+	}
+}
+
+// TestPredictorZeroAllocSteadyState is the tentpole acceptance check at unit
+// scope: after warm-up, the single-query PredictInto path must not allocate.
+func TestPredictorZeroAllocSteadyState(t *testing.T) {
+	m, x := syntheticModel(t, 12, 5, 40)
+	p := m.Predictor()
+	q := mat.FromSlice(1, x.Cols, x.Row(0))
+	dst := make([]int, 1)
+	p.PredictInto(dst, q) // warm workspace and packed views
+	if allocs := testing.AllocsPerRun(50, func() {
+		p.PredictInto(dst, q)
+	}); allocs != 0 {
+		t.Fatalf("steady-state PredictInto allocates %.0f objects/op, want 0", allocs)
+	}
+}
+
+// TestPredictorDstValidation: a wrong-length destination is a programming
+// error and must panic rather than silently truncate.
+func TestPredictorDstValidation(t *testing.T) {
+	m, x := syntheticModel(t, 12, 5, 40)
+	p := m.Predictor()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short destination")
+		}
+	}()
+	p.PredictInto(make([]int, 3), x)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

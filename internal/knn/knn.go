@@ -6,16 +6,16 @@ package knn
 
 import (
 	"fmt"
-	"sort"
 
 	"calloc/internal/mat"
 )
 
 // Classifier is a fitted KNN model.
 type Classifier struct {
-	K      int
-	x      *mat.Matrix
-	labels []int
+	K       int
+	x       *mat.Matrix
+	labels  []int
+	classes int // max label + 1, sized once at fit time
 }
 
 // New fits (stores) the training set. k ≤ 0 selects the conventional k=3.
@@ -32,7 +32,13 @@ func New(x *mat.Matrix, labels []int, k int) (*Classifier, error) {
 	if k > x.Rows {
 		k = x.Rows
 	}
-	return &Classifier{K: k, x: x.Clone(), labels: append([]int(nil), labels...)}, nil
+	classes := 0
+	for _, l := range labels {
+		if l+1 > classes {
+			classes = l + 1
+		}
+	}
+	return &Classifier{K: k, x: x.Clone(), labels: append([]int(nil), labels...), classes: classes}, nil
 }
 
 // InputGradient returns the white-box gradient of a differentiable
@@ -43,16 +49,12 @@ func New(x *mat.Matrix, labels []int, k int) (*Classifier, error) {
 // share the same distance field — the standard way to attack
 // nearest-neighbour models under a white-box threat model.
 func (c *Classifier) InputGradient(q *mat.Matrix, labels []int) *mat.Matrix {
-	classes := 0
-	for _, l := range c.labels {
-		if l+1 > classes {
-			classes = l + 1
-		}
-	}
+	classes := c.classes
 	out := mat.New(q.Rows, q.Cols)
 	n := c.x.Rows
 	d2 := make([]float64, n)
 	s := make([]float64, n)
+	dvote := make([]float64, classes)
 	for i := 0; i < q.Rows; i++ {
 		qrow := q.Row(i)
 		var meanD2 float64
@@ -71,7 +73,9 @@ func (c *Classifier) InputGradient(q *mat.Matrix, labels []int) *mat.Matrix {
 		mat.SoftmaxRow(s, s)
 		// vote_c = Σ_j s_j [y_j = c]; dvote = p − onehot with p = vote
 		// (the vote is already a distribution).
-		dvote := make([]float64, classes)
+		for j := range dvote {
+			dvote[j] = 0
+		}
 		for j := 0; j < n; j++ {
 			dvote[c.labels[j]] += s[j]
 		}
@@ -99,29 +103,65 @@ func (c *Classifier) InputGradient(q *mat.Matrix, labels []int) *mat.Matrix {
 
 // Predict returns the majority label among the k nearest neighbours of each
 // row of q. Ties break toward the nearer neighbour's label.
+//
+// The k nearest are selected with a bounded insertion pass — O(n·k) with a
+// k-element running top-k instead of sorting all n distances per query — and
+// all per-query scratch (the top-k arrays and the vote table) is hoisted out
+// of the query loop. Distances are compared squared, skipping n square
+// roots per query (monotone, so the selection is unchanged).
 func (c *Classifier) Predict(q *mat.Matrix) []int {
 	out := make([]int, q.Rows)
-	type cand struct {
-		d     float64
-		label int
-	}
+	k := c.K
+	nd := make([]float64, k) // squared distances of the current k nearest, ascending
+	nl := make([]int, k)     // their labels, same order
+	votes := make([]int, c.classes)
 	for i := 0; i < q.Rows; i++ {
 		row := q.Row(i)
-		cands := make([]cand, c.x.Rows)
+		size := 0
 		for j := 0; j < c.x.Rows; j++ {
-			cands[j] = cand{mat.EuclideanDistance(row, c.x.Row(j)), c.labels[j]}
+			d := sqDist(row, c.x.Row(j))
+			if size == k && d >= nd[k-1] {
+				continue
+			}
+			// Insert, keeping equal distances in first-seen order so ties
+			// resolve exactly as a stable full sort would.
+			p := size
+			if p == k {
+				p = k - 1
+			} else {
+				size++
+			}
+			for ; p > 0 && nd[p-1] > d; p-- {
+				nd[p], nl[p] = nd[p-1], nl[p-1]
+			}
+			nd[p], nl[p] = d, c.labels[j]
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
-		votes := make(map[int]int)
-		bestLabel, bestVotes := cands[0].label, 0
-		for _, cd := range cands[:c.K] {
-			votes[cd.label]++
-			if votes[cd.label] > bestVotes {
-				bestVotes = votes[cd.label]
-				bestLabel = cd.label
+		for j := range votes {
+			votes[j] = 0
+		}
+		bestLabel, bestVotes := nl[0], 0
+		for t := 0; t < size; t++ {
+			votes[nl[t]]++
+			if votes[nl[t]] > bestVotes {
+				bestVotes = votes[nl[t]]
+				bestLabel = nl[t]
 			}
 		}
 		out[i] = bestLabel
 	}
 	return out
+}
+
+// sqDist returns ‖a−b‖² without the square root EuclideanDistance takes.
+func sqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("knn: sqDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	b = b[:len(a)]
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
 }

@@ -2,6 +2,7 @@ package knn
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"calloc/internal/mat"
@@ -128,5 +129,70 @@ func TestInputGradientAttacksKNN(t *testing.T) {
 	}
 	if attacked >= clean {
 		t.Fatalf("softmin gradient attack failed: clean %d vs attacked %d", clean, attacked)
+	}
+}
+
+// refPredict is a deliberately naive reference: stable full sort of every
+// distance, then majority vote among the first k with ties toward the
+// nearer neighbour — the semantics the bounded-insertion selection in
+// Predict must reproduce.
+func refPredict(c *Classifier, q *mat.Matrix) []int {
+	out := make([]int, q.Rows)
+	for i := 0; i < q.Rows; i++ {
+		row := q.Row(i)
+		type cand struct {
+			d     float64
+			label int
+		}
+		cands := make([]cand, c.x.Rows)
+		for j := 0; j < c.x.Rows; j++ {
+			cands[j] = cand{mat.EuclideanDistance(row, c.x.Row(j)), c.labels[j]}
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		votes := make(map[int]int)
+		bestLabel, bestVotes := cands[0].label, 0
+		for _, cd := range cands[:c.K] {
+			votes[cd.label]++
+			if votes[cd.label] > bestVotes {
+				bestVotes = votes[cd.label]
+				bestLabel = cd.label
+			}
+		}
+		out[i] = bestLabel
+	}
+	return out
+}
+
+// TestBoundedSelectionMatchesFullSort: randomized equivalence between the
+// O(n·k) top-k selection and the full-sort reference, across k values that
+// straddle the dataset size, including duplicated points (distance ties).
+func TestBoundedSelectionMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, k := range []int{1, 2, 3, 7, 25, 60} {
+		n, dim, classes := 50, 6, 7
+		rows := make([][]float64, n)
+		labels := make([]int, n)
+		for i := range rows {
+			rows[i] = make([]float64, dim)
+			for j := range rows[i] {
+				rows[i][j] = float64(rng.Intn(4)) // coarse grid forces exact ties
+			}
+			labels[i] = rng.Intn(classes)
+		}
+		c, err := New(mat.FromRows(rows), labels, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := mat.New(20, dim)
+		for i := range q.Data {
+			q.Data[i] = float64(rng.Intn(4))
+		}
+		got := c.Predict(q)
+		want := refPredict(c, q)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d query %d: bounded selection chose %d, full sort %d", k, i, got[i], want[i])
+			}
+		}
 	}
 }

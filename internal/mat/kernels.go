@@ -1,0 +1,199 @@
+package mat
+
+// Cache-blocked (tiled) inner kernels for the three matrix products.
+//
+// Every kernel computes a contiguous row range [lo, hi) of its destination so
+// the row-sharding shard points in parallel.go can split work across
+// goroutines without synchronisation. Within a shard the loops are tiled:
+// the operand panel a tile touches is sized to stay resident in a core's L1/L2
+// cache while it is reused across every row of the shard, and the innermost
+// updates are unrolled 4-wide — axpy-style kernels fold four inner-dimension
+// terms into one pass over the destination row (4× fewer dst loads/stores),
+// dot-product kernels carry four independent accumulators to break the
+// floating-point add dependency chain.
+//
+// Unrolling reorders floating-point accumulation, so kernel results may
+// differ from a naive triple loop in the last ulps. They remain deterministic:
+// a given product always sums in the same order regardless of worker count,
+// so parallel results are bit-identical to sequential ones.
+
+const (
+	// blockK is the inner-dimension tile: each (blockK × blockN) panel of b
+	// is reused across all rows of the shard while cache-hot.
+	blockK = 128
+	// blockN is the output-column tile of the axpy-style kernels
+	// (blockK×blockN float64 panel = 256 kB, sized for a shared L2).
+	blockN = 256
+	// blockJ is the output-column tile of the dot-product kernels: blockJ
+	// rows of the (transposed or packed) operand are reused across every
+	// row of the shard.
+	blockJ = 32
+)
+
+// mulRows computes rows [lo, hi) of dst = a·b.
+func mulRows(dst, a, b *Matrix, lo, hi int) {
+	fusedMulRows(dst, a, b, nil, ActIdentity, lo, hi)
+}
+
+// fusedMulRows computes rows [lo, hi) of dst = act(a·b + bias). The epilogue
+// runs per destination tile, right after the tile's last inner-dimension
+// block, while the tile is still cache-hot — fusing the bias add and
+// activation into the product instead of separate full passes over dst.
+// bias may be nil; ActIdentity skips the activation.
+func fusedMulRows(dst, a, b *Matrix, bias []float64, act Activation, lo, hi int) {
+	n, kDim := dst.Cols, a.Cols
+	for i := lo; i < hi; i++ {
+		orow := dst.Data[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	if n == 0 {
+		return
+	}
+	epilogue := bias != nil || act != ActIdentity
+	for j0 := 0; j0 < n; j0 += blockN {
+		j1 := min(j0+blockN, n)
+		for k0 := 0; k0 < kDim; k0 += blockK {
+			k1 := min(k0+blockK, kDim)
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*kDim : (i+1)*kDim]
+				orow := dst.Data[i*n+j0 : i*n+j1]
+				axpy4(orow, arow, b.Data, n, k0, k1, j0)
+			}
+		}
+		if !epilogue {
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			orow := dst.Data[i*n+j0 : i*n+j1]
+			if bias != nil {
+				brow := bias[j0:j1]
+				for j := range orow {
+					orow[j] = activate(orow[j]+brow[j], act)
+				}
+			} else {
+				for j := range orow {
+					orow[j] = activate(orow[j], act)
+				}
+			}
+		}
+	}
+}
+
+// axpy4 folds rows [k0, k1) of the n-column panel starting at column j0 into
+// orow: orow[j] += Σ_k arow[k]·panel[k][j0+j], four k terms per pass.
+func axpy4(orow, arow, bdata []float64, n, k0, k1, j0 int) {
+	w := len(orow)
+	k := k0
+	for ; k+3 < k1; k += 4 {
+		a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue
+		}
+		b0 := bdata[k*n+j0 : k*n+j0+w]
+		b1 := bdata[(k+1)*n+j0 : (k+1)*n+j0+w]
+		b2 := bdata[(k+2)*n+j0 : (k+2)*n+j0+w]
+		b3 := bdata[(k+3)*n+j0 : (k+3)*n+j0+w]
+		for j := range orow {
+			orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+	}
+	for ; k < k1; k++ {
+		av := arow[k]
+		if av == 0 {
+			continue
+		}
+		brow := bdata[k*n+j0 : k*n+j0+w]
+		for j, bv := range brow {
+			orow[j] += av * bv
+		}
+	}
+}
+
+// mulTRows computes rows [lo, hi) of dst = a·bᵀ: pure dot products between
+// rows of a and rows of b, tiled so a blockJ-row panel of b is reused across
+// the whole shard.
+func mulTRows(dst, a, b *Matrix, lo, hi int) {
+	n, kDim := dst.Cols, a.Cols
+	for j0 := 0; j0 < n; j0 += blockJ {
+		j1 := min(j0+blockJ, n)
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*kDim : (i+1)*kDim]
+			orow := dst.Data[i*n : (i+1)*n]
+			for j := j0; j < j1; j++ {
+				orow[j] = dot4(arow, b.Data[j*kDim:(j+1)*kDim])
+			}
+		}
+	}
+}
+
+// dot4 is the 4-wide unrolled inner product with independent accumulators.
+func dot4(x, y []float64) float64 {
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	k := 0
+	for ; k+3 < len(x); k += 4 {
+		s0 += x[k] * y[k]
+		s1 += x[k+1] * y[k+1]
+		s2 += x[k+2] * y[k+2]
+		s3 += x[k+3] * y[k+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; k < len(x); k++ {
+		s += x[k] * y[k]
+	}
+	return s
+}
+
+// tMulRows computes rows [lo, hi) of dst = aᵀ·b — output row i is the i-th
+// column of a. The k loop stays outermost so b is streamed row-contiguously;
+// four b rows are folded into each pass over a destination row.
+func tMulRows(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		orow := dst.Data[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	if n == 0 {
+		return
+	}
+	kDim := a.Rows
+	k := 0
+	for ; k+3 < kDim; k += 4 {
+		a0 := a.Data[k*a.Cols : (k+1)*a.Cols]
+		a1 := a.Data[(k+1)*a.Cols : (k+2)*a.Cols]
+		a2 := a.Data[(k+2)*a.Cols : (k+3)*a.Cols]
+		a3 := a.Data[(k+3)*a.Cols : (k+4)*a.Cols]
+		b0 := b.Data[k*n : (k+1)*n]
+		b1 := b.Data[(k+1)*n : (k+2)*n]
+		b2 := b.Data[(k+2)*n : (k+3)*n]
+		b3 := b.Data[(k+3)*n : (k+4)*n]
+		for i := lo; i < hi; i++ {
+			c0, c1, c2, c3 := a0[i], a1[i], a2[i], a3[i]
+			if c0 == 0 && c1 == 0 && c2 == 0 && c3 == 0 {
+				continue
+			}
+			orow := dst.Data[i*n : (i+1)*n]
+			for j := range orow {
+				orow[j] += c0*b0[j] + c1*b1[j] + c2*b2[j] + c3*b3[j]
+			}
+		}
+	}
+	for ; k < kDim; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*n : (k+1)*n]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := dst.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}

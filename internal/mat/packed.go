@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Packed is an immutable snapshot of a weight matrix prepared for the fused
+// inference GEMMs. The layout choice is empirical: this package's product
+// kernel is axpy-style (it streams b's rows contiguously and revisits an
+// L1-resident destination tile), and on the target hardware that formulation
+// beats a column-major dot-product formulation at every CALLOC batch size,
+// single queries included (see BenchmarkMatMulPackedShapes) — so Packed
+// stores the weights as row-major panels and the win comes from (a) the
+// bias+activation epilogue fused into the kernel's tile loop and (b) the
+// snapshot's stable identity, which lets nn.Param cache one per weight
+// version instead of re-validating the live matrix. A Packed view goes stale
+// when its source matrix changes — refresh it with Repack (nn.Param does
+// this lazily, keyed on a version counter).
+type Packed struct {
+	m Matrix // row-major snapshot of the source; header owned by p (no per-use allocation)
+}
+
+// Pack returns a packed copy of b.
+func Pack(b *Matrix) *Packed {
+	p := &Packed{}
+	p.Repack(b)
+	return p
+}
+
+// Repack refreshes p from b, reusing p's storage when the size fits.
+func (p *Packed) Repack(b *Matrix) {
+	n := b.Rows * b.Cols
+	if cap(p.m.Data) < n {
+		p.m.Data = make([]float64, n)
+	}
+	p.m.Rows, p.m.Cols, p.m.Data = b.Rows, b.Cols, p.m.Data[:n]
+	copy(p.m.Data, b.Data)
+}
+
+// Rows returns the row count of the source matrix.
+func (p *Packed) Rows() int { return p.m.Rows }
+
+// Cols returns the column count of the source matrix.
+func (p *Packed) Cols() int { return p.m.Cols }
+
+// Activation selects the element-wise epilogue fused into the packed and
+// bias-fused products. Keeping it an enum (rather than a func value) lets the
+// kernels inline the epilogue into the pass that materialises each output
+// element.
+type Activation int
+
+const (
+	// ActIdentity applies no activation.
+	ActIdentity Activation = iota
+	// ActReLU applies max(0, v).
+	ActReLU
+	// ActTanh applies tanh(v).
+	ActTanh
+	// ActSigmoid applies the numerically stable logistic function.
+	ActSigmoid
+)
+
+// activate applies the selected activation to one value.
+func activate(v float64, act Activation) float64 {
+	switch act {
+	case ActReLU:
+		if v > 0 {
+			return v
+		}
+		return 0
+	case ActTanh:
+		return math.Tanh(v)
+	case ActSigmoid:
+		return Sigmoid(v)
+	default:
+		return v
+	}
+}
+
+// Sigmoid is the numerically stable logistic function 1/(1+e^−v): the
+// two-branch form never exponentiates a positive argument, so it cannot
+// overflow to ∞ (and then NaN) for large |v| the way the naive 1/(1+exp(−v))
+// does for very negative v.
+func Sigmoid(v float64) float64 {
+	if v >= 0 {
+		return 1 / (1 + math.Exp(-v))
+	}
+	e := math.Exp(v)
+	return e / (1 + e)
+}
+
+// MulPackedInto computes a·B into dst (allocating it when nil) for a packed
+// operand B, and returns dst. Sharded across goroutines for large products
+// like MulInto. dst must not alias a.
+func MulPackedInto(dst, a *Matrix, b *Packed) *Matrix {
+	return mulBiasAct(dst, a, &b.m, nil, ActIdentity, "MulPackedInto")
+}
+
+// MulPackedBiasActInto computes act(a·B + bias) into dst (allocating it when
+// nil) and returns dst: the bias row-vector add and the activation run while
+// each destination tile is still cache-hot from the product, instead of as
+// separate AddRowVector and Apply passes over the full result. bias may be
+// nil to skip the add. dst must not alias a.
+func MulPackedBiasActInto(dst, a *Matrix, b *Packed, bias []float64, act Activation) *Matrix {
+	return mulBiasAct(dst, a, &b.m, bias, act, "MulPackedBiasActInto")
+}
+
+// MulBiasActInto is the unpacked fused product: act(a·b + bias) into dst
+// (allocating it when nil), with the epilogue fused into the kernel's tile
+// loop like MulPackedBiasActInto. bias may be nil. dst must not alias a or b.
+func MulBiasActInto(dst, a, b *Matrix, bias []float64, act Activation) *Matrix {
+	return mulBiasAct(dst, a, b, bias, act, "MulBiasActInto")
+}
+
+func mulBiasAct(dst, a, b *Matrix, bias []float64, act Activation, op string) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: %s inner mismatch %dx%d · %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if bias != nil && len(bias) != b.Cols {
+		panic(fmt.Sprintf("mat: %s bias length %d != cols %d", op, len(bias), b.Cols))
+	}
+	dst = prepDst(dst, a.Rows, b.Cols, op)
+	if useParallel(a.Rows*a.Cols*b.Cols, a.Rows) {
+		shardRows(a.Rows, func(lo, hi int) { fusedMulRows(dst, a, b, bias, act, lo, hi) })
+	} else {
+		fusedMulRows(dst, a, b, bias, act, 0, a.Rows)
+	}
+	return dst
+}

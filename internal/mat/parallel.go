@@ -182,26 +182,6 @@ func MulInto(dst, a, b *Matrix) *Matrix {
 	return dst
 }
 
-// mulRows computes rows [lo, hi) of dst = a·b.
-func mulRows(dst, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := range orow {
-			orow[j] = 0
-		}
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-}
-
 // MulTInto computes a·bᵀ into dst (allocating it when nil) and returns dst,
 // without materialising the transpose. dst must not alias a or b.
 func MulTInto(dst, a, b *Matrix) *Matrix {
@@ -217,22 +197,6 @@ func MulTInto(dst, a, b *Matrix) *Matrix {
 	return dst
 }
 
-// mulTRows computes rows [lo, hi) of dst = a·bᵀ.
-func mulTRows(dst, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := range orow {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
-	}
-}
-
 // TMulInto computes aᵀ·b into dst (allocating it when nil) and returns dst,
 // without materialising the transpose. dst must not alias a or b.
 func TMulInto(dst, a, b *Matrix) *Matrix {
@@ -246,30 +210,4 @@ func TMulInto(dst, a, b *Matrix) *Matrix {
 		tMulRows(dst, a, b, 0, a.Cols)
 	}
 	return dst
-}
-
-// tMulRows computes rows [lo, hi) of dst = aᵀ·b — output row i is the
-// i-th column of a. The k-loop stays outermost so b is still streamed
-// row-contiguously; each worker reads the [lo, hi) slice of every a row.
-func tMulRows(dst, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := range orow {
-			orow[j] = 0
-		}
-	}
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i := lo; i < hi; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
 }

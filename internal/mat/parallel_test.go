@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -84,9 +85,9 @@ var productShapes = []struct {
 	{"square128", 128, 128, 128},
 }
 
-// expectEqual asserts bit-identical matrices (the parallel kernels perform
+// expectEqual asserts bit-identical matrices. The parallel kernels perform
 // the same operations in the same order per output row as the sequential
-// ones, so exact equality is required, not approximate).
+// ones, so sequential-vs-parallel comparisons require exact equality.
 func expectEqual(t *testing.T, got, want *Matrix, label string) {
 	t.Helper()
 	if got.Rows != want.Rows || got.Cols != want.Cols {
@@ -94,6 +95,26 @@ func expectEqual(t *testing.T, got, want *Matrix, label string) {
 	}
 	for i, v := range want.Data {
 		if got.Data[i] != v {
+			t.Fatalf("%s: element %d = %g, want %g", label, i, got.Data[i], v)
+		}
+	}
+}
+
+// expectClose asserts element-wise agreement to a tight relative tolerance.
+// The blocked kernels unroll their inner loops 4-wide (independent partial
+// accumulators), which reorders floating-point accumulation relative to a
+// naive triple loop, so reference comparisons allow last-ulps drift.
+func expectClose(t *testing.T, got, want *Matrix, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range want.Data {
+		scale := math.Abs(v)
+		if scale < 1 {
+			scale = 1
+		}
+		if math.Abs(got.Data[i]-v) > 1e-12*scale {
 			t.Fatalf("%s: element %d = %g, want %g", label, i, got.Data[i], v)
 		}
 	}
@@ -131,16 +152,45 @@ func TestProductEquivalence(t *testing.T) {
 					at := a.Transpose() // for TMul: (aᵀ)ᵀ·b = a·b
 					want := refMul(a, b)
 
-					expectEqual(t, Mul(a, b), want, "Mul")
-					expectEqual(t, MulT(a, bt), refMulT(a, bt), "MulT")
-					expectEqual(t, TMul(at, b), refTMul(at, b), "TMul")
+					expectClose(t, Mul(a, b), want, "Mul")
+					expectClose(t, MulT(a, bt), refMulT(a, bt), "MulT")
+					expectClose(t, TMul(at, b), refTMul(at, b), "TMul")
 
-					expectEqual(t, MulInto(dirtyDst(sh.m, sh.n), a, b), want, "MulInto")
-					expectEqual(t, MulTInto(dirtyDst(sh.m, sh.n), a, bt), want, "MulTInto")
-					expectEqual(t, TMulInto(dirtyDst(sh.m, sh.n), at, b), want, "TMulInto")
+					expectClose(t, MulInto(dirtyDst(sh.m, sh.n), a, b), want, "MulInto")
+					expectClose(t, MulTInto(dirtyDst(sh.m, sh.n), a, bt), want, "MulTInto")
+					expectClose(t, TMulInto(dirtyDst(sh.m, sh.n), at, b), want, "TMulInto")
 				})
 			}
 		})
+	}
+}
+
+// TestParallelBitIdenticalToSequential verifies the determinism contract:
+// sharding a product across goroutines must give bit-identical results to
+// running it sequentially, because workers own disjoint destination rows and
+// each row is summed in the same order either way.
+func TestParallelBitIdenticalToSequential(t *testing.T) {
+	defer SetParallelism(SetParallelism(0))
+	defer SetParallelThreshold(SetParallelThreshold(0))
+	rng := rand.New(rand.NewSource(9))
+	for _, sh := range productShapes {
+		a := sparseMatrix(sh.m, sh.k, rng)
+		b := sparseMatrix(sh.k, sh.n, rng)
+		bt := b.Transpose()
+		at := a.Transpose()
+
+		SetParallelism(1)
+		seqMul := Mul(a, b)
+		seqMulT := MulT(a, bt)
+		seqTMul := TMul(at, b)
+
+		SetParallelism(8)
+		SetParallelThreshold(1)
+		expectEqual(t, Mul(a, b), seqMul, sh.name+"/Mul")
+		expectEqual(t, MulT(a, bt), seqMulT, sh.name+"/MulT")
+		expectEqual(t, TMul(at, b), seqTMul, sh.name+"/TMul")
+		SetParallelism(0)
+		SetParallelThreshold(0)
 	}
 }
 
@@ -211,7 +261,7 @@ func TestConcurrentProducts(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	a := sparseMatrix(37, 29, rng)
 	b := sparseMatrix(29, 31, rng)
-	want := refMul(a, b)
+	want := Mul(a, b) // same kernel: concurrent results must be bit-identical
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

@@ -125,6 +125,55 @@ func (ca *CrossAttention) InferProjected(q, kp, v *mat.Matrix) *mat.Matrix {
 	return out
 }
 
+// InferProjectedInto is InferProjected with every temporary drawn from ws
+// instead of the scratch pool, making the steady-state pass allocation-free.
+// The query projection multiplies against the lazily-packed Wq view. The
+// result is valid until ws is Reset; cache-free and safe for concurrent use
+// as long as each goroutine owns its workspace.
+func (ca *CrossAttention) InferProjectedInto(ws *Workspace, q, kp, v *mat.Matrix) *mat.Matrix {
+	if q.Cols != ca.Wq.W.Rows || kp.Cols != ca.DK {
+		panic(fmt.Sprintf("nn: CrossAttention dims q%dx%d kp%dx%d vs W %dx%d",
+			q.Rows, q.Cols, kp.Rows, kp.Cols, ca.Wq.W.Rows, ca.Wq.W.Cols))
+	}
+	if kp.Rows != v.Rows {
+		panic(fmt.Sprintf("nn: CrossAttention memory mismatch K rows %d vs V rows %d", kp.Rows, v.Rows))
+	}
+	qp := mat.MulPackedInto(ws.Take(q.Rows, ca.DK), q, ca.Wq.Packed())
+	scores := mat.MulTInto(ws.Take(q.Rows, kp.Rows), qp, kp)
+	return ca.attendInto(ws, scores, v)
+}
+
+// attendInto finishes an attention pass over precomputed raw scores: scale
+// by 1/√dk, softmax each row in place, and mix the value matrix. Shared by
+// the projected-key inference variants.
+func (ca *CrossAttention) attendInto(ws *Workspace, scores, v *mat.Matrix) *mat.Matrix {
+	scores.ScaleInPlace(1 / math.Sqrt(float64(ca.DK)))
+	for i := 0; i < scores.Rows; i++ {
+		mat.SoftmaxRow(scores.Row(i), scores.Row(i))
+	}
+	return mat.MulInto(ws.Take(scores.Rows, v.Cols), scores, v)
+}
+
+// InferProjectedTInto is InferProjectedInto with the key projection supplied
+// transposed: kpT = ProjectKeys(k)ᵀ, a dk×M row-major matrix. The scores
+// product Qp·Kpᵀ then runs through the row-streaming axpy kernel instead of
+// the dot-product kernel, which measures markedly faster at CALLOC memory
+// sizes (the kernel streams kpT's rows contiguously and keeps each score
+// tile L1-resident). Deployed models cache kpT once per weight refresh
+// (core.Model.RefreshMemoryKeys), so the transpose is off the hot path.
+func (ca *CrossAttention) InferProjectedTInto(ws *Workspace, q, kpT, v *mat.Matrix) *mat.Matrix {
+	if q.Cols != ca.Wq.W.Rows || kpT.Rows != ca.DK {
+		panic(fmt.Sprintf("nn: CrossAttention dims q%dx%d kpT%dx%d vs W %dx%d",
+			q.Rows, q.Cols, kpT.Rows, kpT.Cols, ca.Wq.W.Rows, ca.Wq.W.Cols))
+	}
+	if kpT.Cols != v.Rows {
+		panic(fmt.Sprintf("nn: CrossAttention memory mismatch KpT cols %d vs V rows %d", kpT.Cols, v.Rows))
+	}
+	qp := mat.MulPackedInto(ws.Take(q.Rows, ca.DK), q, ca.Wq.Packed())
+	scores := mat.MulInto(ws.Take(q.Rows, kpT.Cols), qp, kpT)
+	return ca.attendInto(ws, scores, v)
+}
+
 // Backward takes dL/d(output) (B×C) and returns (dL/dq, dL/dk). Parameter
 // gradients accumulate into Wq.G and Wk.G. V is treated as constant.
 func (ca *CrossAttention) Backward(gradOut *mat.Matrix) (dq, dk *mat.Matrix) {

@@ -18,6 +18,17 @@ type Layer interface {
 	Params() []*Param
 }
 
+// Package-level activation functions, shared by the Forward/Infer paths and
+// the workspace inference fallbacks.
+func relu(v float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return 0
+}
+
+func tanh(v float64) float64 { return math.Tanh(v) }
+
 // Dense is a fully connected layer: y = x·W + b, with W of shape in×out.
 type Dense struct {
 	W, B  *Param
@@ -62,6 +73,15 @@ func (d *Dense) Infer(x *mat.Matrix) *mat.Matrix {
 	return y
 }
 
+// InferActInto computes act(x·W + b) into a workspace buffer using the
+// layer's lazily-packed weights, with the bias add and activation fused into
+// the product pass. Zero steady-state allocations; the result is valid until
+// ws is Reset. Backward must not follow.
+func (d *Dense) InferActInto(ws *Workspace, x *mat.Matrix, act mat.Activation) *mat.Matrix {
+	y := ws.Take(x.Rows, d.W.W.Cols)
+	return mat.MulPackedBiasActInto(y, x, d.W.Packed(), d.B.W.Data, act)
+}
+
 // Backward accumulates ∂L/∂W and ∂L/∂b and returns ∂L/∂x.
 func (d *Dense) Backward(gradOut *mat.Matrix) *mat.Matrix {
 	gw := mat.TMulInto(mat.GetScratch(d.W.W.Rows, d.W.W.Cols), d.lastX, gradOut)
@@ -84,22 +104,12 @@ type ReLU struct{ lastX *mat.Matrix }
 // Forward applies max(0, x).
 func (r *ReLU) Forward(x *mat.Matrix, _ bool) *mat.Matrix {
 	r.lastX = x
-	return x.Apply(func(v float64) float64 {
-		if v > 0 {
-			return v
-		}
-		return 0
-	})
+	return x.Apply(relu)
 }
 
 // Infer applies max(0, x) without caching, safe for concurrent use.
 func (r *ReLU) Infer(x *mat.Matrix) *mat.Matrix {
-	return x.Apply(func(v float64) float64 {
-		if v > 0 {
-			return v
-		}
-		return 0
-	})
+	return x.Apply(relu)
 }
 
 // Backward zeroes the gradient where the input was non-positive.
@@ -143,16 +153,19 @@ func (t *Tanh) Params() []*Param { return nil }
 // Sigmoid is the logistic activation.
 type Sigmoid struct{ lastY *mat.Matrix }
 
-// Forward applies 1/(1+e^−x) element-wise.
+// Forward applies 1/(1+e^−x) element-wise via the numerically stable
+// two-branch form (mat.Sigmoid): the naive expression exponentiates −v,
+// which overflows to +Inf for large negative v and turns the quotient into
+// garbage; the stable form never exponentiates a positive argument.
 func (s *Sigmoid) Forward(x *mat.Matrix, _ bool) *mat.Matrix {
-	s.lastY = x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	s.lastY = x.Apply(mat.Sigmoid)
 	return s.lastY
 }
 
 // Infer applies the logistic function without caching, safe for concurrent
 // use.
 func (s *Sigmoid) Infer(x *mat.Matrix) *mat.Matrix {
-	return x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	return x.Apply(mat.Sigmoid)
 }
 
 // Backward multiplies by y(1−y).

@@ -132,6 +132,7 @@ func (n *Network) Restore(snap [][]float64) {
 			panic(fmt.Sprintf("nn: Restore tensor %d size %d != %d", i, len(snap[i]), len(p.W.Data)))
 		}
 		copy(p.W.Data, snap[i])
+		p.NoteUpdate()
 	}
 }
 
@@ -173,6 +174,7 @@ func (n *Network) UnmarshalWeights(data []byte) error {
 				s.Name, s.Rows, s.Cols, p.W.Rows, p.W.Cols)
 		}
 		copy(p.W.Data, s.Data)
+		p.NoteUpdate()
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ func (s *SGD) Step(params []*Param) {
 			v[i] = s.Momentum*v[i] - s.LR*p.G.Data[i]
 			p.W.Data[i] += v[i]
 		}
+		p.NoteUpdate()
 		p.ZeroGrad()
 	}
 }
@@ -72,6 +73,7 @@ func (a *Adam) Step(params []*Param) {
 			vh := v[i] / c2
 			p.W.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
 		}
+		p.NoteUpdate()
 		p.ZeroGrad()
 	}
 }

@@ -10,16 +10,53 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"calloc/internal/mat"
 )
 
 // Param is one trainable tensor: its value W and accumulated gradient G.
 // Layers expose their Params so optimizers can update them in place.
+//
+// Param also maintains a lazily-packed snapshot view of W (mat.Packed) for
+// the hot inference GEMMs. The view is invalidated by a version counter: every
+// in-place mutation of W must call NoteUpdate, and Packed repacks on first
+// use after a bump. The optimizers, initialisers, Restore, and weight
+// deserialisation all do this; code that writes W.Data directly must too.
 type Param struct {
 	Name string
 	W    *mat.Matrix
 	G    *mat.Matrix
+
+	version atomic.Uint64
+	packed  atomic.Pointer[packedView]
+}
+
+// packedView snapshots a packed copy of W together with the weight version
+// it was packed at.
+type packedView struct {
+	version uint64
+	p       *mat.Packed
+}
+
+// NoteUpdate marks the parameter's weights as changed, invalidating any
+// packed view. Safe to call concurrently, but must not race with readers of
+// W.Data (serving layers exclude weight updates around inference; see
+// serve.Engine.Refresh).
+func (p *Param) NoteUpdate() { p.version.Add(1) }
+
+// Packed returns the packed snapshot view of W, repacking at most once per
+// NoteUpdate. Concurrent callers may briefly pack twice; both results are
+// equivalent and one wins the cache. The returned view must be treated as
+// read-only and goes stale at the next weight update.
+func (p *Param) Packed() *mat.Packed {
+	v := p.version.Load()
+	if pv := p.packed.Load(); pv != nil && pv.version == v {
+		return pv.p
+	}
+	pk := mat.Pack(p.W)
+	p.packed.Store(&packedView{version: v, p: pk})
+	return pk
 }
 
 // NewParam allocates a named r×c parameter with a zeroed gradient.
@@ -45,6 +82,7 @@ func (p *Param) XavierInit(rng *rand.Rand) {
 	for i := range p.W.Data {
 		p.W.Data[i] = (rng.Float64()*2 - 1) * limit
 	}
+	p.NoteUpdate()
 }
 
 // HeInit fills p.W with He-normal values, the initialisation used for ReLU
@@ -54,6 +92,7 @@ func (p *Param) HeInit(rng *rand.Rand) {
 	for i := range p.W.Data {
 		p.W.Data[i] = rng.NormFloat64() * std
 	}
+	p.NoteUpdate()
 }
 
 // CountParams sums the sizes of the given parameters.

@@ -1,0 +1,329 @@
+// Package serve implements the online serving layer: a micro-batching engine
+// that coalesces concurrent single-fingerprint localization requests into
+// batched model calls.
+//
+// Online localization is a many-small-queries workload — every request is a
+// single RSS vector, but a single-row forward pass streams the full weight
+// and attention-memory working set from cache for one query's worth of
+// arithmetic. Batching amortises that traffic across every query in the
+// window, so coalescing B concurrent requests into one PredictBatch call
+// costs far less than B single-row calls. The engine batches by time and
+// size: the first request in a window waits at most MaxWait for company, a
+// full window of MaxBatch dispatches immediately.
+//
+// The engine owns model access. Workers hold a read-lock around each batch
+// dispatch; Refresh takes the corresponding write-lock, which is the ONLY
+// supported way to mutate a served model's weights or attention memory while
+// the engine is running.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"calloc/internal/mat"
+)
+
+// Batcher is the model-side contract: one call localises every row of x into
+// dst. core.Predictor implements it; each worker owns one Batcher, so
+// implementations need not be safe for concurrent use.
+type Batcher interface {
+	PredictBatchInto(dst []int, x *mat.Matrix) []int
+}
+
+// ErrClosed is returned by Predict after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// Options configures an Engine.
+type Options struct {
+	// Features is the fingerprint width (visible APs). Required.
+	Features int
+	// MaxBatch caps how many requests one model call coalesces (default 32).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a window waits for the
+	// window to fill. 0 selects the default 500µs; negative dispatches
+	// immediately with whatever is already queued (no timer).
+	MaxWait time.Duration
+	// Workers is the number of concurrent batch dispatchers (default
+	// min(2, GOMAXPROCS)). More workers overlap model calls at the cost of
+	// smaller windows; on a single-core host extra workers only fragment
+	// batches.
+	Workers int
+	// QueueCap bounds the pending-request queue (default 4×MaxBatch). When
+	// the queue is full, Predict blocks — backpressure propagates to
+	// callers instead of growing memory without bound.
+	QueueCap int
+}
+
+func (o *Options) setDefaults() error {
+	if o.Features <= 0 {
+		return fmt.Errorf("serve: Options.Features must be positive, got %d", o.Features)
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxWait == 0 {
+		o.MaxWait = 500 * time.Microsecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+		if n := runtime.GOMAXPROCS(0); n < 2 {
+			o.Workers = n
+		}
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4 * o.MaxBatch
+	}
+	return nil
+}
+
+// request is one in-flight localization query.
+type request struct {
+	x      []float64
+	enq    time.Time
+	result chan int // buffered (cap 1) so an abandoned caller never blocks a worker
+}
+
+// Engine coalesces concurrent Predict calls into batched model calls.
+type Engine struct {
+	opts Options
+	reqs chan *request
+
+	// modelMu serialises model access: workers read-lock around each batch
+	// dispatch, Refresh write-locks for weight/memory updates.
+	modelMu sync.RWMutex
+
+	// sendMu guards the closed flag and makes Close's channel-close safe:
+	// senders hold the read side for the duration of the enqueue, Close
+	// takes the write side before closing reqs.
+	sendMu sync.RWMutex
+	closed bool
+
+	workers sync.WaitGroup
+	reqPool sync.Pool
+
+	// Throughput and latency counters (atomic; see Stats).
+	requests  atomic.Int64
+	batches   atomic.Int64
+	rows      atomic.Int64
+	fullWaits atomic.Int64
+	completed atomic.Int64
+	latencyNs atomic.Int64
+}
+
+// New starts an engine with one Batcher per worker drawn from newBatcher
+// (typically func() serve.Batcher { return model.Predictor() }).
+func New(newBatcher func() Batcher, opts Options) (*Engine, error) {
+	if newBatcher == nil {
+		return nil, errors.New("serve: nil Batcher constructor")
+	}
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts: opts,
+		reqs: make(chan *request, opts.QueueCap),
+	}
+	e.reqPool.New = func() any {
+		return &request{
+			x:      make([]float64, opts.Features),
+			result: make(chan int, 1),
+		}
+	}
+	e.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go e.run(newBatcher())
+	}
+	return e, nil
+}
+
+// Predict localises one fingerprint, blocking until a batching window
+// delivers its result. When the queue is full the call blocks (backpressure)
+// until space frees, ctx is done, or the engine closes. A nil ctx means
+// context.Background().
+func (e *Engine) Predict(ctx context.Context, rss []float64) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(rss) != e.opts.Features {
+		return -1, fmt.Errorf("serve: fingerprint has %d features, engine expects %d", len(rss), e.opts.Features)
+	}
+	r := e.reqPool.Get().(*request)
+	copy(r.x, rss)
+	r.enq = time.Now()
+
+	e.sendMu.RLock()
+	if e.closed {
+		e.sendMu.RUnlock()
+		e.reqPool.Put(r)
+		return -1, ErrClosed
+	}
+	select {
+	case e.reqs <- r:
+	default:
+		// Queue full: count the backpressure event, then wait for space.
+		e.fullWaits.Add(1)
+		select {
+		case e.reqs <- r:
+		case <-ctx.Done():
+			e.sendMu.RUnlock()
+			e.reqPool.Put(r) // never enqueued: safe to recycle
+			return -1, ctx.Err()
+		}
+	}
+	e.sendMu.RUnlock()
+	e.requests.Add(1)
+
+	select {
+	case rp := <-r.result:
+		e.latencyNs.Add(time.Since(r.enq).Nanoseconds())
+		e.completed.Add(1)
+		e.reqPool.Put(r)
+		return rp, nil
+	case <-ctx.Done():
+		// The worker may still deliver into r.result (cap 1); the request
+		// is abandoned to the GC rather than recycled.
+		return -1, ctx.Err()
+	}
+}
+
+// run is one worker: pull a request, gather a window, dispatch the batch.
+func (e *Engine) run(b Batcher) {
+	defer e.workers.Done()
+	maxB, f := e.opts.MaxBatch, e.opts.Features
+	batch := make([]*request, 0, maxB)
+	dst := make([]int, maxB)
+	xbuf := make([]float64, maxB*f)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-e.reqs
+		if !ok {
+			return // closed and drained
+		}
+		batch = append(batch[:0], first)
+		switch {
+		case maxB > 1 && e.opts.MaxWait > 0:
+			timer.Reset(e.opts.MaxWait)
+		gather:
+			for len(batch) < maxB {
+				select {
+				case r, ok := <-e.reqs:
+					if !ok {
+						break gather // closed: flush what we have
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break gather // window expired (timer drained)
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case maxB > 1:
+			// Negative MaxWait: dispatch immediately with whatever is
+			// already queued.
+		greedy:
+			for len(batch) < maxB {
+				select {
+				case r, ok := <-e.reqs:
+					if !ok {
+						break greedy
+					}
+					batch = append(batch, r)
+				default:
+					break greedy
+				}
+			}
+		}
+		e.dispatch(b, batch, dst, xbuf)
+	}
+}
+
+// dispatch assembles the window into one matrix, runs the model under the
+// read-lock, and delivers per-request results.
+func (e *Engine) dispatch(b Batcher, batch []*request, dst []int, xbuf []float64) {
+	f := e.opts.Features
+	n := len(batch)
+	for i, r := range batch {
+		copy(xbuf[i*f:(i+1)*f], r.x)
+	}
+	x := mat.FromSlice(n, f, xbuf[:n*f])
+
+	e.modelMu.RLock()
+	b.PredictBatchInto(dst[:n], x)
+	e.modelMu.RUnlock()
+
+	for i, r := range batch {
+		r.result <- dst[i]
+	}
+	e.batches.Add(1)
+	e.rows.Add(int64(n))
+}
+
+// Refresh runs fn with exclusive model access: it waits for in-flight
+// batches to finish and holds new ones off until fn returns. All weight
+// updates, RefreshMemoryKeys calls, and weight deserialisation against a
+// served model must go through here — the packed-view and memory-key caches
+// are only safe to invalidate while no batch is in flight.
+func (e *Engine) Refresh(fn func()) {
+	e.modelMu.Lock()
+	defer e.modelMu.Unlock()
+	fn()
+}
+
+// Close shuts the engine down gracefully: new Predict calls fail with
+// ErrClosed, already-queued requests are served, and Close returns once
+// every worker has drained and exited.
+func (e *Engine) Close() {
+	e.sendMu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.reqs)
+	}
+	e.sendMu.Unlock()
+	e.workers.Wait()
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	// Requests is the number of accepted Predict calls.
+	Requests int64 `json:"requests"`
+	// Batches is the number of model calls dispatched.
+	Batches int64 `json:"batches"`
+	// Rows is the total number of fingerprints across all batches.
+	Rows int64 `json:"rows"`
+	// QueueFullWaits counts Predict calls that hit backpressure (full queue).
+	QueueFullWaits int64 `json:"queue_full_waits"`
+	// AvgBatch is Rows/Batches — the realised coalescing factor.
+	AvgBatch float64 `json:"avg_batch"`
+	// AvgLatency is the mean enqueue-to-result time of completed requests.
+	AvgLatency time.Duration `json:"avg_latency_ns"`
+}
+
+// Stats returns a snapshot of the engine's throughput and latency counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Requests:       e.requests.Load(),
+		Batches:        e.batches.Load(),
+		Rows:           e.rows.Load(),
+		QueueFullWaits: e.fullWaits.Load(),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(s.Rows) / float64(s.Batches)
+	}
+	if done := e.completed.Load(); done > 0 {
+		s.AvgLatency = time.Duration(e.latencyNs.Load() / done)
+	}
+	return s
+}

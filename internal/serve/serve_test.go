@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"calloc/internal/core"
+	"calloc/internal/fingerprint"
+	"calloc/internal/mat"
+)
+
+// scriptedBatcher echoes feature 0 as the prediction and records batch
+// sizes; an optional gate holds every dispatch until released, making
+// coalescing and backpressure deterministic to test.
+type scriptedBatcher struct {
+	gate chan struct{}
+
+	mu         sync.Mutex
+	batchSizes []int
+}
+
+func (s *scriptedBatcher) PredictBatchInto(dst []int, x *mat.Matrix) []int {
+	if s.gate != nil {
+		<-s.gate
+	}
+	s.mu.Lock()
+	s.batchSizes = append(s.batchSizes, x.Rows)
+	s.mu.Unlock()
+	for i := 0; i < x.Rows; i++ {
+		dst[i] = int(x.Row(i)[0])
+	}
+	return dst
+}
+
+func (s *scriptedBatcher) sizes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.batchSizes...)
+}
+
+// testModel builds an untrained CALLOC model with synthetic memory — result
+// equivalence does not need trained weights.
+func testModel(t testing.TB, numAPs, numRPs, memory int) (*core.Model, *mat.Matrix) {
+	t.Helper()
+	cfg := core.DefaultConfig(numAPs, numRPs)
+	cfg.EmbedDim, cfg.AttnDim = 16, 8
+	m, err := core.NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	db := make([]fingerprint.Sample, memory)
+	for i := range db {
+		rss := make([]float64, numAPs)
+		for j := range rss {
+			rss[j] = rng.Float64()
+		}
+		db[i] = fingerprint.Sample{RSS: rss, RP: i % numRPs}
+	}
+	if err := m.SetMemory(db); err != nil {
+		t.Fatal(err)
+	}
+	x := mat.New(60, numAPs)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	return m, x
+}
+
+func TestEngineEchoesEveryRequest(t *testing.T) {
+	b := &scriptedBatcher{}
+	e, err := New(func() Batcher { return b }, Options{Features: 3, MaxBatch: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const n = 50
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rp, err := e.Predict(nil, []float64{float64(i), 0, 0})
+			if err != nil {
+				t.Errorf("Predict %d: %v", i, err)
+				return
+			}
+			results[i] = rp
+		}(i)
+	}
+	wg.Wait()
+	for i, rp := range results {
+		if rp != i {
+			t.Fatalf("request %d answered %d", i, rp)
+		}
+	}
+	st := e.Stats()
+	if st.Requests != n || st.Rows != n {
+		t.Fatalf("stats lost requests: %+v", st)
+	}
+	if st.Batches <= 0 || st.AvgBatch <= 0 {
+		t.Fatalf("stats missing batches: %+v", st)
+	}
+}
+
+// TestEngineCoalesces: with one worker, a large window, and a full
+// complement of queued requests, the engine must dispatch one batch.
+func TestEngineCoalesces(t *testing.T) {
+	b := &scriptedBatcher{gate: make(chan struct{}, 16)}
+	e, err := New(func() Batcher { return b },
+		Options{Features: 1, MaxBatch: 8, MaxWait: time.Second, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := e.Predict(nil, []float64{float64(i)}); err != nil {
+				t.Errorf("Predict: %v", err)
+			}
+		}(i)
+	}
+	// The worker gathers until the window fills (8 requests) because the
+	// gate only matters at dispatch time; release it once.
+	b.gate <- struct{}{}
+	wg.Wait()
+	sizes := b.sizes()
+	if len(sizes) != 1 || sizes[0] != 8 {
+		t.Fatalf("expected one coalesced batch of 8, got %v", sizes)
+	}
+	if st := e.Stats(); st.AvgBatch != 8 {
+		t.Fatalf("AvgBatch = %g, want 8 (%+v)", st.AvgBatch, st)
+	}
+}
+
+// TestEngineMatchesPredictBatch: serving through the engine must return
+// exactly what a direct model call returns for every fingerprint.
+func TestEngineMatchesPredictBatch(t *testing.T) {
+	m, x := testModel(t, 10, 4, 30)
+	want := m.PredictBatch(x)
+
+	e, err := New(func() Batcher { return m.Predictor() },
+		Options{Features: x.Cols, MaxBatch: 8, MaxWait: time.Millisecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	got := make([]int, x.Rows)
+	var wg sync.WaitGroup
+	for i := 0; i < x.Rows; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rp, err := e.Predict(nil, x.Row(i))
+			if err != nil {
+				t.Errorf("Predict %d: %v", i, err)
+				return
+			}
+			got[i] = rp
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("engine row %d = %d, direct PredictBatch = %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBackpressure: with the worker wedged and the queue full, Predict must
+// block and then honour its context deadline, counting the event.
+func TestBackpressure(t *testing.T) {
+	b := &scriptedBatcher{gate: make(chan struct{}, 16)}
+	e, err := New(func() Batcher { return b },
+		Options{Features: 1, MaxBatch: 1, Workers: 1, QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() { // one wedged in the worker, one filling the queue
+			defer wg.Done()
+			if _, err := e.Predict(nil, []float64{1}); err != nil {
+				t.Errorf("wedged Predict: %v", err)
+			}
+		}()
+	}
+	// Wait until the queue is genuinely full.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(e.reqs) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := e.Predict(ctx, []float64{2}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded under backpressure, got %v", err)
+	}
+	if st := e.Stats(); st.QueueFullWaits == 0 {
+		t.Fatalf("backpressure event not counted: %+v", st)
+	}
+
+	close(b.gate) // unwedge everything
+	wg.Wait()
+	e.Close()
+}
+
+// TestCloseGraceful: queued requests are answered after Close begins, Close
+// waits for the drain, and later Predicts fail fast with ErrClosed.
+func TestCloseGraceful(t *testing.T) {
+	b := &scriptedBatcher{gate: make(chan struct{}, 64)}
+	e, err := New(func() Batcher { return b },
+		Options{Features: 1, MaxBatch: 4, MaxWait: time.Millisecond, Workers: 1, QueueCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10
+	results := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := e.Predict(nil, []float64{float64(i)})
+			results <- err
+		}(i)
+	}
+	// Let the requests enqueue (worker is wedged on the gate), then close
+	// concurrently and release the gate.
+	time.Sleep(10 * time.Millisecond)
+	closed := make(chan struct{})
+	go func() {
+		e.Close()
+		close(closed)
+	}()
+	close(b.gate)
+	wg.Wait()
+	<-closed
+
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("pre-close request failed: %v", err)
+		}
+	}
+	if _, err := e.Predict(nil, []float64{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Predict after Close = %v, want ErrClosed", err)
+	}
+	e.Close() // idempotent
+}
+
+// TestImmediateDispatch: a negative MaxWait must never hold a request back
+// waiting for company — a lone sequential caller sees batches of exactly 1.
+func TestImmediateDispatch(t *testing.T) {
+	b := &scriptedBatcher{}
+	e, err := New(func() Batcher { return b },
+		Options{Features: 1, MaxBatch: 8, MaxWait: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 5; i++ {
+		if rp, err := e.Predict(nil, []float64{float64(i)}); err != nil || rp != i {
+			t.Fatalf("Predict %d = (%d, %v)", i, rp, err)
+		}
+	}
+	for _, sz := range b.sizes() {
+		if sz != 1 {
+			t.Fatalf("immediate dispatch coalesced a lone caller: sizes %v", b.sizes())
+		}
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := New(nil, Options{Features: 1}); err == nil {
+		t.Fatal("nil batcher constructor accepted")
+	}
+	if _, err := New(func() Batcher { return &scriptedBatcher{} }, Options{}); err == nil {
+		t.Fatal("zero Features accepted")
+	}
+	e, err := New(func() Batcher { return &scriptedBatcher{} }, Options{Features: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Predict(nil, []float64{1}); err == nil {
+		t.Fatal("wrong-width fingerprint accepted")
+	}
+}
+
+// TestConcurrentServeAndRefresh hammers the engine with concurrent clients
+// while weights and memory keys are refreshed through Engine.Refresh — the
+// serving-layer mutation contract. Run with -race (CI does): the read/write
+// lock must fully order packed-view invalidation against batch dispatch.
+func TestConcurrentServeAndRefresh(t *testing.T) {
+	m, x := testModel(t, 10, 4, 30)
+	e, err := New(func() Batcher { return m.Predictor() },
+		Options{Features: x.Cols, MaxBatch: 8, MaxWait: 200 * time.Microsecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	const perClient = 100
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				rp, err := e.Predict(nil, x.Row((c*perClient+i)%x.Rows))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if rp < 0 || rp >= 4 {
+					t.Errorf("client %d: out-of-range class %d", c, rp)
+					return
+				}
+			}
+		}(c)
+	}
+
+	stop := make(chan struct{})
+	var refreshes int
+	go func() {
+		rng := rand.New(rand.NewSource(77))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Refresh(func() {
+				// An online weight update: perturb a parameter in place,
+				// note it, and rebuild the memory-key caches.
+				p := m.Params()[rng.Intn(len(m.Params()))]
+				for i := range p.W.Data {
+					p.W.Data[i] += rng.NormFloat64() * 1e-3
+				}
+				p.NoteUpdate()
+				m.RefreshMemoryKeys()
+			})
+			refreshes++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	e.Close()
+	if st := e.Stats(); st.Rows != clients*perClient {
+		t.Fatalf("served %d rows, want %d (%+v)", st.Rows, clients*perClient, st)
+	}
+}
