@@ -23,6 +23,7 @@ import (
 	"calloc/internal/experiments"
 	"calloc/internal/fingerprint"
 	"calloc/internal/floorplan"
+	"calloc/internal/localizer"
 	"calloc/internal/mat"
 	"calloc/internal/serve"
 )
@@ -645,9 +646,13 @@ func BenchmarkServeQPS(b *testing.B) {
 	})
 
 	b.Run("coalesced_8clients", func(b *testing.B) {
-		engine, err := serve.New(
-			func() serve.Batcher { return m.Predictor() },
-			serve.Options{Features: features, MaxBatch: clients, MaxWait: 200 * time.Microsecond})
+		reg := localizer.NewRegistry()
+		key := localizer.Key{Building: 1, Floor: 0, Backend: "calloc"}
+		if _, err := reg.Register(key, localizer.FromCore("CALLOC", m)); err != nil {
+			b.Fatal(err)
+		}
+		engine, err := serve.New(reg,
+			serve.Options{MaxBatch: clients, MaxWait: 200 * time.Microsecond})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -655,12 +660,116 @@ func BenchmarkServeQPS(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		serveClients(b, clients, func(_, i int) {
-			if _, err := engine.Predict(nil, qs[i%len(qs)]); err != nil {
+			if _, err := engine.Localize(nil, key, qs[i%len(qs)]); err != nil {
 				b.Error(err)
 			}
 		})
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
 		b.ReportMetric(engine.Stats().AvgBatch, "avg_batch")
+	})
+}
+
+// BenchmarkRegistryDispatch is the tentpole acceptance bench: dispatching a
+// paper-shape single query through the localizer registry (atomic snapshot
+// load + adapter + pooled predictor) must add <5% latency over holding a
+// core.Predictor directly.
+func BenchmarkRegistryDispatch(b *testing.B) {
+	m := paperShapeModel(b, 512)
+	q := randQueries(1, core.PaperConfig().NumAPs)
+	x := mat.FromSlice(1, len(q[0]), q[0])
+	dst := make([]int, 1)
+
+	b.Run("direct_predictor", func(b *testing.B) {
+		p := m.Predictor()
+		p.PredictInto(dst, x) // warm workspace and packed views
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.PredictInto(dst, x)
+		}
+	})
+
+	b.Run("registry", func(b *testing.B) {
+		reg := localizer.NewRegistry()
+		key := localizer.Key{Building: 1, Floor: 0, Backend: "calloc"}
+		if _, err := reg.Register(key, localizer.FromCore("CALLOC", m)); err != nil {
+			b.Fatal(err)
+		}
+		if snap, ok := reg.Get(key); ok {
+			snap.Localizer.PredictInto(dst, x) // warm
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap, ok := reg.Get(key)
+			if !ok {
+				b.Fatal("key vanished")
+			}
+			snap.Localizer.PredictInto(dst, x)
+		}
+	})
+}
+
+// BenchmarkRoutingDispatch measures the hierarchical serving path at paper
+// shapes: floor classifier stage + position stage through the engine,
+// against the direct single-stage Localize — the routing-dispatch overhead
+// the CI bench-smoke tracks.
+func BenchmarkRoutingDispatch(b *testing.B) {
+	const building = 1
+	features := core.PaperConfig().NumAPs
+	m := paperShapeModel(b, 512)
+	reg := localizer.NewRegistry()
+	// Floor classifier: trivial two-floor split on feature 0 — the bench
+	// isolates routing overhead, not classifier cost.
+	fc := localizer.Wrap("floor", features, 2, nil, func(dst []int, x *mat.Matrix) []int {
+		if dst == nil {
+			dst = make([]int, x.Rows)
+		}
+		for i := 0; i < x.Rows; i++ {
+			dst[i] = 0
+			if x.Row(i)[0] > 0.5 {
+				dst[i] = 1
+			}
+		}
+		return dst
+	})
+	if _, err := reg.Register(localizer.FloorKey(building), fc); err != nil {
+		b.Fatal(err)
+	}
+	for floor := 0; floor < 2; floor++ {
+		key := localizer.Key{Building: building, Floor: floor, Backend: "calloc"}
+		if _, err := reg.Register(key, localizer.FromCore("CALLOC", m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	engine, err := serve.New(reg, serve.Options{MaxBatch: 8, MaxWait: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer engine.Close()
+	qs := randQueries(64, features)
+
+	b.Run("direct", func(b *testing.B) {
+		key := localizer.Key{Building: building, Floor: 0, Backend: "calloc"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Localize(nil, key, qs[i%len(qs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+
+	b.Run("routed", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Route(nil, building, "calloc", qs[i%len(qs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
 	})
 }
 

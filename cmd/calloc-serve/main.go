@@ -1,18 +1,35 @@
-// Command calloc-serve exposes a trained CALLOC model as an HTTP
-// localization service backed by the micro-batching serve engine: concurrent
-// single-fingerprint requests are coalesced into batched forward passes.
+// Command calloc-serve exposes a multi-model, multi-floor localization
+// service over HTTP, backed by the micro-batching serve engine and the
+// localizer registry: every {floor, backend} pair is a registered localizer
+// with its own micro-batch lane, requests route hierarchically (floor
+// classifier → position model), and model versions hot-swap under load.
 //
 // Usage:
 //
-//	calloc-serve -data b3.gob -weights b3.model            # serve trained weights
-//	calloc-serve -data b3.gob -train-epochs 10             # quick-train, then serve
-//	calloc-serve -data b3.gob -weights b3.model -addr :9000 -max-batch 64 -max-wait 1ms
+//	calloc-serve -data b3.gob                                # one floor, default backends
+//	calloc-serve -data b3.gob -weights b3.model              # serve trained CALLOC weights
+//	calloc-serve -data f0.gob,f1.gob -backends calloc,knn,bayes
+//	calloc-serve -data b3.gob -train-epochs 10 -addr :9000 -max-batch 64
+//
+// With several -data files each becomes one floor of the building (all must
+// share the AP count); a Naive-Bayes floor classifier is fitted over the
+// combined offline databases and registered for hierarchical routing.
 //
 // Endpoints:
 //
-//	POST /v1/localize  {"rss": [...]}  ->  {"rp": 17}
-//	GET  /v1/stats                     ->  engine throughput/latency counters
-//	GET  /healthz                      ->  200 ok
+//	POST /v1/localize {"rss": [...]}                          -> routed: floor classifier picks the floor
+//	POST /v1/localize {"rss": [...], "backend": "knn"}        -> routed, explicit backend
+//	POST /v1/localize {"rss": [...], "floor": 1}              -> direct: skip the floor classifier
+//	GET  /v1/models                                           -> registry listing (key, name, version, dims)
+//	POST /v1/swap {"backend": "calloc", "floor": 0, "weights": "<base64>"}
+//	                                                          -> hot-swap a new CALLOC weight version
+//	GET  /v1/stats                                            -> engine throughput/latency counters
+//	GET  /healthz                                             -> 200 ok
+//
+// /v1/swap builds a fresh model from the floor's dataset, loads the pushed
+// weights, and atomically swaps it into the registry — in-flight batches
+// finish on the old version, new batches serve the new one; responses carry
+// the snapshot version so clients observe the swap.
 //
 // SIGINT/SIGTERM shut down gracefully: the HTTP server stops accepting, then
 // the engine drains its queued requests before the process exits.
@@ -20,6 +37,7 @@ package main
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,91 +45,187 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"calloc/internal/baselines"
+	"calloc/internal/bayes"
 	"calloc/internal/core"
 	"calloc/internal/fingerprint"
+	"calloc/internal/gbdt"
+	"calloc/internal/gp"
+	"calloc/internal/knn"
+	"calloc/internal/localizer"
 	"calloc/internal/serve"
 )
 
 func main() {
-	data := flag.String("data", "", "dataset gob file from calloc-data (required)")
-	weights := flag.String("weights", "", "trained weights from calloc-train (omit to quick-train)")
-	trainEpochs := flag.Int("train-epochs", 10, "epochs per lesson when quick-training without -weights")
+	data := flag.String("data", "", "comma-separated dataset gob files from calloc-data, one per floor (required)")
+	weights := flag.String("weights", "", "comma-separated trained CALLOC weights per floor (omit to quick-train)")
+	backendsFlag := flag.String("backends", "calloc,knn,bayes", "comma-separated backends to serve: calloc, knn, bayes, gpc, gbdt, dnn")
+	trainEpochs := flag.Int("train-epochs", 10, "epochs per lesson when quick-training CALLOC without -weights")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	maxBatch := flag.Int("max-batch", 32, "max coalesced requests per model call")
 	maxWait := flag.Duration("max-wait", 500*time.Microsecond, "max time the first request of a window waits (negative: dispatch immediately)")
-	workers := flag.Int("workers", 0, "concurrent batch dispatchers (0 = min(2, GOMAXPROCS))")
-	queueCap := flag.Int("queue", 0, "pending-request bound (0 = 4×max-batch)")
+	workers := flag.Int("workers", 0, "concurrent batch dispatchers shared by all lanes (0 = min(2, GOMAXPROCS))")
+	queueCap := flag.Int("queue", 0, "per-lane pending-request bound (0 = 4×max-batch)")
 	flag.Parse()
 
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "calloc-serve: -data is required")
 		os.Exit(2)
 	}
-	ds, err := fingerprint.LoadFile(*data)
-	if err != nil {
-		fail(err)
-	}
-	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
-	if err != nil {
-		fail(err)
-	}
-	if err := model.SetMemory(ds.Train); err != nil {
-		fail(err)
-	}
-	if *weights != "" {
-		blob, err := os.ReadFile(*weights)
+	var datasets []*fingerprint.Dataset
+	for _, path := range strings.Split(*data, ",") {
+		ds, err := fingerprint.LoadFile(strings.TrimSpace(path))
 		if err != nil {
 			fail(err)
 		}
-		if err := model.UnmarshalWeights(blob); err != nil {
-			fail(err)
+		if len(datasets) > 0 && ds.NumAPs != datasets[0].NumAPs {
+			fail(fmt.Errorf("floor datasets disagree on AP count: %d vs %d (all floors must share the fingerprint width)",
+				ds.NumAPs, datasets[0].NumAPs))
 		}
-		fmt.Fprintf(os.Stderr, "calloc-serve: loaded weights from %s\n", *weights)
-	} else {
-		tc := core.DefaultTrainConfig()
-		tc.EpochsPerLesson = *trainEpochs
-		fmt.Fprintf(os.Stderr, "calloc-serve: no -weights given, quick-training (%d epochs/lesson)...\n", *trainEpochs)
-		if _, err := model.Train(ds.Train, tc); err != nil {
-			fail(err)
+		datasets = append(datasets, ds)
+	}
+	var weightFiles []string
+	if *weights != "" {
+		weightFiles = strings.Split(*weights, ",")
+		if len(weightFiles) != len(datasets) {
+			fail(fmt.Errorf("-weights names %d files for %d floors", len(weightFiles), len(datasets)))
 		}
 	}
+	backends := strings.Split(*backendsFlag, ",")
+	building := datasets[0].BuildingID
 
-	engine, err := serve.New(
-		func() serve.Batcher { return model.Predictor() },
-		serve.Options{
-			Features: ds.NumAPs,
-			MaxBatch: *maxBatch,
-			MaxWait:  *maxWait,
-			Workers:  *workers,
-			QueueCap: *queueCap,
-		})
+	reg := localizer.NewRegistry()
+	for floor, ds := range datasets {
+		for _, backend := range backends {
+			backend = strings.TrimSpace(backend)
+			var blob []byte
+			if backend == "calloc" && weightFiles != nil {
+				var err error
+				if blob, err = os.ReadFile(strings.TrimSpace(weightFiles[floor])); err != nil {
+					fail(err)
+				}
+			}
+			loc, err := buildBackend(backend, ds, blob, *trainEpochs)
+			if err != nil {
+				fail(err)
+			}
+			key := localizer.Key{Building: building, Floor: floor, Backend: backend}
+			if _, err := reg.Register(key, loc); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "calloc-serve: registered %s (%s, %d classes)\n",
+				key, loc.Name(), loc.NumClasses())
+		}
+	}
+	if len(datasets) > 1 {
+		fc, err := fitFloorClassifier(datasets)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := reg.Register(localizer.FloorKey(building), fc); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "calloc-serve: registered floor classifier over %d floors\n", len(datasets))
+	}
+
+	engine, err := serve.New(reg, serve.Options{
+		MaxBatch: *maxBatch,
+		MaxWait:  *maxWait,
+		Workers:  *workers,
+		QueueCap: *queueCap,
+	})
 	if err != nil {
 		fail(err)
 	}
 
+	defaultBackend := strings.TrimSpace(backends[0])
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/localize", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
-			RSS []float64 `json:"rss"`
+			RSS     []float64 `json:"rss"`
+			Backend string    `json:"backend"`
+			Floor   *int      `json:"floor"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		rp, err := engine.Predict(r.Context(), req.RSS)
+		backend := req.Backend
+		if backend == "" {
+			backend = defaultBackend
+		}
+		var res serve.Result
+		var err error
+		if req.Floor != nil {
+			key := localizer.Key{Building: building, Floor: *req.Floor, Backend: backend}
+			res, err = engine.Localize(r.Context(), key, req.RSS)
+		} else {
+			res, err = engine.Route(r.Context(), building, backend, req.RSS)
+		}
 		switch {
 		case errors.Is(err, serve.ErrClosed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, serve.ErrUnknownModel):
+			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		case err != nil:
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]int{"rp": rp})
+		json.NewEncoder(w).Encode(map[string]any{
+			"rp":      res.Class,
+			"floor":   res.Floor,
+			"backend": res.Backend,
+			"version": res.Version,
+		})
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(reg.List())
+	})
+	mux.HandleFunc("POST /v1/swap", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Backend string `json:"backend"`
+			Floor   int    `json:"floor"`
+			Weights string `json:"weights"` // base64 of calloc-train output
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Backend != "" && req.Backend != "calloc" {
+			http.Error(w, "swap supports only the calloc backend (weight pushes)", http.StatusBadRequest)
+			return
+		}
+		if req.Floor < 0 || req.Floor >= len(datasets) {
+			http.Error(w, fmt.Sprintf("floor %d out of range [0,%d)", req.Floor, len(datasets)), http.StatusNotFound)
+			return
+		}
+		blob, err := base64.StdEncoding.DecodeString(req.Weights)
+		if err != nil {
+			http.Error(w, "weights must be base64: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		loc, err := buildCALLOC(datasets[req.Floor], blob, 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		key := localizer.Key{Building: building, Floor: req.Floor, Backend: "calloc"}
+		version, err := reg.Swap(key, loc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "calloc-serve: swapped %s to version %d\n", key, version)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]uint64{"version": version})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -124,22 +238,119 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	handlersDone := make(chan struct{})
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
+		close(handlersDone)
 	}()
 
-	fmt.Fprintf(os.Stderr, "calloc-serve: %s (%d RPs, %d APs, memory %d) listening on %s\n",
-		ds.BuildingName, ds.NumRPs, ds.NumAPs, model.MemorySize(), *addr)
+	fmt.Fprintf(os.Stderr, "calloc-serve: %s — %d floors × %v (%d models) listening on %s\n",
+		datasets[0].BuildingName, len(datasets), backends, reg.Len(), *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
+	// ListenAndServe returns as soon as the listener closes; wait for
+	// Shutdown to finish draining in-flight handlers before closing the
+	// engine, so a handler mid-request never sees ErrClosed.
+	<-handlersDone
 	engine.Close() // drain queued requests before exiting
 	st := engine.Stats()
-	fmt.Fprintf(os.Stderr, "calloc-serve: served %d requests in %d batches (avg %.1f/batch, avg latency %s)\n",
-		st.Requests, st.Batches, st.AvgBatch, st.AvgLatency)
+	fmt.Fprintf(os.Stderr, "calloc-serve: served %d requests in %d batches over %d lanes (avg %.1f/batch, avg latency %s)\n",
+		st.Requests, st.Batches, st.Lanes, st.AvgBatch, st.AvgLatency)
+}
+
+// buildBackend fits (or loads) one backend on one floor's dataset.
+func buildBackend(backend string, ds *fingerprint.Dataset, callocWeights []byte, trainEpochs int) (localizer.Localizer, error) {
+	x := fingerprint.X(ds.Train)
+	labels := fingerprint.Labels(ds.Train)
+	switch backend {
+	case "calloc":
+		return buildCALLOC(ds, callocWeights, trainEpochs)
+	case "knn":
+		c, err := knn.New(x, labels, 3)
+		if err != nil {
+			return nil, err
+		}
+		return localizer.FromKNN("KNN", c), nil
+	case "bayes":
+		c, err := bayes.Fit(x, labels, ds.NumRPs)
+		if err != nil {
+			return nil, err
+		}
+		return localizer.FromBayes("Bayes", c), nil
+	case "gpc":
+		c, err := gp.Fit(x, labels, ds.NumRPs, gp.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return localizer.FromGP("GPC", c), nil
+	case "gbdt":
+		c, err := gbdt.Fit(x, labels, ds.NumRPs, gbdt.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return localizer.FromGBDT("GBDT", c), nil
+	case "dnn":
+		d, err := baselines.FitDNN("DNN", x, labels, ds.NumRPs, baselines.DefaultDNNConfig())
+		if err != nil {
+			return nil, err
+		}
+		return localizer.FromBaseline(d, ds.NumAPs, ds.NumRPs), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (calloc, knn, bayes, gpc, gbdt, dnn)", backend)
+	}
+}
+
+// buildCALLOC constructs a CALLOC model over the dataset: deserialising
+// weights when given (the /v1/swap path passes trainEpochs 0), quick-training
+// otherwise.
+func buildCALLOC(ds *fingerprint.Dataset, weights []byte, trainEpochs int) (localizer.Localizer, error) {
+	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	if err != nil {
+		return nil, err
+	}
+	if err := model.SetMemory(ds.Train); err != nil {
+		return nil, err
+	}
+	switch {
+	case weights != nil:
+		if err := model.UnmarshalWeights(weights); err != nil {
+			return nil, err
+		}
+	default:
+		tc := core.DefaultTrainConfig()
+		tc.EpochsPerLesson = trainEpochs
+		fmt.Fprintf(os.Stderr, "calloc-serve: no weights for %s, quick-training (%d epochs/lesson)...\n",
+			ds.BuildingName, trainEpochs)
+		if _, err := model.Train(ds.Train, tc); err != nil {
+			return nil, err
+		}
+	}
+	return localizer.FromCore("CALLOC", model), nil
+}
+
+// fitFloorClassifier trains the routing stage: a weighted Gaussian Naive
+// Bayes over the concatenated offline databases with floor indices as
+// labels. Bayes fits in one pass and is robust to the class imbalance of
+// unequal floor sizes, which is all the routing stage needs.
+func fitFloorClassifier(datasets []*fingerprint.Dataset) (localizer.Localizer, error) {
+	var all []fingerprint.Sample
+	var labels []int
+	for floor, ds := range datasets {
+		for _, s := range ds.Train {
+			all = append(all, s)
+			labels = append(labels, floor)
+		}
+	}
+	x := fingerprint.X(all)
+	c, err := bayes.Fit(x, labels, len(datasets))
+	if err != nil {
+		return nil, fmt.Errorf("floor classifier: %w", err)
+	}
+	return localizer.FromBayes(localizer.FloorBackend, c), nil
 }
 
 func fail(err error) {

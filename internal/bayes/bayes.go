@@ -9,6 +9,7 @@ package bayes
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"calloc/internal/mat"
 )
@@ -20,7 +21,17 @@ type Classifier struct {
 	mean     *mat.Matrix // classes × d
 	variance *mat.Matrix // classes × d
 	weight   []float64   // per-attribute weight
+
+	// pool recycles the per-call posterior row so PredictInto is
+	// allocation-free in steady state and safe for concurrent callers.
+	pool sync.Pool
 }
+
+// InputDim returns the fingerprint width the classifier was fitted on.
+func (c *Classifier) InputDim() int { return c.mean.Cols }
+
+// NumClasses returns the label-space size the classifier was fitted on.
+func (c *Classifier) NumClasses() int { return c.classes }
 
 // minVariance regularises per-class feature variances; repeated fingerprints
 // at 1 dB quantisation frequently have zero within-class variance.
@@ -133,31 +144,54 @@ func Fit(x *mat.Matrix, labels []int, classes int) (*Classifier, error) {
 func (c *Classifier) LogPosteriors(q *mat.Matrix) *mat.Matrix {
 	out := mat.New(q.Rows, c.classes)
 	for i := 0; i < q.Rows; i++ {
-		row := q.Row(i)
-		orow := out.Row(i)
-		for cl := 0; cl < c.classes; cl++ {
-			lp := c.prior[cl]
-			mrow := c.mean.Row(cl)
-			vrow := c.variance.Row(cl)
-			for j, v := range row {
-				dev := v - mrow[j]
-				ll := -0.5*(dev*dev/vrow[j]) - 0.5*math.Log(2*math.Pi*vrow[j])
-				lp += c.weight[j] * ll
-			}
-			orow[cl] = lp
-		}
+		c.logPosteriorRow(out.Row(i), q.Row(i))
 	}
 	return out
 }
 
-// Predict returns the maximum-posterior class per query row.
-func (c *Classifier) Predict(q *mat.Matrix) []int {
-	post := c.LogPosteriors(q)
-	out := make([]int, q.Rows)
-	for i := range out {
-		out[i] = mat.ArgMax(post.Row(i))
+// logPosteriorRow fills dst (len classes) with the weighted log-posteriors of
+// one query fingerprint.
+func (c *Classifier) logPosteriorRow(dst, row []float64) {
+	for cl := 0; cl < c.classes; cl++ {
+		lp := c.prior[cl]
+		mrow := c.mean.Row(cl)
+		vrow := c.variance.Row(cl)
+		for j, v := range row {
+			dev := v - mrow[j]
+			ll := -0.5*(dev*dev/vrow[j]) - 0.5*math.Log(2*math.Pi*vrow[j])
+			lp += c.weight[j] * ll
+		}
+		dst[cl] = lp
 	}
-	return out
+}
+
+// Predict returns the maximum-posterior class per query row.
+func (c *Classifier) Predict(q *mat.Matrix) []int { return c.PredictInto(nil, q) }
+
+// PredictInto classifies every row of q into dst and returns it; a nil dst is
+// allocated, otherwise len(dst) must equal q.Rows. The per-row posterior
+// scratch is pooled, so the steady-state path performs zero heap allocations
+// and is safe for concurrent callers.
+func (c *Classifier) PredictInto(dst []int, q *mat.Matrix) []int {
+	if dst == nil {
+		dst = make([]int, q.Rows)
+	} else if len(dst) != q.Rows {
+		panic(fmt.Sprintf("bayes: prediction destination length %d, want %d", len(dst), q.Rows))
+	}
+	var pp *[]float64
+	if v := c.pool.Get(); v != nil {
+		pp = v.(*[]float64)
+	} else {
+		s := make([]float64, c.classes)
+		pp = &s
+	}
+	post := *pp
+	for i := 0; i < q.Rows; i++ {
+		c.logPosteriorRow(post, q.Row(i))
+		dst[i] = mat.ArgMax(post)
+	}
+	c.pool.Put(pp)
+	return dst
 }
 
 // InputGradient returns ∂CE(softmax(logposteriors), labels)/∂q in closed

@@ -160,10 +160,16 @@ const predictShardRows = 16
 // and the result is identical to sequential evaluation. Callers that
 // localise repeatedly should hold their own Predictor and use
 // PredictInto/PredictBatchInto to avoid the per-call result allocation.
-func (m *Model) PredictBatch(x *mat.Matrix) []int {
+func (m *Model) PredictBatch(x *mat.Matrix) []int { return m.PredictBatchInto(nil, x) }
+
+// PredictBatchInto evaluates every row of x into dst and returns it, drawing
+// a pooled Predictor handle for the call; see PredictBatch. A nil dst is
+// allocated; otherwise len(dst) must equal x.Rows. Safe for concurrent
+// callers (each call owns its handle for the duration).
+func (m *Model) PredictBatchInto(dst []int, x *mat.Matrix) []int {
 	p := m.getPredictor()
 	defer m.putPredictor(p)
-	return p.PredictBatchInto(nil, x)
+	return p.PredictBatchInto(dst, x)
 }
 
 // getPredictor draws a pooled inference handle; return it with putPredictor.

@@ -29,6 +29,16 @@ func ParallelMap(n int, f func(i int) float64) []float64 {
 	return out
 }
 
+// Errors converts predictions into per-sample localization errors under a
+// distance function (typically Dataset.ErrorMeters), fanning the metric
+// evaluation across cores via ParallelMap. dist must be safe for concurrent
+// invocation.
+func Errors(preds, labels []int, dist func(a, b int) float64) []float64 {
+	return ParallelMap(len(preds), func(i int) float64 {
+		return dist(preds[i], labels[i])
+	})
+}
+
 // Stats summarises a sample of localization errors in metres.
 type Stats struct {
 	Mean, Worst, Median, P95 float64

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"calloc/internal/attack"
+	"calloc/internal/localizer"
 )
 
 // tinyMode is even smaller than QuickMode so the whole figure set runs in a
@@ -73,6 +74,20 @@ func TestFrameworkRegistry(t *testing.T) {
 	names := SOTAFrameworks()
 	if names[0] != NameCALLOC || len(names) != 5 {
 		t.Fatalf("SOTA frameworks = %v", names)
+	}
+	// Fitted frameworks land in the suite's localizer registry, under the
+	// same keys the serving layer would dispatch on.
+	loc, err := s.Framework(3, NameKNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := s.Registry().Get(localizer.Key{Building: 3, Floor: 0, Backend: NameKNN})
+	if !ok || snap.Localizer != loc || snap.Version != 1 {
+		t.Fatalf("Framework not registered: (%+v, %v)", snap, ok)
+	}
+	again, err := s.Framework(3, NameKNN)
+	if err != nil || again != loc {
+		t.Fatalf("Framework re-fit instead of registry hit: (%p vs %p, %v)", again, loc, err)
 	}
 }
 

@@ -5,15 +5,11 @@ import (
 	"strings"
 
 	"calloc/internal/attack"
-	"calloc/internal/baselines"
 	"calloc/internal/core"
 	"calloc/internal/device"
 	"calloc/internal/eval"
 	"calloc/internal/fingerprint"
 	"calloc/internal/floorplan"
-	"calloc/internal/gp"
-	"calloc/internal/knn"
-	"calloc/internal/mat"
 	"calloc/internal/radio"
 )
 
@@ -33,70 +29,46 @@ type Fig1Row struct {
 }
 
 // Fig1 runs the experiment on the first mode building with the mode's median
-// ε at full ø — the "well-known FGSM attack" demonstration.
+// ε at full ø — the "well-known FGSM attack" demonstration. The victims come
+// out of the suite's registry; each is attacked through its own white-box
+// gradient (the DNN by backprop, the GP classifier by its closed-form kernel
+// gradient, KNN by its softmin relaxation), reached by unwrapping the
+// registry adapter.
 func (s *Suite) Fig1() (*Fig1Result, error) {
 	id := s.Mode.BuildingIDs[0]
 	ds, err := s.Dataset(id)
 	if err != nil {
 		return nil, err
 	}
-	x := fingerprint.X(ds.Train)
-	labels := fingerprint.Labels(ds.Train)
-
-	knnClf, err := knn.New(x, labels, 3)
-	if err != nil {
-		return nil, err
-	}
-	gpClf, err := gp.Fit(x, labels, ds.NumRPs, gp.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	dnnCfg := baselines.DefaultDNNConfig()
-	dnnCfg.Epochs = s.Mode.BaselineEpochs
-	dnnCfg.Seed = s.Mode.Seed
-	dnnClf, err := baselines.FitDNN(NameDNN, x, labels, ds.NumRPs, dnnCfg)
-	if err != nil {
-		return nil, err
-	}
-
-	models := []struct {
-		name    string
-		predict func(*mat.Matrix) []int
-		grad    attack.GradientModel
-	}{
-		// Every victim is attacked through its own white-box gradient: the
-		// DNN by backprop, the GP classifier by its closed-form kernel
-		// gradient, KNN by its softmin relaxation.
-		{NameKNN, knnClf.Predict, knnClf},
-		{NameGPC, gpClf.Predict, gpClf},
-		{NameDNN, dnnClf.Predict, dnnClf},
-	}
 
 	eps := s.Mode.Epsilons[len(s.Mode.Epsilons)/2]
 	cfg := attack.Config{Epsilon: eps, PhiPercent: 50, Seed: s.Mode.Seed + 11}
 
 	res := &Fig1Result{Building: ds.BuildingName}
-	for _, m := range models {
+	for _, name := range []string{NameKNN, NameGPC, NameDNN} {
+		loc, err := s.Framework(id, name)
+		if err != nil {
+			return nil, err
+		}
+		grads, err := s.GradientSources(id, loc)
+		if err != nil {
+			return nil, err
+		}
 		var clean, attacked []float64
 		for _, dev := range s.Mode.Devices {
 			samples := ds.Test[dev]
 			tx := fingerprint.X(samples)
 			tl := fingerprint.Labels(samples)
-			adv := attack.Craft(attack.FGSM, m.grad, tx, tl, cfg)
-			cleanPreds, advPreds := m.predict(tx), m.predict(adv)
-			clean = append(clean, eval.ParallelMap(len(tl), func(i int) float64 {
-				return ds.ErrorMeters(cleanPreds[i], tl[i])
-			})...)
-			attacked = append(attacked, eval.ParallelMap(len(tl), func(i int) float64 {
-				return ds.ErrorMeters(advPreds[i], tl[i])
-			})...)
+			adv := attack.Craft(attack.FGSM, grads[0], tx, tl, cfg)
+			clean = append(clean, eval.Errors(loc.PredictInto(nil, tx), tl, ds.ErrorMeters)...)
+			attacked = append(attacked, eval.Errors(loc.PredictInto(nil, adv), tl, ds.ErrorMeters)...)
 		}
 		cs, as := eval.Summarize(clean), eval.Summarize(attacked)
 		ratio := 0.0
 		if cs.Mean > 0 {
 			ratio = as.Mean / cs.Mean
 		}
-		res.Rows = append(res.Rows, Fig1Row{m.name, cs.Mean, as.Mean, ratio})
+		res.Rows = append(res.Rows, Fig1Row{name, cs.Mean, as.Mean, ratio})
 	}
 	return res, nil
 }
@@ -203,11 +175,10 @@ func (s *Suite) Fig4() (*Fig4Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err := s.CALLOC(id)
+			loc, err := s.Framework(id, NameCALLOC)
 			if err != nil {
 				return nil, err
 			}
-			loc := &callocLocalizer{m}
 			row := make([]float64, 0, len(s.Mode.Devices))
 			for _, dev := range s.Mode.Devices {
 				var all []float64
@@ -264,17 +235,14 @@ func (s *Suite) Fig5() (*Fig5Result, error) {
 			for _, eps := range s.Mode.Epsilons {
 				var all []float64
 				for _, id := range s.Mode.BuildingIDs {
-					var m *core.Model
-					var err error
+					framework := NameCALLOC
 					if nc {
-						m, err = s.NC(id)
-					} else {
-						m, err = s.CALLOC(id)
+						framework = NameCALLOCNC
 					}
+					loc, err := s.Framework(id, framework)
 					if err != nil {
 						return nil, err
 					}
-					loc := &callocLocalizer{m}
 					for _, dev := range s.Mode.Devices {
 						for _, phi := range s.Mode.Phis {
 							errs, err := s.AttackedErrors(id, loc, dev, method, attack.Config{

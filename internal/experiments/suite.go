@@ -12,11 +12,15 @@ import (
 
 	"calloc/internal/attack"
 	"calloc/internal/baselines"
+	"calloc/internal/bayes"
 	"calloc/internal/core"
 	"calloc/internal/device"
 	"calloc/internal/eval"
 	"calloc/internal/fingerprint"
 	"calloc/internal/floorplan"
+	"calloc/internal/gp"
+	"calloc/internal/knn"
+	"calloc/internal/localizer"
 	"calloc/internal/mat"
 )
 
@@ -71,7 +75,10 @@ func QuickMode() Mode {
 }
 
 // Suite lazily builds and caches the datasets and trained models the figure
-// drivers share. All construction is deterministic in Mode.Seed.
+// drivers share. All construction is deterministic in Mode.Seed. Fitted
+// localizers live in a localizer.Registry under {building, floor 0, name}
+// keys — the figure drivers run head-to-head comparisons through registry
+// entries, the same dispatch surface the serving layer uses.
 type Suite struct {
 	Mode Mode
 	// Log, when non-nil, receives progress lines (model training at full
@@ -81,7 +88,7 @@ type Suite struct {
 	datasets   map[int]*fingerprint.Dataset
 	callocs    map[int]*core.Model
 	ncs        map[int]*core.Model
-	frameworks map[int]map[string]baselines.Localizer
+	reg        *localizer.Registry
 	surrogates map[int]*attack.Surrogate
 }
 
@@ -93,10 +100,15 @@ func NewSuite(mode Mode, log io.Writer) *Suite {
 		datasets:   make(map[int]*fingerprint.Dataset),
 		callocs:    make(map[int]*core.Model),
 		ncs:        make(map[int]*core.Model),
-		frameworks: make(map[int]map[string]baselines.Localizer),
+		reg:        localizer.NewRegistry(),
 		surrogates: make(map[int]*attack.Surrogate),
 	}
 }
+
+// Registry exposes the suite's localizer registry: every framework fitted by
+// Framework is registered under {building, floor 0, name}, ready to serve
+// through serve.New or to enumerate for ad-hoc comparisons.
+func (s *Suite) Registry() *localizer.Registry { return s.reg }
 
 func (s *Suite) logf(format string, args ...any) {
 	if s.Log != nil {
@@ -204,16 +216,18 @@ func (s *Suite) trainCALLOC(id int, useCurriculum bool) (*core.Model, error) {
 	return m, nil
 }
 
-// Framework names used by Fig 6/7.
+// Framework names used by the figure drivers and the registry keys.
 const (
-	NameCALLOC  = "CALLOC"
-	NameAdvLoc  = "AdvLoc"
-	NameSANGRIA = "SANGRIA"
-	NameANVIL   = "ANVIL"
-	NameWiDeep  = "WiDeep"
-	NameDNN     = "DNN"
-	NameKNN     = "KNN"
-	NameGPC     = "GPC"
+	NameCALLOC   = "CALLOC"
+	NameCALLOCNC = "CALLOC-NC"
+	NameAdvLoc   = "AdvLoc"
+	NameSANGRIA  = "SANGRIA"
+	NameANVIL    = "ANVIL"
+	NameWiDeep   = "WiDeep"
+	NameDNN      = "DNN"
+	NameKNN      = "KNN"
+	NameGPC      = "GPC"
+	NameBayes    = "Bayes"
 )
 
 // SOTAFrameworks lists the Fig-6 comparison set in paper order.
@@ -221,10 +235,14 @@ func SOTAFrameworks() []string {
 	return []string{NameCALLOC, NameAdvLoc, NameSANGRIA, NameANVIL, NameWiDeep}
 }
 
-// Framework returns (training on first use) a fitted baseline by name.
-func (s *Suite) Framework(id int, name string) (baselines.Localizer, error) {
-	if m, ok := s.frameworks[id][name]; ok {
-		return m, nil
+// Framework returns (training and registering on first use) a fitted
+// localizer by name. Every fitted framework lives in the suite's registry
+// under {building id, floor 0, name}; the figure drivers dispatch through
+// the returned Localizer exactly as the serving layer would.
+func (s *Suite) Framework(id int, name string) (localizer.Localizer, error) {
+	key := localizer.Key{Building: id, Floor: 0, Backend: name}
+	if snap, ok := s.reg.Get(key); ok {
+		return snap.Localizer, nil
 	}
 	ds, err := s.Dataset(id)
 	if err != nil {
@@ -234,60 +252,83 @@ func (s *Suite) Framework(id int, name string) (baselines.Localizer, error) {
 	labels := fingerprint.Labels(ds.Train)
 	s.logf("training %s on %s ...", name, ds.BuildingName)
 
-	var m baselines.Localizer
+	var loc localizer.Localizer
 	switch name {
 	case NameCALLOC:
 		cm, err := s.CALLOC(id)
 		if err != nil {
 			return nil, err
 		}
-		m = &callocLocalizer{cm}
+		loc = localizer.FromCore(NameCALLOC, cm)
+	case NameCALLOCNC:
+		cm, err := s.NC(id)
+		if err != nil {
+			return nil, err
+		}
+		loc = localizer.FromCore(NameCALLOCNC, cm)
+	case NameKNN:
+		c, err := knn.New(x, labels, 3)
+		if err != nil {
+			return nil, err
+		}
+		loc = localizer.FromKNN(NameKNN, c)
+	case NameGPC:
+		c, err := gp.Fit(x, labels, ds.NumRPs, gp.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		loc = localizer.FromGP(NameGPC, c)
+	case NameBayes:
+		c, err := bayes.Fit(x, labels, ds.NumRPs)
+		if err != nil {
+			return nil, err
+		}
+		loc = localizer.FromBayes(NameBayes, c)
+	default:
+		est, err := s.fitBaseline(name, x, labels, ds.NumRPs)
+		if err != nil {
+			return nil, err
+		}
+		loc = localizer.FromBaseline(est, ds.NumAPs, ds.NumRPs)
+	}
+	if _, err := s.reg.Register(key, loc); err != nil {
+		return nil, err
+	}
+	return loc, nil
+}
+
+// fitBaseline trains one of the internal/baselines comparison frameworks.
+func (s *Suite) fitBaseline(name string, x *mat.Matrix, labels []int, classes int) (baselines.Localizer, error) {
+	switch name {
 	case NameDNN:
 		cfg := baselines.DefaultDNNConfig()
 		cfg.Epochs = s.Mode.BaselineEpochs
 		cfg.Seed = s.Mode.Seed
-		m, err = baselines.FitDNN(NameDNN, x, labels, ds.NumRPs, cfg)
+		return baselines.FitDNN(NameDNN, x, labels, classes, cfg)
 	case NameAdvLoc:
 		cfg := baselines.DefaultAdvLocConfig()
 		cfg.Epochs = s.Mode.BaselineEpochs
 		cfg.Seed = s.Mode.Seed
-		m, err = baselines.FitDNN(NameAdvLoc, x, labels, ds.NumRPs, cfg)
+		return baselines.FitDNN(NameAdvLoc, x, labels, classes, cfg)
 	case NameANVIL:
 		cfg := baselines.DefaultANVILConfig()
 		cfg.Epochs = s.Mode.BaselineEpochs
 		cfg.Seed = s.Mode.Seed
-		m, err = baselines.FitANVIL(x, labels, ds.NumRPs, cfg)
+		return baselines.FitANVIL(x, labels, classes, cfg)
 	case NameSANGRIA:
 		cfg := baselines.DefaultSANGRIAConfig()
 		cfg.AE.Epochs = s.Mode.BaselineEpochs / 2
 		cfg.AE.Seed = s.Mode.Seed
 		cfg.GBDT.Seed = s.Mode.Seed
-		m, err = baselines.FitSANGRIA(x, labels, ds.NumRPs, cfg)
+		return baselines.FitSANGRIA(x, labels, classes, cfg)
 	case NameWiDeep:
 		cfg := baselines.DefaultWiDeepConfig()
 		cfg.AE.Epochs = s.Mode.BaselineEpochs / 2
 		cfg.AE.Seed = s.Mode.Seed
-		m, err = baselines.FitWiDeep(x, labels, ds.NumRPs, cfg)
+		return baselines.FitWiDeep(x, labels, classes, cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown framework %q", name)
 	}
-	if err != nil {
-		return nil, err
-	}
-	if s.frameworks[id] == nil {
-		s.frameworks[id] = make(map[string]baselines.Localizer)
-	}
-	s.frameworks[id][name] = m
-	return m, nil
-}
-
-// callocLocalizer adapts core.Model to the baselines.Localizer interface.
-type callocLocalizer struct{ m *core.Model }
-
-func (c *callocLocalizer) Name() string                { return NameCALLOC }
-func (c *callocLocalizer) Predict(x *mat.Matrix) []int { return c.m.Predict(x) }
-func (c *callocLocalizer) InputGradient(x *mat.Matrix, labels []int) *mat.Matrix {
-	return c.m.InputGradient(x, labels)
 }
 
 // Surrogate returns the building's transfer-attack surrogate, used to attack
@@ -310,11 +351,11 @@ func (s *Suite) Surrogate(id int) (*attack.Surrogate, error) {
 // GradientSources returns the white-box adversary's gradient oracles for a
 // victim, mirroring the paper's threat model: the victim's own gradients
 // (every reproduced framework exposes them — by backprop, closed-form kernel
-// gradient, softmin relaxation, or distilled student), with the building
-// surrogate as the fallback for externally supplied localizers that expose
-// none.
-func (s *Suite) GradientSources(id int, m baselines.Localizer) ([]attack.GradientModel, error) {
-	if d, ok := m.(baselines.Differentiable); ok {
+// gradient, softmin relaxation, or distilled student), reached by unwrapping
+// the registry adapter, with the building surrogate as the fallback for
+// localizers that expose none.
+func (s *Suite) GradientSources(id int, loc localizer.Localizer) ([]attack.GradientModel, error) {
+	if d, ok := localizer.Unwrap(loc).(baselines.Differentiable); ok {
 		return []attack.GradientModel{d}, nil
 	}
 	sur, err := s.Surrogate(id)
@@ -324,12 +365,12 @@ func (s *Suite) GradientSources(id int, m baselines.Localizer) ([]attack.Gradien
 	return []attack.GradientModel{sur}, nil
 }
 
-// AttackedErrors evaluates a localizer on one device's online fingerprints
-// under the given attack and returns per-sample errors in metres. When more
-// than one gradient source is available the adversary keeps, per sample, the
-// perturbation that hurts the victim most. A config with phi 0 evaluates
-// clean data.
-func (s *Suite) AttackedErrors(id int, m baselines.Localizer, dev string, method attack.Method, cfg attack.Config) ([]float64, error) {
+// AttackedErrors evaluates a registry localizer on one device's online
+// fingerprints under the given attack and returns per-sample errors in
+// metres. When more than one gradient source is available the adversary
+// keeps, per sample, the perturbation that hurts the victim most. A config
+// with phi 0 evaluates clean data.
+func (s *Suite) AttackedErrors(id int, loc localizer.Localizer, dev string, method attack.Method, cfg attack.Config) ([]float64, error) {
 	ds, err := s.Dataset(id)
 	if err != nil {
 		return nil, err
@@ -340,26 +381,19 @@ func (s *Suite) AttackedErrors(id int, m baselines.Localizer, dev string, method
 	}
 	x := fingerprint.X(samples)
 	labels := fingerprint.Labels(samples)
-	// Predictions stay a single batched call (localizer caches are not safe
-	// for concurrent use); converting them to per-sample metre errors fans
-	// out across cores.
-	preds := m.Predict(x)
-	errs := eval.ParallelMap(len(labels), func(i int) float64 {
-		return ds.ErrorMeters(preds[i], labels[i])
-	})
+	// Predictions stay a single batched call; converting them to per-sample
+	// metre errors fans out across cores.
+	errs := eval.Errors(loc.PredictInto(nil, x), labels, ds.ErrorMeters)
 	if cfg.PhiPercent <= 0 || cfg.Epsilon <= 0 {
 		return errs, nil
 	}
-	grads, err := s.GradientSources(id, m)
+	grads, err := s.GradientSources(id, loc)
 	if err != nil {
 		return nil, err
 	}
 	for _, grad := range grads {
 		adv := attack.Craft(method, grad, x, labels, cfg)
-		advPreds := m.Predict(adv)
-		advErrs := eval.ParallelMap(len(labels), func(i int) float64 {
-			return ds.ErrorMeters(advPreds[i], labels[i])
-		})
+		advErrs := eval.Errors(loc.PredictInto(nil, adv), labels, ds.ErrorMeters)
 		for i, e := range advErrs {
 			if e > errs[i] {
 				errs[i] = e

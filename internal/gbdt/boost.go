@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"calloc/internal/mat"
 )
@@ -33,11 +34,22 @@ func DefaultConfig() Config {
 
 // Classifier is a fitted multiclass gradient-boosted tree ensemble.
 type Classifier struct {
-	classes int
-	trees   [][]*tree // [round][class]
-	lr      float64
-	base    []float64 // per-class prior logits
+	classes  int
+	features int
+	trees    [][]*tree // [round][class]
+	lr       float64
+	base     []float64 // per-class prior logits
+
+	// pool recycles the per-call logits row so PredictInto is
+	// allocation-free in steady state and safe for concurrent callers.
+	pool sync.Pool
 }
+
+// InputDim returns the feature width the ensemble was fitted on.
+func (c *Classifier) InputDim() int { return c.features }
+
+// NumClasses returns the label-space size the ensemble was fitted on.
+func (c *Classifier) NumClasses() int { return c.classes }
 
 // Fit trains the ensemble with the multiclass softmax objective.
 func Fit(x *mat.Matrix, labels []int, classes int, cfg Config) (*Classifier, error) {
@@ -79,7 +91,7 @@ func Fit(x *mat.Matrix, labels []int, classes int, cfg Config) (*Classifier, err
 		copy(f.Row(i), base)
 	}
 
-	clf := &Classifier{classes: classes, lr: cfg.LearningRate, base: base}
+	clf := &Classifier{classes: classes, features: d, lr: cfg.LearningRate, base: base}
 	probs := mat.New(n, classes)
 	grad := make([]float64, n)
 	hess := make([]float64, n)
@@ -123,24 +135,47 @@ func Fit(x *mat.Matrix, labels []int, classes int, cfg Config) (*Classifier, err
 func (c *Classifier) Logits(q *mat.Matrix) *mat.Matrix {
 	out := mat.New(q.Rows, c.classes)
 	for i := 0; i < q.Rows; i++ {
-		row := q.Row(i)
-		orow := out.Row(i)
-		copy(orow, c.base)
-		for _, round := range c.trees {
-			for cl, t := range round {
-				orow[cl] += c.lr * t.predict(row)
-			}
-		}
+		c.logitsRow(out.Row(i), q.Row(i))
 	}
 	return out
 }
 
-// Predict returns the argmax class per query row.
-func (c *Classifier) Predict(q *mat.Matrix) []int {
-	logits := c.Logits(q)
-	out := make([]int, q.Rows)
-	for i := range out {
-		out[i] = mat.ArgMax(logits.Row(i))
+// logitsRow fills dst (len classes) with one query row's ensemble scores:
+// the prior base logits plus every round's shrunken tree contributions.
+func (c *Classifier) logitsRow(dst, row []float64) {
+	copy(dst, c.base)
+	for _, round := range c.trees {
+		for cl, t := range round {
+			dst[cl] += c.lr * t.predict(row)
+		}
 	}
-	return out
+}
+
+// Predict returns the argmax class per query row.
+func (c *Classifier) Predict(q *mat.Matrix) []int { return c.PredictInto(nil, q) }
+
+// PredictInto classifies every row of q into dst and returns it; a nil dst is
+// allocated, otherwise len(dst) must equal q.Rows. The per-row logits scratch
+// is pooled, so the steady-state path performs zero heap allocations and is
+// safe for concurrent callers.
+func (c *Classifier) PredictInto(dst []int, q *mat.Matrix) []int {
+	if dst == nil {
+		dst = make([]int, q.Rows)
+	} else if len(dst) != q.Rows {
+		panic(fmt.Sprintf("gbdt: prediction destination length %d, want %d", len(dst), q.Rows))
+	}
+	var lp *[]float64
+	if v := c.pool.Get(); v != nil {
+		lp = v.(*[]float64)
+	} else {
+		s := make([]float64, c.classes)
+		lp = &s
+	}
+	logits := *lp
+	for i := 0; i < q.Rows; i++ {
+		c.logitsRow(logits, q.Row(i))
+		dst[i] = mat.ArgMax(logits)
+	}
+	c.pool.Put(lp)
+	return dst
 }

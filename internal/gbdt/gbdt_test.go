@@ -180,3 +180,46 @@ func TestSampleFeatures(t *testing.T) {
 		seen[f] = true
 	}
 }
+
+// TestPredictIntoMatchesPredict: the pooled-scratch serving path must return
+// exactly what the allocating Predict returns, including on reused dst.
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, labels := blobs(rng, 90, 4, 6)
+	clf, err := Fit(x, labels, 4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := clf.Predict(x)
+	dst := make([]int, x.Rows)
+	for pass := 0; pass < 3; pass++ { // reuse dst and pooled scratch
+		got := clf.PredictInto(dst, x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pass %d row %d: PredictInto %d, Predict %d", pass, i, got[i], want[i])
+			}
+		}
+	}
+	if clf.InputDim() != 6 || clf.NumClasses() != 4 {
+		t.Fatalf("metadata (%d, %d), want (6, 4)", clf.InputDim(), clf.NumClasses())
+	}
+}
+
+// BenchmarkPredictInto measures the pooled serving path; steady state must be
+// allocation-free (the Localizer adapters sit directly on it).
+func BenchmarkPredictInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x, labels := blobs(rng, 120, 4, 6)
+	clf, err := Fit(x, labels, 4, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := mat.FromRows([][]float64{{0.4, 0.1, 0.2, 0.3, 0.1, 0.5}})
+	dst := make([]int, 1)
+	clf.PredictInto(dst, q) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.PredictInto(dst, q)
+	}
+}

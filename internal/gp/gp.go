@@ -32,6 +32,12 @@ type Classifier struct {
 	classes int
 }
 
+// InputDim returns the fingerprint width the classifier was fitted on.
+func (c *Classifier) InputDim() int { return c.x.Cols }
+
+// NumClasses returns the label-space size the classifier was fitted on.
+func (c *Classifier) NumClasses() int { return c.classes }
+
 // Fit trains the classifier on x (n×d) with integer labels in [0, classes).
 func Fit(x *mat.Matrix, labels []int, classes int, cfg Config) (*Classifier, error) {
 	if x.Rows == 0 {
@@ -86,13 +92,28 @@ func (c *Classifier) Scores(q *mat.Matrix) *mat.Matrix {
 }
 
 // Predict returns the argmax class per query row.
-func (c *Classifier) Predict(q *mat.Matrix) []int {
-	scores := c.Scores(q)
-	out := make([]int, q.Rows)
-	for i := range out {
-		out[i] = mat.ArgMax(scores.Row(i))
+func (c *Classifier) Predict(q *mat.Matrix) []int { return c.PredictInto(nil, q) }
+
+// PredictInto classifies every row of q into dst and returns it; a nil dst is
+// allocated, otherwise len(dst) must equal q.Rows. The kernel-row and score
+// temporaries are drawn from the mat scratch pool, so the steady-state path
+// performs zero heap allocations and is safe for concurrent callers.
+func (c *Classifier) PredictInto(dst []int, q *mat.Matrix) []int {
+	if dst == nil {
+		dst = make([]int, q.Rows)
+	} else if len(dst) != q.Rows {
+		panic(fmt.Sprintf("gp: prediction destination length %d, want %d", len(dst), q.Rows))
 	}
-	return out
+	kq := mat.GetScratch(q.Rows, c.x.Rows)
+	scores := mat.GetScratch(q.Rows, c.classes)
+	kernelMatrixInto(kq, q, c.x, c.cfg.LengthScale)
+	mat.MulInto(scores, kq, c.alpha)
+	for i := range dst {
+		dst[i] = mat.ArgMax(scores.Row(i))
+	}
+	mat.PutScratch(scores)
+	mat.PutScratch(kq)
+	return dst
 }
 
 // Probabilities returns softmax-normalised class probabilities.
@@ -143,7 +164,11 @@ func (c *Classifier) InputGradient(q *mat.Matrix, labels []int) *mat.Matrix {
 
 // kernelMatrix computes the RBF Gram matrix between the rows of a and b.
 func kernelMatrix(a, b *mat.Matrix, ell float64) *mat.Matrix {
-	out := mat.New(a.Rows, b.Rows)
+	return kernelMatrixInto(mat.New(a.Rows, b.Rows), a, b, ell)
+}
+
+// kernelMatrixInto computes the Gram matrix into out (a.Rows × b.Rows).
+func kernelMatrixInto(out, a, b *mat.Matrix, ell float64) *mat.Matrix {
 	inv := 1 / (2 * ell * ell)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)

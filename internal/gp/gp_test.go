@@ -217,3 +217,46 @@ func TestWhiteBoxAttackHurtsGP(t *testing.T) {
 		t.Fatalf("white-box step did not hurt GP: clean %d vs adv %d", cleanAcc, advAcc)
 	}
 }
+
+// TestPredictIntoMatchesPredict: the pooled-scratch serving path must return
+// exactly what the allocating Predict returns, including on reused dst.
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, labels := blobs(rng, 60, 3)
+	c, err := Fit(x, labels, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Predict(x)
+	dst := make([]int, x.Rows)
+	for pass := 0; pass < 3; pass++ { // reuse dst and pooled scratch
+		got := c.PredictInto(dst, x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pass %d row %d: PredictInto %d, Predict %d", pass, i, got[i], want[i])
+			}
+		}
+	}
+	if c.InputDim() != 2 || c.NumClasses() != 3 {
+		t.Fatalf("metadata (%d, %d), want (2, 3)", c.InputDim(), c.NumClasses())
+	}
+}
+
+// BenchmarkPredictInto measures the pooled serving path; steady state must be
+// allocation-free (the Localizer adapters sit directly on it).
+func BenchmarkPredictInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x, labels := blobs(rng, 120, 4)
+	c, err := Fit(x, labels, 4, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := mat.FromRows([][]float64{{0.4, 0.1}})
+	dst := make([]int, 1)
+	c.PredictInto(dst, q) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PredictInto(dst, q)
+	}
+}

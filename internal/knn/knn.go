@@ -6,6 +6,7 @@ package knn
 
 import (
 	"fmt"
+	"sync"
 
 	"calloc/internal/mat"
 )
@@ -16,7 +17,17 @@ type Classifier struct {
 	x       *mat.Matrix
 	labels  []int
 	classes int // max label + 1, sized once at fit time
+
+	// pool recycles per-call selection scratch so PredictInto is
+	// allocation-free in steady state and safe for concurrent callers.
+	pool sync.Pool
 }
+
+// InputDim returns the fingerprint width the classifier was fitted on.
+func (c *Classifier) InputDim() int { return c.x.Cols }
+
+// NumClasses returns the label-space size (max fitted label + 1).
+func (c *Classifier) NumClasses() int { return c.classes }
 
 // New fits (stores) the training set. k ≤ 0 selects the conventional k=3.
 func New(x *mat.Matrix, labels []int, k int) (*Classifier, error) {
@@ -101,20 +112,47 @@ func (c *Classifier) InputGradient(q *mat.Matrix, labels []int) *mat.Matrix {
 	return out
 }
 
+// scratch is the per-call selection state of PredictInto.
+type scratch struct {
+	nd    []float64 // squared distances of the current k nearest, ascending
+	nl    []int     // their labels, same order
+	votes []int
+}
+
+func (c *Classifier) getScratch() *scratch {
+	if v := c.pool.Get(); v != nil {
+		return v.(*scratch)
+	}
+	return &scratch{
+		nd:    make([]float64, c.K),
+		nl:    make([]int, c.K),
+		votes: make([]int, c.classes),
+	}
+}
+
 // Predict returns the majority label among the k nearest neighbours of each
 // row of q. Ties break toward the nearer neighbour's label.
+func (c *Classifier) Predict(q *mat.Matrix) []int { return c.PredictInto(nil, q) }
+
+// PredictInto classifies every row of q into dst and returns it; a nil dst is
+// allocated, otherwise len(dst) must equal q.Rows.
 //
 // The k nearest are selected with a bounded insertion pass — O(n·k) with a
 // k-element running top-k instead of sorting all n distances per query — and
-// all per-query scratch (the top-k arrays and the vote table) is hoisted out
-// of the query loop. Distances are compared squared, skipping n square
-// roots per query (monotone, so the selection is unchanged).
-func (c *Classifier) Predict(q *mat.Matrix) []int {
-	out := make([]int, q.Rows)
+// all per-call scratch (the top-k arrays and the vote table) is drawn from a
+// pool, so the steady-state path performs zero heap allocations and is safe
+// for concurrent callers.
+func (c *Classifier) PredictInto(dst []int, q *mat.Matrix) []int {
+	if dst == nil {
+		dst = make([]int, q.Rows)
+	} else if len(dst) != q.Rows {
+		panic(fmt.Sprintf("knn: prediction destination length %d, want %d", len(dst), q.Rows))
+	}
+	s := c.getScratch()
+	defer c.pool.Put(s)
+	out := dst
 	k := c.K
-	nd := make([]float64, k) // squared distances of the current k nearest, ascending
-	nl := make([]int, k)     // their labels, same order
-	votes := make([]int, c.classes)
+	nd, nl, votes := s.nd, s.nl, s.votes
 	for i := 0; i < q.Rows; i++ {
 		row := q.Row(i)
 		size := 0
@@ -149,7 +187,7 @@ func (c *Classifier) Predict(q *mat.Matrix) []int {
 		}
 		out[i] = bestLabel
 	}
-	return out
+	return dst
 }
 
 // sqDist returns ‖a−b‖² without the square root EuclideanDistance takes.

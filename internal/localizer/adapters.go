@@ -1,0 +1,93 @@
+package localizer
+
+import (
+	"fmt"
+	"sync"
+
+	"calloc/internal/baselines"
+	"calloc/internal/bayes"
+	"calloc/internal/core"
+	"calloc/internal/gbdt"
+	"calloc/internal/gp"
+	"calloc/internal/knn"
+	"calloc/internal/mat"
+)
+
+// adapter is the one concrete Localizer shape every constructor returns: a
+// predict function plus metadata and the wrapped estimator for Unwrap.
+type adapter struct {
+	name    string
+	in      int
+	classes int
+	base    any
+	predict func(dst []int, x *mat.Matrix) []int
+}
+
+func (a *adapter) Name() string                               { return a.name }
+func (a *adapter) InputDim() int                              { return a.in }
+func (a *adapter) NumClasses() int                            { return a.classes }
+func (a *adapter) Unwrap() any                                { return a.base }
+func (a *adapter) PredictInto(dst []int, x *mat.Matrix) []int { return a.predict(dst, x) }
+
+// Wrap builds a Localizer from a PredictInto-shaped function plus metadata.
+// base is the underlying estimator, reachable through Unwrap. predictInto
+// must be safe for concurrent use.
+func Wrap(name string, inputDim, numClasses int, base any, predictInto func(dst []int, x *mat.Matrix) []int) Localizer {
+	return &adapter{name: name, in: inputDim, classes: numClasses, base: base, predict: predictInto}
+}
+
+// FromCore adapts a CALLOC model. Predictions go through the model's pooled
+// Predictor handles (PredictBatchInto), so the adapter is concurrency-safe
+// and allocation-free in steady state.
+func FromCore(name string, m *core.Model) Localizer {
+	return Wrap(name, m.Cfg.NumAPs, m.Cfg.NumRPs, m, m.PredictBatchInto)
+}
+
+// FromKNN adapts a fitted k-nearest-neighbour classifier.
+func FromKNN(name string, c *knn.Classifier) Localizer {
+	return Wrap(name, c.InputDim(), c.NumClasses(), c, c.PredictInto)
+}
+
+// FromGP adapts a fitted Gaussian-process classifier.
+func FromGP(name string, c *gp.Classifier) Localizer {
+	return Wrap(name, c.InputDim(), c.NumClasses(), c, c.PredictInto)
+}
+
+// FromGBDT adapts a fitted gradient-boosted tree ensemble.
+func FromGBDT(name string, c *gbdt.Classifier) Localizer {
+	return Wrap(name, c.InputDim(), c.NumClasses(), c, c.PredictInto)
+}
+
+// FromBayes adapts a fitted weighted Gaussian Naive Bayes classifier.
+func FromBayes(name string, c *bayes.Classifier) Localizer {
+	return Wrap(name, c.InputDim(), c.NumClasses(), c, c.PredictInto)
+}
+
+// FromBaseline adapts any comparison framework implementing the
+// baselines.Localizer interface (DNN, AdvLoc, ANVIL, SANGRIA, WiDeep).
+// baselines.Localizer carries no metadata, so the fingerprint width and
+// label-space size are supplied by the caller.
+//
+// The baseline frameworks predict through nn.Network.Forward, which writes
+// per-layer caches and is NOT safe for concurrent use, so the adapter
+// serialises Predict calls behind a mutex to honour the Localizer contract
+// (the same instance may be registered under several keys and dispatched by
+// several serve workers). These models are evaluation baselines, not
+// latency-critical serving paths; the pooled-scratch backends (core, knn,
+// gp, gbdt, bayes) run lock-free.
+func FromBaseline(est baselines.Localizer, inputDim, numClasses int) Localizer {
+	var mu sync.Mutex
+	return Wrap(est.Name(), inputDim, numClasses, est, func(dst []int, x *mat.Matrix) []int {
+		mu.Lock()
+		preds := est.Predict(x)
+		mu.Unlock()
+		if dst == nil {
+			return preds
+		}
+		if len(dst) != x.Rows {
+			panic(fmt.Sprintf("localizer: prediction destination length %d, want %d", len(dst), x.Rows))
+		}
+		copy(dst, preds)
+		return dst
+	})
+}

@@ -1,0 +1,58 @@
+// Package localizer defines the single serving-side contract every position
+// estimator in this repository is adapted to — the CALLOC model, the
+// classical learners (knn, gp, gbdt, bayes), and the comparison frameworks
+// of internal/baselines — plus a concurrency-safe Registry that maps
+// {building, floor, backend} keys to atomically versioned localizer
+// snapshots with copy-on-write hot-swap.
+//
+// The interface exists so the serving, evaluation, and CLI layers dispatch
+// through one shape instead of bespoke per-estimator loops: a new backend, a
+// new building, or an A/B pair is a registry entry, not a plumbing change.
+// The registry's two-level atomicity (copy-on-write key map, per-key
+// atomic snapshot pointer) is what makes online model pushes safe: readers
+// pin a snapshot for the duration of one batch while writers install the
+// next version — see DESIGN.md "Registry snapshots and versioned hot-swap".
+package localizer
+
+import (
+	"calloc/internal/mat"
+)
+
+// Localizer is a fitted position estimator ready to serve: it maps a batch
+// of normalised RSS fingerprints to class predictions (reference points, or
+// floor indices for a floor classifier) and carries the metadata the
+// serving and evaluation layers route on.
+//
+// Implementations MUST be safe for concurrent use — the serving engine
+// dispatches batches for one localizer from multiple workers, and the
+// registry hands the same snapshot to every reader. Adapters over stateful
+// estimators keep their scratch in pools (see the From* constructors).
+type Localizer interface {
+	// Name identifies the backend ("CALLOC", "KNN", "WiDeep", ...).
+	Name() string
+	// InputDim is the fingerprint width (visible APs) the localizer expects.
+	InputDim() int
+	// NumClasses is the size of the label space: reference points for a
+	// position localizer, floors for a floor classifier.
+	NumClasses() int
+	// PredictInto classifies every row of x into dst and returns it. A nil
+	// dst is allocated; otherwise len(dst) must equal x.Rows.
+	PredictInto(dst []int, x *mat.Matrix) []int
+}
+
+// Unwrapper is implemented by adapters that expose their underlying
+// estimator; the evaluation layer uses it to reach white-box gradient
+// interfaces (baselines.Differentiable) the Localizer contract does not
+// carry.
+type Unwrapper interface {
+	Unwrap() any
+}
+
+// Unwrap returns the estimator behind l when l is an adapter from this
+// package (or anything else implementing Unwrapper), and l itself otherwise.
+func Unwrap(l Localizer) any {
+	if u, ok := l.(Unwrapper); ok {
+		return u.Unwrap()
+	}
+	return l
+}

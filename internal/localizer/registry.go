@@ -1,0 +1,223 @@
+package localizer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Key addresses one served localizer: a building, a floor within it, and a
+// backend name ("calloc", "knn", ...). A building's floor classifier — the
+// first stage of hierarchical routing — is registered under FloorKey.
+type Key struct {
+	Building int    `json:"building"`
+	Floor    int    `json:"floor"`
+	Backend  string `json:"backend"`
+}
+
+// ClassifierFloor is the reserved Floor value of a building's floor
+// classifier, whose classes are floor indices rather than reference points.
+const ClassifierFloor = -1
+
+// FloorBackend is the conventional backend name of a floor classifier.
+const FloorBackend = "floor"
+
+// FloorKey returns the registry key of a building's floor classifier.
+func FloorKey(building int) Key {
+	return Key{Building: building, Floor: ClassifierFloor, Backend: FloorBackend}
+}
+
+func (k Key) String() string {
+	if k.Floor == ClassifierFloor && k.Backend == FloorBackend {
+		return fmt.Sprintf("building %d floor-classifier", k.Building)
+	}
+	return fmt.Sprintf("building %d floor %d backend %q", k.Building, k.Floor, k.Backend)
+}
+
+// Snapshot is one immutable registered localizer version. Readers that load
+// a snapshot may keep using it for the duration of a batch even after a
+// newer version is swapped in — snapshots are never mutated, only replaced.
+type Snapshot struct {
+	Localizer Localizer
+	Version   uint64
+}
+
+// entry is the per-key slot; the snapshot pointer is the hot-swap point.
+type entry struct {
+	snap atomic.Pointer[Snapshot]
+}
+
+// Registry maps keys to atomically versioned localizer snapshots.
+//
+// Reads (Get, List) are lock-free: two atomic pointer loads — the
+// copy-on-write key map, then the key's current snapshot. Writes (Register,
+// Swap, Deregister) serialise on an internal mutex; Register/Deregister
+// clone the key map, Swap only replaces the key's snapshot pointer, so a
+// version push under load never copies the map and never blocks readers.
+//
+// The zero Registry is not ready; use NewRegistry.
+type Registry struct {
+	writeMu sync.Mutex
+	entries atomic.Pointer[map[Key]*entry]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	m := make(map[Key]*entry)
+	r.entries.Store(&m)
+	return r
+}
+
+func validateLocalizer(key Key, loc Localizer) error {
+	if loc == nil {
+		return fmt.Errorf("localizer: nil localizer for %s", key)
+	}
+	if key.Backend == "" {
+		return fmt.Errorf("localizer: empty backend name in key for %q", loc.Name())
+	}
+	if loc.InputDim() <= 0 || loc.NumClasses() <= 0 {
+		return fmt.Errorf("localizer: %q has invalid dimensions %d×%d for %s",
+			loc.Name(), loc.InputDim(), loc.NumClasses(), key)
+	}
+	return nil
+}
+
+// Register installs loc under key at version 1. Registering an existing key
+// is an error — replacing a live localizer must go through Swap, which
+// enforces shape stability and advances the version.
+func (r *Registry) Register(key Key, loc Localizer) (uint64, error) {
+	if err := validateLocalizer(key, loc); err != nil {
+		return 0, err
+	}
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	old := *r.entries.Load()
+	if _, exists := old[key]; exists {
+		return 0, fmt.Errorf("localizer: %s already registered (use Swap to push a new version)", key)
+	}
+	clone := make(map[Key]*entry, len(old)+1)
+	for k, v := range old {
+		clone[k] = v
+	}
+	e := &entry{}
+	e.snap.Store(&Snapshot{Localizer: loc, Version: 1})
+	clone[key] = e
+	r.entries.Store(&clone)
+	return 1, nil
+}
+
+// Swap atomically replaces key's localizer with loc and returns the new
+// version (previous + 1). The key must already be registered and loc must
+// preserve the input width and label-space size — lanes and clients sized
+// against the old version stay valid across the swap. In-flight batches
+// that loaded the previous snapshot finish on it; new batches observe the
+// new version immediately.
+func (r *Registry) Swap(key Key, loc Localizer) (uint64, error) {
+	if err := validateLocalizer(key, loc); err != nil {
+		return 0, err
+	}
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	e, ok := (*r.entries.Load())[key]
+	if !ok {
+		return 0, fmt.Errorf("localizer: %s not registered (use Register first)", key)
+	}
+	cur := e.snap.Load()
+	if loc.InputDim() != cur.Localizer.InputDim() {
+		return 0, fmt.Errorf("localizer: swap of %s changes input dim %d→%d",
+			key, cur.Localizer.InputDim(), loc.InputDim())
+	}
+	if loc.NumClasses() != cur.Localizer.NumClasses() {
+		return 0, fmt.Errorf("localizer: swap of %s changes label space %d→%d",
+			key, cur.Localizer.NumClasses(), loc.NumClasses())
+	}
+	next := &Snapshot{Localizer: loc, Version: cur.Version + 1}
+	e.snap.Store(next)
+	return next.Version, nil
+}
+
+// Get returns the current snapshot registered under key.
+func (r *Registry) Get(key Key) (Snapshot, bool) {
+	e, ok := (*r.entries.Load())[key]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return *e.snap.Load(), true
+}
+
+// Deregister removes key, reporting whether it was present. Batches already
+// holding the key's snapshot finish on it; subsequent Gets miss.
+func (r *Registry) Deregister(key Key) bool {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	old := *r.entries.Load()
+	if _, exists := old[key]; !exists {
+		return false
+	}
+	clone := make(map[Key]*entry, len(old)-1)
+	for k, v := range old {
+		if k != key {
+			clone[k] = v
+		}
+	}
+	r.entries.Store(&clone)
+	return true
+}
+
+// Len returns the number of registered keys.
+func (r *Registry) Len() int { return len(*r.entries.Load()) }
+
+// Info describes one registered localizer for listings (/v1/models).
+type Info struct {
+	Key        Key    `json:"key"`
+	Name       string `json:"name"`
+	Version    uint64 `json:"version"`
+	InputDim   int    `json:"input_dim"`
+	NumClasses int    `json:"classes"`
+}
+
+// List returns every registered localizer ordered by building, floor,
+// backend (floor classifiers first within their building).
+func (r *Registry) List() []Info {
+	m := *r.entries.Load()
+	out := make([]Info, 0, len(m))
+	for k, e := range m {
+		s := e.snap.Load()
+		out = append(out, Info{
+			Key:        k,
+			Name:       s.Localizer.Name(),
+			Version:    s.Version,
+			InputDim:   s.Localizer.InputDim(),
+			NumClasses: s.Localizer.NumClasses(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Building != b.Building {
+			return a.Building < b.Building
+		}
+		if a.Floor != b.Floor {
+			return a.Floor < b.Floor
+		}
+		return a.Backend < b.Backend
+	})
+	return out
+}
+
+// Floors returns the sorted floor indices registered for a building/backend
+// pair (the floor classifier's ClassifierFloor entry is excluded). The
+// serving layer uses it to validate routed floors and to fall back when a
+// building has exactly one floor.
+func (r *Registry) Floors(building int, backend string) []int {
+	m := *r.entries.Load()
+	var floors []int
+	for k := range m {
+		if k.Building == building && k.Backend == backend && k.Floor != ClassifierFloor {
+			floors = append(floors, k.Floor)
+		}
+	}
+	sort.Ints(floors)
+	return floors
+}

@@ -1,20 +1,36 @@
 // Package serve implements the online serving layer: a micro-batching engine
 // that coalesces concurrent single-fingerprint localization requests into
-// batched model calls.
+// batched model calls, dispatching through a localizer.Registry so many
+// models — multiple buildings, floors, and backends — share one worker
+// budget and can be hot-swapped while serving.
 //
 // Online localization is a many-small-queries workload — every request is a
 // single RSS vector, but a single-row forward pass streams the full weight
 // and attention-memory working set from cache for one query's worth of
 // arithmetic. Batching amortises that traffic across every query in the
-// window, so coalescing B concurrent requests into one PredictBatch call
-// costs far less than B single-row calls. The engine batches by time and
-// size: the first request in a window waits at most MaxWait for company, a
-// full window of MaxBatch dispatches immediately.
+// window, so coalescing B concurrent requests into one batched call costs
+// far less than B single-row calls. The engine batches by time and size:
+// the first request in a window waits at most MaxWait for company, a full
+// window of MaxBatch dispatches immediately.
 //
-// The engine owns model access. Workers hold a read-lock around each batch
-// dispatch; Refresh takes the corresponding write-lock, which is the ONLY
-// supported way to mutate a served model's weights or attention memory while
-// the engine is running.
+// Every registered localizer gets its own micro-batch lane (a bounded queue
+// that only ever coalesces requests for that localizer), and a shared pool
+// of workers services whichever lanes have pending requests — so one hot
+// model cannot starve the others of batching, and adding a backend costs a
+// queue, not a thread pool.
+//
+// Requests route hierarchically: Localize addresses one registered
+// {building, floor, backend} key directly; Route first consults the
+// building's floor classifier (registered under localizer.FloorKey) to pick
+// the floor, then localizes the position on that floor's backend. Both
+// stages are micro-batched.
+//
+// Model updates come in two flavours (see DESIGN.md):
+//   - Hot-swap (preferred): build a NEW localizer and Registry.Swap it in.
+//     Lock-free for readers; in-flight batches finish on the old snapshot.
+//   - In-place mutation: Engine.Refresh(fn) holds all dispatch off while fn
+//     mutates weights/memory of a live localizer (the PR 2 mechanism,
+//     still required when mutating rather than replacing).
 package serve
 
 import (
@@ -26,44 +42,40 @@ import (
 	"sync/atomic"
 	"time"
 
+	"calloc/internal/localizer"
 	"calloc/internal/mat"
 )
 
-// Batcher is the model-side contract: one call localises every row of x into
-// dst. core.Predictor implements it; each worker owns one Batcher, so
-// implementations need not be safe for concurrent use.
-type Batcher interface {
-	PredictBatchInto(dst []int, x *mat.Matrix) []int
-}
-
-// ErrClosed is returned by Predict after Close.
+// ErrClosed is returned by Localize/Route calls that start after Close has
+// begun. See Close for the exact ordering guarantee.
 var ErrClosed = errors.New("serve: engine closed")
+
+// ErrUnknownModel is returned when a request addresses a key with no
+// registered localizer.
+var ErrUnknownModel = errors.New("serve: no localizer registered for key")
 
 // Options configures an Engine.
 type Options struct {
-	// Features is the fingerprint width (visible APs). Required.
-	Features int
 	// MaxBatch caps how many requests one model call coalesces (default 32).
 	MaxBatch int
 	// MaxWait bounds how long the first request of a window waits for the
 	// window to fill. 0 selects the default 500µs; negative dispatches
 	// immediately with whatever is already queued (no timer).
 	MaxWait time.Duration
-	// Workers is the number of concurrent batch dispatchers (default
-	// min(2, GOMAXPROCS)). More workers overlap model calls at the cost of
-	// smaller windows; on a single-core host extra workers only fragment
-	// batches.
+	// Workers is the number of concurrent batch dispatchers shared by every
+	// lane (default min(2, GOMAXPROCS)). More workers overlap model calls
+	// at the cost of smaller windows; on a single-core host extra workers
+	// only fragment batches.
 	Workers int
-	// QueueCap bounds the pending-request queue (default 4×MaxBatch). When
-	// the queue is full, Predict blocks — backpressure propagates to
-	// callers instead of growing memory without bound.
+	// QueueCap bounds each lane's pending-request queue (default
+	// 4×MaxBatch). When a lane's queue is full, requests for that localizer
+	// block — backpressure propagates to callers instead of growing memory
+	// without bound, and one overloaded model does not consume another
+	// model's queue space.
 	QueueCap int
 }
 
-func (o *Options) setDefaults() error {
-	if o.Features <= 0 {
-		return fmt.Errorf("serve: Options.Features must be positive, got %d", o.Features)
-	}
+func (o *Options) setDefaults() {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 32
 	}
@@ -79,30 +91,71 @@ func (o *Options) setDefaults() error {
 	if o.QueueCap <= 0 {
 		o.QueueCap = 4 * o.MaxBatch
 	}
-	return nil
+}
+
+// response is what a worker delivers back to one request.
+type response struct {
+	class   int
+	version uint64
+	err     error
 }
 
 // request is one in-flight localization query.
 type request struct {
 	x      []float64
 	enq    time.Time
-	result chan int // buffered (cap 1) so an abandoned caller never blocks a worker
+	result chan response // buffered (cap 1) so an abandoned caller never blocks a worker
 }
 
-// Engine coalesces concurrent Predict calls into batched model calls.
+// lane is one localizer's micro-batch queue. Lanes are created on first use
+// of a registered key and persist across hot-swaps (the registry enforces
+// that swaps preserve the input width the lane was sized with).
+type lane struct {
+	key      localizer.Key
+	features int
+	reqs     chan *request
+
+	// pending counts accepted-but-undispatched requests; scheduled is true
+	// while the lane sits in the run queue or is held by a worker. Together
+	// they guarantee a lane with pending work is always either queued or
+	// about to be re-queued by the worker that holds it (no lost wakeups),
+	// and that at most one worker gathers from a lane at a time (so windows
+	// actually coalesce instead of fragmenting across workers).
+	pending   atomic.Int64
+	scheduled atomic.Bool
+}
+
+// Engine coalesces concurrent localization requests into batched model
+// calls, one micro-batch lane per registered localizer, dispatched by a
+// shared worker pool.
 type Engine struct {
+	reg  *localizer.Registry
 	opts Options
-	reqs chan *request
 
-	// modelMu serialises model access: workers read-lock around each batch
-	// dispatch, Refresh write-locks for weight/memory updates.
-	modelMu sync.RWMutex
+	// laneMu guards the lane map (read-mostly; lanes are created once per
+	// key and never removed while the engine runs).
+	laneMu sync.RWMutex
+	lanes  map[localizer.Key]*lane
 
-	// sendMu guards the closed flag and makes Close's channel-close safe:
-	// senders hold the read side for the duration of the enqueue, Close
-	// takes the write side before closing reqs.
+	// runMu/cond protect the run queue of lanes with pending requests.
+	// draining tells idle workers to exit once the queue is empty.
+	runMu    sync.Mutex
+	cond     *sync.Cond
+	runq     []*lane
+	draining bool
+
+	// sendMu guards the closed flag: senders hold the read side for the
+	// duration of an enqueue, Close takes the write side to flip the flag.
+	// This is what makes the Close ordering deterministic — a request is
+	// either fully enqueued before Close flips the flag (and will be
+	// answered) or observes closed and fails with ErrClosed.
 	sendMu sync.RWMutex
 	closed bool
+
+	// modelMu serialises in-place model mutation: workers read-lock around
+	// each batch dispatch, Refresh write-locks. Hot-swaps through the
+	// registry do not need it.
+	modelMu sync.RWMutex
 
 	workers sync.WaitGroup
 	reqPool sync.Pool
@@ -116,44 +169,68 @@ type Engine struct {
 	latencyNs atomic.Int64
 }
 
-// New starts an engine with one Batcher per worker drawn from newBatcher
-// (typically func() serve.Batcher { return model.Predictor() }).
-func New(newBatcher func() Batcher, opts Options) (*Engine, error) {
-	if newBatcher == nil {
-		return nil, errors.New("serve: nil Batcher constructor")
+// New starts an engine dispatching into the given registry. Localizers may
+// be registered, swapped, and deregistered while the engine runs.
+func New(reg *localizer.Registry, opts Options) (*Engine, error) {
+	if reg == nil {
+		return nil, errors.New("serve: nil registry")
 	}
-	if err := opts.setDefaults(); err != nil {
-		return nil, err
-	}
+	opts.setDefaults()
 	e := &Engine{
-		opts: opts,
-		reqs: make(chan *request, opts.QueueCap),
+		reg:   reg,
+		opts:  opts,
+		lanes: make(map[localizer.Key]*lane),
 	}
+	e.cond = sync.NewCond(&e.runMu)
 	e.reqPool.New = func() any {
-		return &request{
-			x:      make([]float64, opts.Features),
-			result: make(chan int, 1),
-		}
+		return &request{result: make(chan response, 1)}
 	}
 	e.workers.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
-		go e.run(newBatcher())
+		go e.run()
 	}
 	return e, nil
 }
 
-// Predict localises one fingerprint, blocking until a batching window
-// delivers its result. When the queue is full the call blocks (backpressure)
-// until space frees, ctx is done, or the engine closes. A nil ctx means
-// context.Background().
-func (e *Engine) Predict(ctx context.Context, rss []float64) (int, error) {
+// Result is one answered localization request.
+type Result struct {
+	// Class is the predicted label: a reference point for position lanes, a
+	// floor index for the floor-classifier lane.
+	Class int
+	// Floor is the floor that served the request: the routed floor for
+	// Route, the addressed key's floor for Localize.
+	Floor int
+	// Backend is the backend that served the request.
+	Backend string
+	// Version is the registry snapshot version that computed the result —
+	// how clients observe hot-swaps.
+	Version uint64
+}
+
+// Localize coalesces one fingerprint into the micro-batch lane of the
+// localizer registered under key, blocking until a batching window delivers
+// its result. When the lane's queue is full the call blocks (backpressure)
+// until space frees or ctx is done. A nil ctx means context.Background().
+//
+// Close ordering: a call that observes Close fails with ErrClosed before
+// enqueueing; a call that enqueued before Close began is always answered.
+func (e *Engine) Localize(ctx context.Context, key localizer.Key, rss []float64) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if len(rss) != e.opts.Features {
-		return -1, fmt.Errorf("serve: fingerprint has %d features, engine expects %d", len(rss), e.opts.Features)
+	l, err := e.lane(key)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(rss) != l.features {
+		return Result{}, fmt.Errorf("serve: fingerprint has %d features, %s expects %d",
+			len(rss), key, l.features)
 	}
 	r := e.reqPool.Get().(*request)
+	if cap(r.x) < l.features {
+		r.x = make([]float64, l.features)
+	}
+	r.x = r.x[:l.features]
 	copy(r.x, rss)
 	r.enq = time.Now()
 
@@ -161,21 +238,23 @@ func (e *Engine) Predict(ctx context.Context, rss []float64) (int, error) {
 	if e.closed {
 		e.sendMu.RUnlock()
 		e.reqPool.Put(r)
-		return -1, ErrClosed
+		return Result{}, ErrClosed
 	}
 	select {
-	case e.reqs <- r:
+	case l.reqs <- r:
 	default:
-		// Queue full: count the backpressure event, then wait for space.
+		// Lane queue full: count the backpressure event, then wait for space.
 		e.fullWaits.Add(1)
 		select {
-		case e.reqs <- r:
+		case l.reqs <- r:
 		case <-ctx.Done():
 			e.sendMu.RUnlock()
 			e.reqPool.Put(r) // never enqueued: safe to recycle
-			return -1, ctx.Err()
+			return Result{}, ctx.Err()
 		}
 	}
+	l.pending.Add(1)
+	e.schedule(l)
 	e.sendMu.RUnlock()
 	e.requests.Add(1)
 
@@ -184,127 +263,283 @@ func (e *Engine) Predict(ctx context.Context, rss []float64) (int, error) {
 		e.latencyNs.Add(time.Since(r.enq).Nanoseconds())
 		e.completed.Add(1)
 		e.reqPool.Put(r)
-		return rp, nil
+		if rp.err != nil {
+			return Result{}, rp.err
+		}
+		return Result{Class: rp.class, Floor: key.Floor, Backend: key.Backend, Version: rp.version}, nil
 	case <-ctx.Done():
 		// The worker may still deliver into r.result (cap 1); the request
 		// is abandoned to the GC rather than recycled.
-		return -1, ctx.Err()
+		return Result{}, ctx.Err()
 	}
 }
 
-// run is one worker: pull a request, gather a window, dispatch the batch.
-func (e *Engine) run(b Batcher) {
+// Route localizes hierarchically: the building's floor classifier (if
+// registered under localizer.FloorKey) picks the floor, then the floor's
+// backend localizer predicts the position. Without a floor classifier the
+// building must have exactly one registered floor for the backend, which is
+// used directly. Both stages are micro-batched; a routed request therefore
+// pays up to two batching windows of latency.
+func (e *Engine) Route(ctx context.Context, building int, backend string, rss []float64) (Result, error) {
+	floor := 0
+	if _, ok := e.reg.Get(localizer.FloorKey(building)); ok {
+		fr, err := e.Localize(ctx, localizer.FloorKey(building), rss)
+		if err != nil {
+			return Result{}, err
+		}
+		floor = fr.Class
+	} else {
+		floors := e.reg.Floors(building, backend)
+		switch len(floors) {
+		case 0:
+			return Result{}, fmt.Errorf("%w: building %d backend %q", ErrUnknownModel, building, backend)
+		case 1:
+			floor = floors[0]
+		default:
+			return Result{}, fmt.Errorf("serve: building %d has %d floors for backend %q and no floor classifier",
+				building, len(floors), backend)
+		}
+	}
+	res, err := e.Localize(ctx, localizer.Key{Building: building, Floor: floor, Backend: backend}, rss)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Floor = floor
+	return res, nil
+}
+
+// lane returns (creating on first use) the micro-batch lane for key. Lane
+// creation requires the key to be registered; the lane's feature width is
+// pinned from the localizer's InputDim, which registry swaps preserve.
+func (e *Engine) lane(key localizer.Key) (*lane, error) {
+	e.laneMu.RLock()
+	l, ok := e.lanes[key]
+	e.laneMu.RUnlock()
+	if ok {
+		return l, nil
+	}
+	snap, ok := e.reg.Get(key)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownModel, key)
+	}
+	e.laneMu.Lock()
+	defer e.laneMu.Unlock()
+	if l, ok := e.lanes[key]; ok {
+		return l, nil
+	}
+	l = &lane{
+		key:      key,
+		features: snap.Localizer.InputDim(),
+		reqs:     make(chan *request, e.opts.QueueCap),
+	}
+	e.lanes[key] = l
+	return l, nil
+}
+
+// schedule puts l on the run queue unless it is already queued or held by a
+// worker. The scheduled flag serialises gathering per lane; the worker
+// re-checks pending after clearing it, so a request enqueued concurrently
+// with a dispatch is never stranded.
+func (e *Engine) schedule(l *lane) {
+	if !l.scheduled.CompareAndSwap(false, true) {
+		return
+	}
+	e.runMu.Lock()
+	e.runq = append(e.runq, l)
+	e.runMu.Unlock()
+	e.cond.Signal()
+}
+
+// run is one shared worker: pull a lane with pending requests, gather a
+// window from that lane, dispatch the batch, repeat.
+func (e *Engine) run() {
 	defer e.workers.Done()
-	maxB, f := e.opts.MaxBatch, e.opts.Features
+	maxB := e.opts.MaxBatch
 	batch := make([]*request, 0, maxB)
 	dst := make([]int, maxB)
-	xbuf := make([]float64, maxB*f)
+	var xbuf []float64
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
 	for {
-		first, ok := <-e.reqs
-		if !ok {
-			return // closed and drained
+		e.runMu.Lock()
+		for len(e.runq) == 0 && !e.draining {
+			e.cond.Wait()
 		}
-		batch = append(batch[:0], first)
-		switch {
-		case maxB > 1 && e.opts.MaxWait > 0:
-			timer.Reset(e.opts.MaxWait)
-		gather:
-			for len(batch) < maxB {
-				select {
-				case r, ok := <-e.reqs:
-					if !ok {
-						break gather // closed: flush what we have
-					}
-					batch = append(batch, r)
-				case <-timer.C:
-					break gather // window expired (timer drained)
-				}
-			}
-			if !timer.Stop() {
-				select {
-				case <-timer.C:
-				default:
-				}
-			}
-		case maxB > 1:
-			// Negative MaxWait: dispatch immediately with whatever is
-			// already queued.
-		greedy:
-			for len(batch) < maxB {
-				select {
-				case r, ok := <-e.reqs:
-					if !ok {
-						break greedy
-					}
-					batch = append(batch, r)
-				default:
-					break greedy
-				}
-			}
+		if len(e.runq) == 0 {
+			// Draining and nothing queued: all accepted requests are served
+			// (a lane with pending work is always queued or held by a live
+			// worker that will re-queue it).
+			e.runMu.Unlock()
+			return
 		}
-		e.dispatch(b, batch, dst, xbuf)
+		l := e.runq[0]
+		e.runq = e.runq[1:]
+		draining := e.draining
+		e.runMu.Unlock()
+
+		batch = e.gather(l, batch[:0], timer, draining)
+		if len(batch) > 0 {
+			if cap(xbuf) < len(batch)*l.features {
+				xbuf = make([]float64, maxB*l.features)
+			}
+			e.dispatch(l, batch, dst, xbuf)
+		}
+
+		// Release the lane: decrement pending by what we served, clear the
+		// hold, then re-check — requests that arrived during dispatch CAS'd
+		// against our hold and rely on this re-schedule.
+		l.pending.Add(int64(-len(batch)))
+		l.scheduled.Store(false)
+		if l.pending.Load() > 0 {
+			e.schedule(l)
+		}
 	}
 }
 
-// dispatch assembles the window into one matrix, runs the model under the
-// read-lock, and delivers per-request results.
-func (e *Engine) dispatch(b Batcher, batch []*request, dst []int, xbuf []float64) {
-	f := e.opts.Features
+// gather collects one batching window from l. The first receive must not
+// block: a worker can consume a request from the lane channel before the
+// sender's pending increment lands, in which case the sender's subsequent
+// schedule re-queues an already-drained lane — such a spurious pop returns
+// an empty batch and the caller just releases the lane. While draining, the
+// window never waits — Close should not pay MaxWait per residual batch.
+func (e *Engine) gather(l *lane, batch []*request, timer *time.Timer, draining bool) []*request {
+	maxB := e.opts.MaxBatch
+	select {
+	case r := <-l.reqs:
+		batch = append(batch, r)
+	default:
+		return batch
+	}
+	switch {
+	case maxB > 1 && e.opts.MaxWait > 0 && !draining:
+		timer.Reset(e.opts.MaxWait)
+	gather:
+		for len(batch) < maxB {
+			select {
+			case r := <-l.reqs:
+				batch = append(batch, r)
+			case <-timer.C:
+				break gather // window expired (timer drained)
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	case maxB > 1:
+		// Negative MaxWait (or draining): dispatch immediately with
+		// whatever is already queued.
+	greedy:
+		for len(batch) < maxB {
+			select {
+			case r := <-l.reqs:
+				batch = append(batch, r)
+			default:
+				break greedy
+			}
+		}
+	}
+	return batch
+}
+
+// dispatch assembles the window into one matrix, pins the lane's current
+// registry snapshot, runs the model under the read-lock, and delivers
+// per-request results stamped with the snapshot version.
+func (e *Engine) dispatch(l *lane, batch []*request, dst []int, xbuf []float64) {
 	n := len(batch)
+	f := l.features
 	for i, r := range batch {
 		copy(xbuf[i*f:(i+1)*f], r.x)
 	}
 	x := mat.FromSlice(n, f, xbuf[:n*f])
 
+	snap, ok := e.reg.Get(l.key)
+	if !ok {
+		// Deregistered with requests in flight: fail them rather than drop.
+		for _, r := range batch {
+			r.result <- response{class: -1, err: fmt.Errorf("%w: %s", ErrUnknownModel, l.key)}
+		}
+		return
+	}
+	if snap.Localizer.InputDim() != f {
+		// Swap preserves shapes, but Deregister+Register can install a
+		// localizer with a different width under a key whose lane (and
+		// whose queued fingerprints) are pinned to the old one. Fail the
+		// batch instead of feeding the model wrong-width rows.
+		for _, r := range batch {
+			r.result <- response{class: -1, err: fmt.Errorf(
+				"serve: %s re-registered with input dim %d, lane pinned to %d (re-registering a different shape needs a new key)",
+				l.key, snap.Localizer.InputDim(), f)}
+		}
+		return
+	}
 	e.modelMu.RLock()
-	b.PredictBatchInto(dst[:n], x)
+	snap.Localizer.PredictInto(dst[:n], x)
 	e.modelMu.RUnlock()
 
 	for i, r := range batch {
-		r.result <- dst[i]
+		r.result <- response{class: dst[i], version: snap.Version}
 	}
 	e.batches.Add(1)
 	e.rows.Add(int64(n))
 }
 
-// Refresh runs fn with exclusive model access: it waits for in-flight
-// batches to finish and holds new ones off until fn returns. All weight
-// updates, RefreshMemoryKeys calls, and weight deserialisation against a
-// served model must go through here — the packed-view and memory-key caches
-// are only safe to invalidate while no batch is in flight.
+// Refresh runs fn with exclusive dispatch access: it waits for in-flight
+// batches to finish and holds new ones off until fn returns. It is required
+// only for IN-PLACE mutation of a live localizer's state (weight updates,
+// RefreshMemoryKeys, weight deserialisation into a served model) — the
+// packed-view and memory-key caches are only safe to invalidate while no
+// batch is in flight. Replacing a model wholesale does not need Refresh:
+// build a new localizer and Registry.Swap it in.
 func (e *Engine) Refresh(fn func()) {
 	e.modelMu.Lock()
 	defer e.modelMu.Unlock()
 	fn()
 }
 
-// Close shuts the engine down gracefully: new Predict calls fail with
-// ErrClosed, already-queued requests are served, and Close returns once
-// every worker has drained and exited.
+// Close shuts the engine down gracefully. The ordering guarantee is
+// deterministic and two-sided:
+//
+//   - Any Localize/Route call that has not finished enqueueing when Close
+//     flips the closed flag fails with ErrClosed (never a hang, never a
+//     lost request): the flag is checked under the same lock senders hold
+//     across the enqueue.
+//   - Any request fully enqueued before the flag flipped is answered: Close
+//     only tells workers to drain after the flag is visible, and workers
+//     exit only when every lane's queue is empty.
+//
+// Close returns once every worker has drained and exited; it is idempotent.
 func (e *Engine) Close() {
 	e.sendMu.Lock()
-	if !e.closed {
-		e.closed = true
-		close(e.reqs)
-	}
+	already := e.closed
+	e.closed = true
 	e.sendMu.Unlock()
+	if !already {
+		e.runMu.Lock()
+		e.draining = true
+		e.runMu.Unlock()
+		e.cond.Broadcast()
+	}
 	e.workers.Wait()
 }
 
 // Stats is a point-in-time snapshot of the engine's counters.
 type Stats struct {
-	// Requests is the number of accepted Predict calls.
+	// Requests is the number of accepted Localize calls (both routing
+	// stages count).
 	Requests int64 `json:"requests"`
 	// Batches is the number of model calls dispatched.
 	Batches int64 `json:"batches"`
 	// Rows is the total number of fingerprints across all batches.
 	Rows int64 `json:"rows"`
-	// QueueFullWaits counts Predict calls that hit backpressure (full queue).
+	// QueueFullWaits counts requests that hit backpressure (full lane queue).
 	QueueFullWaits int64 `json:"queue_full_waits"`
+	// Lanes is the number of micro-batch lanes created so far.
+	Lanes int `json:"lanes"`
 	// AvgBatch is Rows/Batches — the realised coalescing factor.
 	AvgBatch float64 `json:"avg_batch"`
 	// AvgLatency is the mean enqueue-to-result time of completed requests.
@@ -313,11 +548,15 @@ type Stats struct {
 
 // Stats returns a snapshot of the engine's throughput and latency counters.
 func (e *Engine) Stats() Stats {
+	e.laneMu.RLock()
+	lanes := len(e.lanes)
+	e.laneMu.RUnlock()
 	s := Stats{
 		Requests:       e.requests.Load(),
 		Batches:        e.batches.Load(),
 		Rows:           e.rows.Load(),
 		QueueFullWaits: e.fullWaits.Load(),
+		Lanes:          lanes,
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.Rows) / float64(s.Batches)

@@ -4,42 +4,66 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"calloc/internal/core"
 	"calloc/internal/fingerprint"
+	"calloc/internal/knn"
+	"calloc/internal/localizer"
 	"calloc/internal/mat"
 )
 
-// scriptedBatcher echoes feature 0 as the prediction and records batch
-// sizes; an optional gate holds every dispatch until released, making
-// coalescing and backpressure deterministic to test.
-type scriptedBatcher struct {
-	gate chan struct{}
+// scripted is a deterministic localizer: it echoes feature 0 as the
+// prediction and records batch sizes; an optional gate holds every dispatch
+// until released, making coalescing and backpressure deterministic to test.
+type scripted struct {
+	name     string
+	features int
+	classes  int
+	gate     chan struct{}
 
 	mu         sync.Mutex
 	batchSizes []int
 }
 
-func (s *scriptedBatcher) PredictBatchInto(dst []int, x *mat.Matrix) []int {
+func (s *scripted) Name() string    { return s.name }
+func (s *scripted) InputDim() int   { return s.features }
+func (s *scripted) NumClasses() int { return s.classes }
+
+func (s *scripted) PredictInto(dst []int, x *mat.Matrix) []int {
 	if s.gate != nil {
 		<-s.gate
 	}
 	s.mu.Lock()
 	s.batchSizes = append(s.batchSizes, x.Rows)
 	s.mu.Unlock()
+	if dst == nil {
+		dst = make([]int, x.Rows)
+	}
 	for i := 0; i < x.Rows; i++ {
 		dst[i] = int(x.Row(i)[0])
 	}
 	return dst
 }
 
-func (s *scriptedBatcher) sizes() []int {
+func (s *scripted) sizes() []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]int(nil), s.batchSizes...)
+}
+
+// reg1 builds a registry with one scripted localizer under key1.
+func reg1(s *scripted) (*localizer.Registry, localizer.Key) {
+	r := localizer.NewRegistry()
+	key := localizer.Key{Building: 1, Floor: 0, Backend: s.name}
+	if _, err := r.Register(key, s); err != nil {
+		panic(err)
+	}
+	return r, key
 }
 
 // testModel builds an untrained CALLOC model with synthetic memory — result
@@ -72,49 +96,53 @@ func testModel(t testing.TB, numAPs, numRPs, memory int) (*core.Model, *mat.Matr
 }
 
 func TestEngineEchoesEveryRequest(t *testing.T) {
-	b := &scriptedBatcher{}
-	e, err := New(func() Batcher { return b }, Options{Features: 3, MaxBatch: 4, Workers: 2})
+	s := &scripted{name: "echo", features: 3, classes: 64}
+	reg, key := reg1(s)
+	e, err := New(reg, Options{MaxBatch: 4, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Close()
 
 	const n = 50
-	results := make([]int, n)
+	results := make([]Result, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rp, err := e.Predict(nil, []float64{float64(i), 0, 0})
+			res, err := e.Localize(nil, key, []float64{float64(i), 0, 0})
 			if err != nil {
-				t.Errorf("Predict %d: %v", i, err)
+				t.Errorf("Localize %d: %v", i, err)
 				return
 			}
-			results[i] = rp
+			results[i] = res
 		}(i)
 	}
 	wg.Wait()
-	for i, rp := range results {
-		if rp != i {
-			t.Fatalf("request %d answered %d", i, rp)
+	for i, res := range results {
+		if res.Class != i {
+			t.Fatalf("request %d answered %d", i, res.Class)
+		}
+		if res.Version != 1 || res.Backend != "echo" {
+			t.Fatalf("request %d result metadata %+v", i, res)
 		}
 	}
 	st := e.Stats()
 	if st.Requests != n || st.Rows != n {
 		t.Fatalf("stats lost requests: %+v", st)
 	}
-	if st.Batches <= 0 || st.AvgBatch <= 0 {
-		t.Fatalf("stats missing batches: %+v", st)
+	if st.Batches <= 0 || st.AvgBatch <= 0 || st.Lanes != 1 {
+		t.Fatalf("stats missing batches/lanes: %+v", st)
 	}
 }
 
 // TestEngineCoalesces: with one worker, a large window, and a full
 // complement of queued requests, the engine must dispatch one batch.
 func TestEngineCoalesces(t *testing.T) {
-	b := &scriptedBatcher{gate: make(chan struct{}, 16)}
-	e, err := New(func() Batcher { return b },
-		Options{Features: 1, MaxBatch: 8, MaxWait: time.Second, Workers: 1})
+	s := &scripted{name: "echo", features: 1, classes: 8, gate: make(chan struct{}, 16)}
+	reg, key := reg1(s)
+	e, err := New(reg, Options{MaxBatch: 8, MaxWait: time.Second, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,16 +153,16 @@ func TestEngineCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := e.Predict(nil, []float64{float64(i)}); err != nil {
-				t.Errorf("Predict: %v", err)
+			if _, err := e.Localize(nil, key, []float64{float64(i)}); err != nil {
+				t.Errorf("Localize: %v", err)
 			}
 		}(i)
 	}
 	// The worker gathers until the window fills (8 requests) because the
 	// gate only matters at dispatch time; release it once.
-	b.gate <- struct{}{}
+	s.gate <- struct{}{}
 	wg.Wait()
-	sizes := b.sizes()
+	sizes := s.sizes()
 	if len(sizes) != 1 || sizes[0] != 8 {
 		t.Fatalf("expected one coalesced batch of 8, got %v", sizes)
 	}
@@ -143,14 +171,18 @@ func TestEngineCoalesces(t *testing.T) {
 	}
 }
 
-// TestEngineMatchesPredictBatch: serving through the engine must return
-// exactly what a direct model call returns for every fingerprint.
+// TestEngineMatchesPredictBatch: serving a CALLOC model through the
+// registry and engine must return exactly what a direct model call returns.
 func TestEngineMatchesPredictBatch(t *testing.T) {
 	m, x := testModel(t, 10, 4, 30)
 	want := m.PredictBatch(x)
 
-	e, err := New(func() Batcher { return m.Predictor() },
-		Options{Features: x.Cols, MaxBatch: 8, MaxWait: time.Millisecond, Workers: 2})
+	reg := localizer.NewRegistry()
+	key := localizer.Key{Building: 1, Floor: 0, Backend: "calloc"}
+	if _, err := reg.Register(key, localizer.FromCore("CALLOC", m)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(reg, Options{MaxBatch: 8, MaxWait: time.Millisecond, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,12 +194,12 @@ func TestEngineMatchesPredictBatch(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rp, err := e.Predict(nil, x.Row(i))
+			res, err := e.Localize(nil, key, x.Row(i))
 			if err != nil {
-				t.Errorf("Predict %d: %v", i, err)
+				t.Errorf("Localize %d: %v", i, err)
 				return
 			}
-			got[i] = rp
+			got[i] = res.Class
 		}(i)
 	}
 	wg.Wait()
@@ -178,12 +210,140 @@ func TestEngineMatchesPredictBatch(t *testing.T) {
 	}
 }
 
-// TestBackpressure: with the worker wedged and the queue full, Predict must
-// block and then honour its context deadline, counting the event.
+// TestPerLaneBatching: two localizers share the worker budget but batch
+// separately — a window never mixes requests for different models.
+func TestPerLaneBatching(t *testing.T) {
+	a := &scripted{name: "a", features: 1, classes: 64}
+	b := &scripted{name: "b", features: 2, classes: 64}
+	reg := localizer.NewRegistry()
+	keyA := localizer.Key{Building: 1, Floor: 0, Backend: "a"}
+	keyB := localizer.Key{Building: 1, Floor: 0, Backend: "b"}
+	if _, err := reg.Register(keyA, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(keyB, b); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(reg, Options{MaxBatch: 4, MaxWait: 200 * time.Microsecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const n = 40
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				res, err := e.Localize(nil, keyA, []float64{float64(i)})
+				if err != nil || res.Class != i {
+					t.Errorf("lane a request %d: (%+v, %v)", i, res, err)
+				}
+			} else {
+				res, err := e.Localize(nil, keyB, []float64{float64(i), 1})
+				if err != nil || res.Class != i {
+					t.Errorf("lane b request %d: (%+v, %v)", i, res, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var servedA, servedB int
+	for _, sz := range a.sizes() {
+		servedA += sz
+	}
+	for _, sz := range b.sizes() {
+		servedB += sz
+	}
+	if servedA != n/2 || servedB != n/2 {
+		t.Fatalf("lane a served %d, lane b served %d, want %d each", servedA, servedB, n/2)
+	}
+	if st := e.Stats(); st.Lanes != 2 {
+		t.Fatalf("Lanes = %d, want 2 (%+v)", st.Lanes, st)
+	}
+}
+
+// TestHierarchicalRouting: the floor classifier picks the floor, the
+// floor's localizer answers, and the result carries the routed floor.
+func TestHierarchicalRouting(t *testing.T) {
+	// Floor classifier: fingerprints put the floor index in feature 0.
+	fc := &scripted{name: "floor", features: 2, classes: 2}
+	f0 := &scripted{name: "pos", features: 2, classes: 64}
+	f1 := &scripted{name: "pos", features: 2, classes: 64}
+	reg := localizer.NewRegistry()
+	if _, err := reg.Register(localizer.FloorKey(3), fc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(localizer.Key{Building: 3, Floor: 0, Backend: "pos"}, f0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(localizer.Key{Building: 3, Floor: 1, Backend: "pos"}, f1); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(reg, Options{MaxBatch: 4, MaxWait: 100 * time.Microsecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	for _, tc := range []struct {
+		rss       []float64
+		wantFloor int
+	}{
+		{[]float64{0, 17}, 0},
+		{[]float64{1, 23}, 1},
+	} {
+		res, err := e.Route(nil, 3, "pos", tc.rss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Floor != tc.wantFloor || res.Class != int(tc.rss[0]) || res.Backend != "pos" {
+			t.Fatalf("Route(%v) = %+v, want floor %d", tc.rss, res, tc.wantFloor)
+		}
+	}
+	// Both stages batched: the classifier and exactly one floor lane saw
+	// each fingerprint.
+	if got := len(fc.sizes()); got == 0 {
+		t.Fatal("floor classifier never dispatched")
+	}
+
+	// Without a classifier: single registered floor is used directly,
+	// several floors are an error.
+	reg2 := localizer.NewRegistry()
+	only := &scripted{name: "pos", features: 1, classes: 8}
+	if _, err := reg2.Register(localizer.Key{Building: 9, Floor: 4, Backend: "pos"}, only); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(reg2, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	res, err := e2.Route(nil, 9, "pos", []float64{5})
+	if err != nil || res.Floor != 4 || res.Class != 5 {
+		t.Fatalf("single-floor fallback = (%+v, %v)", res, err)
+	}
+	if _, err := e2.Route(nil, 9, "nope", []float64{5}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown backend routed: %v", err)
+	}
+	second := &scripted{name: "pos", features: 1, classes: 8}
+	if _, err := reg2.Register(localizer.Key{Building: 9, Floor: 5, Backend: "pos"}, second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Route(nil, 9, "pos", []float64{5}); err == nil {
+		t.Fatal("multi-floor building without classifier must not route")
+	}
+}
+
+// TestBackpressure: with the worker wedged and the lane queue full,
+// Localize must block and then honour its context deadline, counting the
+// event.
 func TestBackpressure(t *testing.T) {
-	b := &scriptedBatcher{gate: make(chan struct{}, 16)}
-	e, err := New(func() Batcher { return b },
-		Options{Features: 1, MaxBatch: 1, Workers: 1, QueueCap: 1})
+	s := &scripted{name: "echo", features: 1, classes: 8, gate: make(chan struct{}, 16)}
+	reg, key := reg1(s)
+	e, err := New(reg, Options{MaxBatch: 1, Workers: 1, QueueCap: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,37 +353,44 @@ func TestBackpressure(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		go func() { // one wedged in the worker, one filling the queue
 			defer wg.Done()
-			if _, err := e.Predict(nil, []float64{1}); err != nil {
-				t.Errorf("wedged Predict: %v", err)
+			if _, err := e.Localize(nil, key, []float64{1}); err != nil {
+				t.Errorf("wedged Localize: %v", err)
 			}
 		}()
 	}
-	// Wait until the queue is genuinely full.
+	// Wait until the lane queue is genuinely full.
+	var l *lane
 	deadline := time.Now().Add(2 * time.Second)
-	for len(e.reqs) == 0 && time.Now().Before(deadline) {
+	for time.Now().Before(deadline) {
+		e.laneMu.RLock()
+		l = e.lanes[key]
+		e.laneMu.RUnlock()
+		if l != nil && len(l.reqs) == 1 {
+			break
+		}
 		time.Sleep(time.Millisecond)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := e.Predict(ctx, []float64{2}); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := e.Localize(ctx, key, []float64{2}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("expected DeadlineExceeded under backpressure, got %v", err)
 	}
 	if st := e.Stats(); st.QueueFullWaits == 0 {
 		t.Fatalf("backpressure event not counted: %+v", st)
 	}
 
-	close(b.gate) // unwedge everything
+	close(s.gate) // unwedge everything
 	wg.Wait()
 	e.Close()
 }
 
 // TestCloseGraceful: queued requests are answered after Close begins, Close
-// waits for the drain, and later Predicts fail fast with ErrClosed.
+// waits for the drain, and later calls fail fast with ErrClosed.
 func TestCloseGraceful(t *testing.T) {
-	b := &scriptedBatcher{gate: make(chan struct{}, 64)}
-	e, err := New(func() Batcher { return b },
-		Options{Features: 1, MaxBatch: 4, MaxWait: time.Millisecond, Workers: 1, QueueCap: 32})
+	s := &scripted{name: "echo", features: 1, classes: 64, gate: make(chan struct{}, 64)}
+	reg, key := reg1(s)
+	e, err := New(reg, Options{MaxBatch: 4, MaxWait: time.Millisecond, Workers: 1, QueueCap: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +402,7 @@ func TestCloseGraceful(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, err := e.Predict(nil, []float64{float64(i)})
+			_, err := e.Localize(nil, key, []float64{float64(i)})
 			results <- err
 		}(i)
 	}
@@ -247,7 +414,7 @@ func TestCloseGraceful(t *testing.T) {
 		e.Close()
 		close(closed)
 	}()
-	close(b.gate)
+	close(s.gate)
 	wg.Wait()
 	<-closed
 
@@ -256,59 +423,297 @@ func TestCloseGraceful(t *testing.T) {
 			t.Fatalf("pre-close request failed: %v", err)
 		}
 	}
-	if _, err := e.Predict(nil, []float64{0}); !errors.Is(err, ErrClosed) {
-		t.Fatalf("Predict after Close = %v, want ErrClosed", err)
+	if _, err := e.Localize(nil, key, []float64{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Localize after Close = %v, want ErrClosed", err)
 	}
 	e.Close() // idempotent
+}
+
+// TestCloseOrderingDeterministic is the Close contract test: a storm of
+// Localize calls racing Close must each either be fully served or fail with
+// ErrClosed — no hangs, no lost requests, no other error — and the engine
+// must answer exactly the accepted ones.
+func TestCloseOrderingDeterministic(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := &scripted{name: "echo", features: 1, classes: 1024}
+		reg, key := reg1(s)
+		e, err := New(reg, Options{MaxBatch: 4, MaxWait: 50 * time.Microsecond, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Materialise the lane before the race so ErrUnknownModel cannot
+		// be confused into the outcome set.
+		if _, err := e.Localize(nil, key, []float64{0}); err != nil {
+			t.Fatal(err)
+		}
+
+		const clients = 16
+		var served, refused atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					_, err := e.Localize(nil, key, []float64{float64(c*1000 + i)})
+					switch {
+					case err == nil:
+						served.Add(1)
+					case errors.Is(err, ErrClosed):
+						refused.Add(1)
+						return // closed is terminal: every later call must refuse too
+					default:
+						t.Errorf("client %d: unexpected error %v", c, err)
+						return
+					}
+				}
+			}(c)
+		}
+		close(start)
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		e.Close()
+		wg.Wait()
+
+		// After Close returns every call refuses immediately.
+		if _, err := e.Localize(nil, key, []float64{1}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: post-Close Localize = %v, want ErrClosed", round, err)
+		}
+		// Every accepted request was answered: accepted = served (+1 warmup).
+		if st := e.Stats(); st.Rows != served.Load()+1 {
+			t.Fatalf("round %d: accepted %d rows but served %d", round, st.Rows, served.Load()+1)
+		}
+	}
 }
 
 // TestImmediateDispatch: a negative MaxWait must never hold a request back
 // waiting for company — a lone sequential caller sees batches of exactly 1.
 func TestImmediateDispatch(t *testing.T) {
-	b := &scriptedBatcher{}
-	e, err := New(func() Batcher { return b },
-		Options{Features: 1, MaxBatch: 8, MaxWait: -1, Workers: 1})
+	s := &scripted{name: "echo", features: 1, classes: 8}
+	reg, key := reg1(s)
+	e, err := New(reg, Options{MaxBatch: 8, MaxWait: -1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Close()
 	for i := 0; i < 5; i++ {
-		if rp, err := e.Predict(nil, []float64{float64(i)}); err != nil || rp != i {
-			t.Fatalf("Predict %d = (%d, %v)", i, rp, err)
+		if res, err := e.Localize(nil, key, []float64{float64(i)}); err != nil || res.Class != i {
+			t.Fatalf("Localize %d = (%+v, %v)", i, res, err)
 		}
 	}
-	for _, sz := range b.sizes() {
+	for _, sz := range s.sizes() {
 		if sz != 1 {
-			t.Fatalf("immediate dispatch coalesced a lone caller: sizes %v", b.sizes())
+			t.Fatalf("immediate dispatch coalesced a lone caller: sizes %v", s.sizes())
 		}
 	}
 }
 
 func TestEngineValidation(t *testing.T) {
-	if _, err := New(nil, Options{Features: 1}); err == nil {
-		t.Fatal("nil batcher constructor accepted")
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("nil registry accepted")
 	}
-	if _, err := New(func() Batcher { return &scriptedBatcher{} }, Options{}); err == nil {
-		t.Fatal("zero Features accepted")
-	}
-	e, err := New(func() Batcher { return &scriptedBatcher{} }, Options{Features: 2})
+	s := &scripted{name: "echo", features: 2, classes: 8}
+	reg, key := reg1(s)
+	e, err := New(reg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer e.Close()
-	if _, err := e.Predict(nil, []float64{1}); err == nil {
+	if _, err := e.Localize(nil, key, []float64{1}); err == nil {
 		t.Fatal("wrong-width fingerprint accepted")
+	}
+	if _, err := e.Localize(nil, localizer.Key{Building: 7, Floor: 0, Backend: "echo"}, []float64{1, 2}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown key error = %v, want ErrUnknownModel", err)
+	}
+}
+
+// TestDeregisterFailsInFlight: requests for a deregistered key fail with
+// ErrUnknownModel instead of being dropped.
+func TestDeregisterFailsInFlight(t *testing.T) {
+	s := &scripted{name: "echo", features: 1, classes: 8}
+	reg, key := reg1(s)
+	e, err := New(reg, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Localize(nil, key, []float64{1}); err != nil {
+		t.Fatal(err) // lane created while registered
+	}
+	reg.Deregister(key)
+	if _, err := e.Localize(nil, key, []float64{1}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("deregistered key = %v, want ErrUnknownModel", err)
+	}
+}
+
+// TestReregisterShapeMismatchFailsBatch: Swap preserves shapes, but
+// Deregister+Register can change a key's input width under a lane pinned to
+// the old one — dispatch must fail those requests, not feed the model
+// wrong-width rows.
+func TestReregisterShapeMismatchFailsBatch(t *testing.T) {
+	s := &scripted{name: "echo", features: 2, classes: 8}
+	reg, key := reg1(s)
+	e, err := New(reg, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Localize(nil, key, []float64{1, 2}); err != nil {
+		t.Fatal(err) // lane pinned at 2 features
+	}
+	reg.Deregister(key)
+	wide := &scripted{name: "echo", features: 3, classes: 8}
+	if _, err := reg.Register(key, wide); err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Localize(nil, key, []float64{1, 2})
+	if err == nil || !strings.Contains(err.Error(), "lane pinned") {
+		t.Fatalf("wrong-width re-registration served: %v", err)
+	}
+	if got := wide.sizes(); len(got) != 0 {
+		t.Fatalf("mismatched localizer was dispatched: %v", got)
+	}
+}
+
+// TestHotSwapUnderRoutedTraffic hammers hierarchical routing with -race
+// while a writer hot-swaps one floor's localizer version through the
+// registry: every result must be valid, versions must only come from
+// installed snapshots, and the final version must reflect every swap.
+func TestHotSwapUnderRoutedTraffic(t *testing.T) {
+	const building = 5
+	m, x := testModel(t, 10, 4, 30)
+
+	// Floor classifier: route to floor 1 when feature 0 > 0.5 else floor 0.
+	fc := localizer.Wrap("floor", 10, 2, nil, func(dst []int, q *mat.Matrix) []int {
+		if dst == nil {
+			dst = make([]int, q.Rows)
+		}
+		for i := 0; i < q.Rows; i++ {
+			dst[i] = 0
+			if q.Row(i)[0] > 0.5 {
+				dst[i] = 1
+			}
+		}
+		return dst
+	})
+	reg := localizer.NewRegistry()
+	if _, err := reg.Register(localizer.FloorKey(building), fc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(localizer.Key{Building: building, Floor: 0, Backend: "calloc"},
+		localizer.FromCore("CALLOC", m)); err != nil {
+		t.Fatal(err)
+	}
+	// Floor 1: a KNN over the synthetic queries — cheap to refit for swaps.
+	labels := make([]int, x.Rows)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	fitKNN := func() localizer.Localizer {
+		c, err := knn.New(x, labels, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return localizer.FromKNN("KNN", c)
+	}
+	swapKey := localizer.Key{Building: building, Floor: 1, Backend: "calloc"}
+	if _, err := reg.Register(swapKey, fitKNN()); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(reg, Options{MaxBatch: 8, MaxWait: 100 * time.Microsecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	const perClient = 150
+	var maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				row := x.Row((c*perClient + i) % x.Rows)
+				res, err := e.Route(nil, building, "calloc", row)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if res.Class < 0 || res.Class >= 4 {
+					t.Errorf("client %d: out-of-range class %d", c, res.Class)
+					return
+				}
+				wantFloor := 0
+				if row[0] > 0.5 {
+					wantFloor = 1
+				}
+				if res.Floor != wantFloor {
+					t.Errorf("client %d: routed to floor %d, want %d", c, res.Floor, wantFloor)
+					return
+				}
+				if res.Floor == 1 {
+					for v := maxSeen.Load(); res.Version > uint64(v); v = maxSeen.Load() {
+						maxSeen.CompareAndSwap(v, int64(res.Version))
+					}
+				}
+			}
+		}(c)
+	}
+
+	stop := make(chan struct{})
+	var swaps uint64
+	var swapWg sync.WaitGroup
+	swapWg.Add(1)
+	go func() {
+		defer swapWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := reg.Swap(swapKey, fitKNN()); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+			swaps++
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	swapWg.Wait()
+	e.Close()
+
+	snap, ok := reg.Get(swapKey)
+	if !ok || snap.Version != swaps+1 {
+		t.Fatalf("final version %d, want %d (1 + %d swaps)", snap.Version, swaps+1, swaps)
+	}
+	if seen := uint64(maxSeen.Load()); seen > snap.Version {
+		t.Fatalf("observed version %d beyond installed %d", seen, snap.Version)
+	}
+	if st := e.Stats(); st.Rows != clients*perClient*2 { // two stages per routed request
+		t.Fatalf("served %d rows, want %d (%+v)", st.Rows, clients*perClient*2, st)
 	}
 }
 
 // TestConcurrentServeAndRefresh hammers the engine with concurrent clients
-// while weights and memory keys are refreshed through Engine.Refresh — the
-// serving-layer mutation contract. Run with -race (CI does): the read/write
-// lock must fully order packed-view invalidation against batch dispatch.
+// while weights and memory keys are mutated IN PLACE through Engine.Refresh
+// — the serving-layer contract for mutating (rather than swapping) a live
+// model. Run with -race (CI does): the read/write lock must fully order
+// packed-view invalidation against batch dispatch.
 func TestConcurrentServeAndRefresh(t *testing.T) {
 	m, x := testModel(t, 10, 4, 30)
-	e, err := New(func() Batcher { return m.Predictor() },
-		Options{Features: x.Cols, MaxBatch: 8, MaxWait: 200 * time.Microsecond, Workers: 2})
+	reg := localizer.NewRegistry()
+	key := localizer.Key{Building: 1, Floor: 0, Backend: "calloc"}
+	if _, err := reg.Register(key, localizer.FromCore("CALLOC", m)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(reg, Options{MaxBatch: 8, MaxWait: 200 * time.Microsecond, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,13 +726,13 @@ func TestConcurrentServeAndRefresh(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
-				rp, err := e.Predict(nil, x.Row((c*perClient+i)%x.Rows))
+				res, err := e.Localize(nil, key, x.Row((c*perClient+i)%x.Rows))
 				if err != nil {
 					t.Errorf("client %d: %v", c, err)
 					return
 				}
-				if rp < 0 || rp >= 4 {
-					t.Errorf("client %d: out-of-range class %d", c, rp)
+				if res.Class < 0 || res.Class >= 4 {
+					t.Errorf("client %d: out-of-range class %d", c, res.Class)
 					return
 				}
 			}
@@ -335,7 +740,6 @@ func TestConcurrentServeAndRefresh(t *testing.T) {
 	}
 
 	stop := make(chan struct{})
-	var refreshes int
 	go func() {
 		rng := rand.New(rand.NewSource(77))
 		for {
@@ -354,7 +758,6 @@ func TestConcurrentServeAndRefresh(t *testing.T) {
 				p.NoteUpdate()
 				m.RefreshMemoryKeys()
 			})
-			refreshes++
 			time.Sleep(time.Millisecond)
 		}
 	}()
