@@ -806,3 +806,95 @@ func BenchmarkMatMulPackedShapes(b *testing.B) {
 		}
 	}
 }
+
+// trainBenchDataset builds the building-scale dataset (Building 3 of
+// Table II: 78 APs, 88 RPs) the training benches run on — training cost is
+// dominated by the B×M attention and the FGSM crafting pass, both of which
+// only show their real shape at building scale.
+var (
+	trainDSOnce sync.Once
+	trainDS     *fingerprint.Dataset
+)
+
+func trainBenchDataset(b *testing.B) *fingerprint.Dataset {
+	b.Helper()
+	trainDSOnce.Do(func() {
+		spec, err := floorplan.SpecByID(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bld := floorplan.Build(spec, 1)
+		ds, err := fingerprint.Collect(bld, device.Registry(), fingerprint.DefaultCollectConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		trainDS = ds
+	})
+	return trainDS
+}
+
+// BenchmarkTrainLesson measures one adversarial curriculum lesson (3 epochs
+// at ø=50, ε=0.1: craft FGSM lesson data, sharded forward/backward, Adam
+// step) at building scale, sequential vs maximum fan-out. The sharded
+// trainer's fixed partition + ordered reduction make the two bit-identical;
+// see TestTrainDeterministicAcrossParallelism and BENCH_pr4.json for
+// measured numbers and the single-vCPU caveat.
+func BenchmarkTrainLesson(b *testing.B) {
+	ds := trainBenchDataset(b)
+	lessons := []curriculum.Lesson{{Number: 1, PhiPercent: 50, Epsilon: 0.1, OriginalFraction: 0.35}}
+	run := func(b *testing.B, workers int) {
+		prev := mat.SetParallelism(workers)
+		defer mat.SetParallelism(prev)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.TrainConfig{
+				Lessons:       lessons,
+				UseCurriculum: true, EpochsPerLesson: 3,
+				LearningRate: 0.03, Seed: 1,
+			}
+			if _, err := m.Train(ds.Train, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel_8", func(b *testing.B) { run(b, 8) })
+}
+
+// BenchmarkCraftFGSM measures per-epoch FGSM lesson-data crafting at
+// building scale: the allocating Craft path against CraftInto with a reused
+// destination (plus the scratch-pooled input gradient), the combination the
+// trainer's per-epoch loop uses.
+func BenchmarkCraftFGSM(b *testing.B) {
+	ds := trainBenchDataset(b)
+	m, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetMemory(ds.Train); err != nil {
+		b.Fatal(err)
+	}
+	x := fingerprint.X(ds.Train)
+	labels := fingerprint.Labels(ds.Train)
+	cfg := attack.Config{Epsilon: 0.1, PhiPercent: 50, Seed: 1}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			attack.Craft(attack.FGSM, m, x, labels, cfg)
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		dst := mat.New(x.Rows, x.Cols)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			attack.CraftInto(dst, attack.FGSM, m, x, labels, cfg)
+		}
+	})
+}

@@ -2,7 +2,9 @@
 // service over HTTP, backed by the micro-batching serve engine and the
 // localizer registry: every {floor, backend} pair is a registered localizer
 // with its own micro-batch lane, requests route hierarchically (floor
-// classifier → position model), and model versions hot-swap under load.
+// classifier → position model), and model versions hot-swap under load —
+// pushed manually over /v1/swap or produced automatically by the online
+// fine-tune loop fed from /v1/feedback.
 //
 // Usage:
 //
@@ -20,25 +22,28 @@
 //	POST /v1/localize {"rss": [...]}                          -> routed: floor classifier picks the floor
 //	POST /v1/localize {"rss": [...], "backend": "knn"}        -> routed, explicit backend
 //	POST /v1/localize {"rss": [...], "floor": 1}              -> direct: skip the floor classifier
+//	POST /v1/feedback {"rss": [...], "rp": 17, "floor": 0}    -> labelled online sample for the fine-tune loop
 //	GET  /v1/models                                           -> registry listing (key, name, version, dims)
+//	GET  /v1/trainer                                          -> per-floor fine-tune loop counters
 //	POST /v1/swap {"backend": "calloc", "floor": 0, "weights": "<base64>"}
 //	                                                          -> hot-swap a new CALLOC weight version
 //	GET  /v1/stats                                            -> engine throughput/latency counters
 //	GET  /healthz                                             -> 200 ok
 //
-// /v1/swap builds a fresh model from the floor's dataset, loads the pushed
-// weights, and atomically swaps it into the registry — in-flight batches
-// finish on the old version, new batches serve the new one; responses carry
-// the snapshot version so clients observe the swap.
+// The fine-tune loop (one background trainer per floor's CALLOC model)
+// accumulates /v1/feedback samples; once enough arrive it continues the
+// training curriculum from the served model's checkpoint on base+feedback
+// data, validates the candidate on a held-out clean+attacked split, and only
+// on improvement swaps the new version into the registry — in-flight batches
+// finish on the old version, and responses carry the snapshot version so
+// clients observe the swap. /v1/swap remains for manual weight pushes.
 //
-// SIGINT/SIGTERM shut down gracefully: the HTTP server stops accepting, then
-// the engine drains its queued requests before the process exits.
+// SIGINT/SIGTERM shut down gracefully: the HTTP server stops accepting, the
+// trainers stop, then the engine drains its queued requests.
 package main
 
 import (
 	"context"
-	"encoding/base64"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,14 +54,7 @@ import (
 	"syscall"
 	"time"
 
-	"calloc/internal/baselines"
-	"calloc/internal/bayes"
-	"calloc/internal/core"
 	"calloc/internal/fingerprint"
-	"calloc/internal/gbdt"
-	"calloc/internal/gp"
-	"calloc/internal/knn"
-	"calloc/internal/localizer"
 	"calloc/internal/serve"
 )
 
@@ -70,6 +68,11 @@ func main() {
 	maxWait := flag.Duration("max-wait", 500*time.Microsecond, "max time the first request of a window waits (negative: dispatch immediately)")
 	workers := flag.Int("workers", 0, "concurrent batch dispatchers shared by all lanes (0 = min(2, GOMAXPROCS))")
 	queueCap := flag.Int("queue", 0, "per-lane pending-request bound (0 = 4×max-batch)")
+	noTrainer := flag.Bool("no-trainer", false, "disable the online fine-tune loop")
+	feedbackMin := flag.Int("feedback-min", 16, "new /v1/feedback samples required before a fine-tune round")
+	trainerInterval := flag.Duration("trainer-interval", 2*time.Second, "fine-tune loop poll cadence")
+	fineTuneEpochs := flag.Int("finetune-epochs", 6, "epochs per lesson of the fine-tune curriculum")
+	fineTuneLR := flag.Float64("finetune-lr", 0.005, "learning rate each fine-tune round restarts at")
 	flag.Parse()
 
 	if *data == "" {
@@ -88,154 +91,46 @@ func main() {
 		}
 		datasets = append(datasets, ds)
 	}
-	var weightFiles []string
+	var weightBlobs [][]byte
 	if *weights != "" {
-		weightFiles = strings.Split(*weights, ",")
+		weightFiles := strings.Split(*weights, ",")
 		if len(weightFiles) != len(datasets) {
 			fail(fmt.Errorf("-weights names %d files for %d floors", len(weightFiles), len(datasets)))
 		}
-	}
-	backends := strings.Split(*backendsFlag, ",")
-	building := datasets[0].BuildingID
-
-	reg := localizer.NewRegistry()
-	for floor, ds := range datasets {
-		for _, backend := range backends {
-			backend = strings.TrimSpace(backend)
-			var blob []byte
-			if backend == "calloc" && weightFiles != nil {
-				var err error
-				if blob, err = os.ReadFile(strings.TrimSpace(weightFiles[floor])); err != nil {
-					fail(err)
-				}
-			}
-			loc, err := buildBackend(backend, ds, blob, *trainEpochs)
+		for _, wf := range weightFiles {
+			blob, err := os.ReadFile(strings.TrimSpace(wf))
 			if err != nil {
 				fail(err)
 			}
-			key := localizer.Key{Building: building, Floor: floor, Backend: backend}
-			if _, err := reg.Register(key, loc); err != nil {
-				fail(err)
-			}
-			fmt.Fprintf(os.Stderr, "calloc-serve: registered %s (%s, %d classes)\n",
-				key, loc.Name(), loc.NumClasses())
+			weightBlobs = append(weightBlobs, blob)
 		}
-	}
-	if len(datasets) > 1 {
-		fc, err := fitFloorClassifier(datasets)
-		if err != nil {
-			fail(err)
-		}
-		if _, err := reg.Register(localizer.FloorKey(building), fc); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "calloc-serve: registered floor classifier over %d floors\n", len(datasets))
 	}
 
-	engine, err := serve.New(reg, serve.Options{
-		MaxBatch: *maxBatch,
-		MaxWait:  *maxWait,
-		Workers:  *workers,
-		QueueCap: *queueCap,
+	a, err := newApp(datasets, appConfig{
+		Backends:    strings.Split(*backendsFlag, ","),
+		WeightBlobs: weightBlobs,
+		TrainEpochs: *trainEpochs,
+		Engine: serve.Options{
+			MaxBatch: *maxBatch,
+			MaxWait:  *maxWait,
+			Workers:  *workers,
+			QueueCap: *queueCap,
+		},
+		DisableTrainer:  *noTrainer,
+		FeedbackMin:     *feedbackMin,
+		TrainerInterval: *trainerInterval,
+		FineTuneEpochs:  *fineTuneEpochs,
+		FineTuneLR:      *fineTuneLR,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fail(err)
 	}
+	a.start()
 
-	defaultBackend := strings.TrimSpace(backends[0])
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/localize", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			RSS     []float64 `json:"rss"`
-			Backend string    `json:"backend"`
-			Floor   *int      `json:"floor"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		backend := req.Backend
-		if backend == "" {
-			backend = defaultBackend
-		}
-		var res serve.Result
-		var err error
-		if req.Floor != nil {
-			key := localizer.Key{Building: building, Floor: *req.Floor, Backend: backend}
-			res, err = engine.Localize(r.Context(), key, req.RSS)
-		} else {
-			res, err = engine.Route(r.Context(), building, backend, req.RSS)
-		}
-		switch {
-		case errors.Is(err, serve.ErrClosed):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case errors.Is(err, serve.ErrUnknownModel):
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"rp":      res.Class,
-			"floor":   res.Floor,
-			"backend": res.Backend,
-			"version": res.Version,
-		})
-	})
-	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(reg.List())
-	})
-	mux.HandleFunc("POST /v1/swap", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Backend string `json:"backend"`
-			Floor   int    `json:"floor"`
-			Weights string `json:"weights"` // base64 of calloc-train output
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if req.Backend != "" && req.Backend != "calloc" {
-			http.Error(w, "swap supports only the calloc backend (weight pushes)", http.StatusBadRequest)
-			return
-		}
-		if req.Floor < 0 || req.Floor >= len(datasets) {
-			http.Error(w, fmt.Sprintf("floor %d out of range [0,%d)", req.Floor, len(datasets)), http.StatusNotFound)
-			return
-		}
-		blob, err := base64.StdEncoding.DecodeString(req.Weights)
-		if err != nil {
-			http.Error(w, "weights must be base64: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		loc, err := buildCALLOC(datasets[req.Floor], blob, 0)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		key := localizer.Key{Building: building, Floor: req.Floor, Backend: "calloc"}
-		version, err := reg.Swap(key, loc)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
-			return
-		}
-		fmt.Fprintf(os.Stderr, "calloc-serve: swapped %s to version %d\n", key, version)
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]uint64{"version": version})
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(engine.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: a.handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	handlersDone := make(chan struct{})
@@ -247,110 +142,19 @@ func main() {
 		close(handlersDone)
 	}()
 
-	fmt.Fprintf(os.Stderr, "calloc-serve: %s — %d floors × %v (%d models) listening on %s\n",
-		datasets[0].BuildingName, len(datasets), backends, reg.Len(), *addr)
+	fmt.Fprintf(os.Stderr, "calloc-serve: %s — %d floors × %v (%d models, %d trainers) listening on %s\n",
+		datasets[0].BuildingName, len(datasets), *backendsFlag, a.reg.Len(), len(a.trainers), *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fail(err)
 	}
 	// ListenAndServe returns as soon as the listener closes; wait for
 	// Shutdown to finish draining in-flight handlers before closing the
-	// engine, so a handler mid-request never sees ErrClosed.
+	// trainers and engine, so a handler mid-request never sees ErrClosed.
 	<-handlersDone
-	engine.Close() // drain queued requests before exiting
-	st := engine.Stats()
+	a.close()
+	st := a.engine.Stats()
 	fmt.Fprintf(os.Stderr, "calloc-serve: served %d requests in %d batches over %d lanes (avg %.1f/batch, avg latency %s)\n",
 		st.Requests, st.Batches, st.Lanes, st.AvgBatch, st.AvgLatency)
-}
-
-// buildBackend fits (or loads) one backend on one floor's dataset.
-func buildBackend(backend string, ds *fingerprint.Dataset, callocWeights []byte, trainEpochs int) (localizer.Localizer, error) {
-	x := fingerprint.X(ds.Train)
-	labels := fingerprint.Labels(ds.Train)
-	switch backend {
-	case "calloc":
-		return buildCALLOC(ds, callocWeights, trainEpochs)
-	case "knn":
-		c, err := knn.New(x, labels, 3)
-		if err != nil {
-			return nil, err
-		}
-		return localizer.FromKNN("KNN", c), nil
-	case "bayes":
-		c, err := bayes.Fit(x, labels, ds.NumRPs)
-		if err != nil {
-			return nil, err
-		}
-		return localizer.FromBayes("Bayes", c), nil
-	case "gpc":
-		c, err := gp.Fit(x, labels, ds.NumRPs, gp.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		return localizer.FromGP("GPC", c), nil
-	case "gbdt":
-		c, err := gbdt.Fit(x, labels, ds.NumRPs, gbdt.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		return localizer.FromGBDT("GBDT", c), nil
-	case "dnn":
-		d, err := baselines.FitDNN("DNN", x, labels, ds.NumRPs, baselines.DefaultDNNConfig())
-		if err != nil {
-			return nil, err
-		}
-		return localizer.FromBaseline(d, ds.NumAPs, ds.NumRPs), nil
-	default:
-		return nil, fmt.Errorf("unknown backend %q (calloc, knn, bayes, gpc, gbdt, dnn)", backend)
-	}
-}
-
-// buildCALLOC constructs a CALLOC model over the dataset: deserialising
-// weights when given (the /v1/swap path passes trainEpochs 0), quick-training
-// otherwise.
-func buildCALLOC(ds *fingerprint.Dataset, weights []byte, trainEpochs int) (localizer.Localizer, error) {
-	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
-	if err != nil {
-		return nil, err
-	}
-	if err := model.SetMemory(ds.Train); err != nil {
-		return nil, err
-	}
-	switch {
-	case weights != nil:
-		if err := model.UnmarshalWeights(weights); err != nil {
-			return nil, err
-		}
-	default:
-		tc := core.DefaultTrainConfig()
-		tc.EpochsPerLesson = trainEpochs
-		fmt.Fprintf(os.Stderr, "calloc-serve: no weights for %s, quick-training (%d epochs/lesson)...\n",
-			ds.BuildingName, trainEpochs)
-		if _, err := model.Train(ds.Train, tc); err != nil {
-			return nil, err
-		}
-	}
-	return localizer.FromCore("CALLOC", model), nil
-}
-
-// fitFloorClassifier trains the routing stage: a weighted Gaussian Naive
-// Bayes over the concatenated offline databases with floor indices as
-// labels. Bayes fits in one pass and is robust to the class imbalance of
-// unequal floor sizes, which is all the routing stage needs.
-func fitFloorClassifier(datasets []*fingerprint.Dataset) (localizer.Localizer, error) {
-	var all []fingerprint.Sample
-	var labels []int
-	for floor, ds := range datasets {
-		for _, s := range ds.Train {
-			all = append(all, s)
-			labels = append(labels, floor)
-		}
-	}
-	x := fingerprint.X(all)
-	c, err := bayes.Fit(x, labels, len(datasets))
-	if err != nil {
-		return nil, fmt.Errorf("floor classifier: %w", err)
-	}
-	return localizer.FromBayes(localizer.FloorBackend, c), nil
 }
 
 func fail(err error) {

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"calloc/internal/core"
+	"calloc/internal/device"
+	"calloc/internal/fingerprint"
+	"calloc/internal/floorplan"
+	"calloc/internal/localizer"
+	"calloc/internal/serve"
+)
+
+// testFloors builds two small deterministic "floor" datasets of one building
+// (same AP width, different collection seeds).
+func testFloors(t testing.TB) []*fingerprint.Dataset {
+	t.Helper()
+	spec := floorplan.Spec{
+		ID: 77, Name: "ServeTest", VisibleAPs: 24, PathLengthM: 10,
+		Characteristics: "test",
+		Model:           floorplan.Registry()[0].Model,
+	}
+	b := floorplan.Build(spec, 3)
+	var out []*fingerprint.Dataset
+	for seed := int64(1); seed <= 2; seed++ {
+		cfg := fingerprint.DefaultCollectConfig()
+		cfg.Seed = seed
+		ds, err := fingerprint.Collect(b, device.Registry(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ds)
+	}
+	return out
+}
+
+// untrainedWeights serialises a freshly initialised CALLOC model — the
+// weakest plausible deployment, so the online fine-tune loop reliably clears
+// its improvement gate.
+func untrainedWeights(t testing.TB, ds *fingerprint.Dataset) []byte {
+	t.Helper()
+	m, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func postJSON(t testing.TB, client *http.Client, url string, body any) (int, map[string]any) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// TestFeedbackFineTuneSwapOverHTTP drives the whole online pipeline through
+// the real HTTP surface with -race: routed /v1/localize traffic flows while
+// /v1/feedback accumulates labelled samples, the background trainer
+// fine-tunes off the request path, and /v1/models eventually reports the
+// hot-swapped version — all without a dropped or invalid response.
+func TestFeedbackFineTuneSwapOverHTTP(t *testing.T) {
+	datasets := testFloors(t)
+	a, err := newApp(datasets, appConfig{
+		Backends:        []string{"calloc"},
+		WeightBlobs:     [][]byte{untrainedWeights(t, datasets[0]), untrainedWeights(t, datasets[1])},
+		Engine:          serve.Options{MaxBatch: 8, MaxWait: 100 * time.Microsecond, Workers: 2},
+		FeedbackMin:     4,
+		TrainerInterval: 25 * time.Millisecond,
+		FineTuneEpochs:  8,
+		FineTuneLR:      0.02,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.start()
+	ts := httptest.NewServer(a.handler())
+	closed := false
+	defer func() {
+		if !closed {
+			ts.Close()
+			a.close()
+		}
+	}()
+	client := ts.Client()
+	ds := datasets[0]
+
+	// Routed traffic throughout the fine-tune and swap.
+	stopTraffic := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			queries := ds.Test["OP3"]
+			for i := 0; ; i++ {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				q := queries[(c+i)%len(queries)]
+				status, body := postJSON(t, client, ts.URL+"/v1/localize", map[string]any{"rss": q.RSS})
+				if status != http.StatusOK {
+					t.Errorf("client %d: /v1/localize status %d (%v)", c, status, body)
+					return
+				}
+				rp, ok := body["rp"].(float64)
+				if !ok || rp < 0 || int(rp) >= ds.NumRPs {
+					t.Errorf("client %d: bad rp in %v", c, body)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Stream labelled feedback for floor 0 (re-observed offline reference
+	// points) and wait for the background loop to fine-tune and swap.
+	floor0 := localizer.Key{Building: ds.BuildingID, Floor: 0, Backend: "calloc"}
+	deadline := time.After(120 * time.Second)
+	swapped := false
+	for !swapped {
+		for _, s := range ds.Train[:8] {
+			status, body := postJSON(t, client, ts.URL+"/v1/feedback",
+				map[string]any{"rss": s.RSS, "rp": s.RP, "floor": 0})
+			if status != http.StatusOK {
+				t.Fatalf("/v1/feedback status %d (%v)", status, body)
+			}
+			if _, ok := body["pending"].(float64); !ok {
+				t.Fatalf("/v1/feedback response missing pending: %v", body)
+			}
+		}
+		resp, err := client.Get(ts.URL + "/v1/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var models []localizer.Info
+		json.NewDecoder(resp.Body).Decode(&models)
+		resp.Body.Close()
+		for _, mi := range models {
+			if mi.Key == floor0 && mi.Version >= 2 {
+				swapped = true
+			}
+		}
+		if swapped {
+			break
+		}
+		select {
+		case <-deadline:
+			resp, _ := client.Get(ts.URL + "/v1/trainer")
+			var st any
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			t.Fatalf("no hot-swap observed; trainer stats: %v", st)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	// The trainer endpoint must report the swap.
+	resp, err := client.Get(ts.URL + "/v1/trainer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trainerStats map[string]struct {
+		Swaps   int64  `json:"swaps"`
+		Version uint64 `json:"version"`
+	}
+	json.NewDecoder(resp.Body).Decode(&trainerStats)
+	resp.Body.Close()
+	if trainerStats["floor_0"].Swaps < 1 || trainerStats["floor_0"].Version < 2 {
+		t.Fatalf("trainer stats do not reflect the swap: %+v", trainerStats)
+	}
+
+	// Responses served after the swap carry the new version.
+	sawNewVersion := false
+	for i := 0; i < 50 && !sawNewVersion; i++ {
+		q := ds.Test["OP3"][i%len(ds.Test["OP3"])]
+		status, body := postJSON(t, client, ts.URL+"/v1/localize",
+			map[string]any{"rss": q.RSS, "floor": 0})
+		if status != http.StatusOK {
+			t.Fatalf("post-swap localize status %d", status)
+		}
+		if v, ok := body["version"].(float64); ok && v >= 2 {
+			sawNewVersion = true
+		}
+	}
+	if !sawNewVersion {
+		t.Fatal("no response carried the swapped version")
+	}
+
+	close(stopTraffic)
+	wg.Wait()
+	ts.Close()
+	a.close()
+	closed = true
+}
+
+// TestFeedbackValidationOverHTTP: bad feedback is rejected at the edge with
+// useful statuses.
+func TestFeedbackValidationOverHTTP(t *testing.T) {
+	datasets := testFloors(t)[:1]
+	a, err := newApp(datasets, appConfig{
+		Backends:        []string{"calloc"},
+		WeightBlobs:     [][]byte{untrainedWeights(t, datasets[0])},
+		Engine:          serve.Options{MaxBatch: 4, Workers: 1},
+		FeedbackMin:     1 << 30, // never fine-tune during this test
+		TrainerInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.handler())
+	defer func() { ts.Close(); a.close() }()
+	client := ts.Client()
+	ds := datasets[0]
+	good := ds.Train[0]
+
+	if status, _ := postJSON(t, client, ts.URL+"/v1/feedback",
+		map[string]any{"rss": good.RSS, "rp": good.RP, "floor": 0}); status != http.StatusOK {
+		t.Fatalf("valid feedback rejected with %d", status)
+	}
+	if status, _ := postJSON(t, client, ts.URL+"/v1/feedback",
+		map[string]any{"rss": good.RSS[:2], "rp": good.RP, "floor": 0}); status != http.StatusBadRequest {
+		t.Fatalf("short fingerprint accepted (%d)", status)
+	}
+	if status, _ := postJSON(t, client, ts.URL+"/v1/feedback",
+		map[string]any{"rss": good.RSS, "rp": ds.NumRPs + 5, "floor": 0}); status != http.StatusBadRequest {
+		t.Fatalf("out-of-range label accepted (%d)", status)
+	}
+	if status, _ := postJSON(t, client, ts.URL+"/v1/feedback",
+		map[string]any{"rss": good.RSS, "rp": good.RP, "floor": 9}); status != http.StatusNotFound {
+		t.Fatalf("unknown floor accepted (%d)", status)
+	}
+	if fmt.Sprint(a.trainers[0].Pending()) != "1" {
+		t.Fatalf("pending %d after one valid sample", a.trainers[0].Pending())
+	}
+}

@@ -1,0 +1,411 @@
+package main
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"calloc/internal/baselines"
+	"calloc/internal/bayes"
+	"calloc/internal/core"
+	"calloc/internal/curriculum"
+	"calloc/internal/fingerprint"
+	"calloc/internal/gbdt"
+	"calloc/internal/gp"
+	"calloc/internal/knn"
+	"calloc/internal/localizer"
+	"calloc/internal/serve"
+	"calloc/internal/train"
+)
+
+// appConfig collects everything the server needs beyond the datasets; main
+// fills it from flags, tests construct it directly.
+type appConfig struct {
+	Backends    []string
+	WeightBlobs [][]byte // per-floor CALLOC weights; nil quick-trains
+	TrainEpochs int      // epochs per lesson when quick-training
+
+	Engine serve.Options
+
+	// Online fine-tune loop (calloc backend only). Trainers are created per
+	// floor unless DisableTrainer is set.
+	DisableTrainer  bool
+	FeedbackMin     int
+	TrainerInterval time.Duration
+	FineTuneEpochs  int
+	FineTuneLR      float64
+	FineTuneLessons []curriculum.Lesson
+	Logf            func(format string, args ...any)
+}
+
+// app owns the serving state: the registry of localizers, the micro-batching
+// engine, and one background fine-tune trainer per floor's CALLOC model.
+type app struct {
+	cfg      appConfig
+	datasets []*fingerprint.Dataset
+	building int
+	reg      *localizer.Registry
+	engine   *serve.Engine
+	trainers map[int]*train.Trainer // floor → trainer
+	deflt    string                 // default backend
+}
+
+// newApp builds the registry (fitting or loading every backend on every
+// floor), the engine, and the per-floor trainers. Trainers are constructed
+// but not started; call start.
+func newApp(datasets []*fingerprint.Dataset, cfg appConfig) (*app, error) {
+	if len(datasets) == 0 {
+		return nil, errors.New("no datasets")
+	}
+	if len(cfg.Backends) == 0 {
+		cfg.Backends = []string{"calloc"}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	a := &app{
+		cfg:      cfg,
+		datasets: datasets,
+		building: datasets[0].BuildingID,
+		reg:      localizer.NewRegistry(),
+		trainers: make(map[int]*train.Trainer),
+		deflt:    strings.TrimSpace(cfg.Backends[0]),
+	}
+	ckpts := make(map[int]*core.TrainCheckpoint)
+	for floor, ds := range datasets {
+		for _, backend := range cfg.Backends {
+			backend = strings.TrimSpace(backend)
+			var blob []byte
+			if backend == "calloc" && cfg.WeightBlobs != nil {
+				blob = cfg.WeightBlobs[floor]
+			}
+			loc, ckpt, err := buildBackend(backend, ds, blob, cfg.TrainEpochs, cfg.Logf)
+			if err != nil {
+				return nil, err
+			}
+			if ckpt != nil {
+				ckpts[floor] = ckpt
+			}
+			key := localizer.Key{Building: a.building, Floor: floor, Backend: backend}
+			if _, err := a.reg.Register(key, loc); err != nil {
+				return nil, err
+			}
+			cfg.Logf("calloc-serve: registered %s (%s, %d classes)", key, loc.Name(), loc.NumClasses())
+		}
+	}
+	if len(datasets) > 1 {
+		fc, err := fitFloorClassifier(datasets)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := a.reg.Register(localizer.FloorKey(a.building), fc); err != nil {
+			return nil, err
+		}
+		cfg.Logf("calloc-serve: registered floor classifier over %d floors", len(datasets))
+	}
+
+	var err error
+	a.engine, err = serve.New(a.reg, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+
+	if !cfg.DisableTrainer && hasBackend(cfg.Backends, "calloc") {
+		for floor, ds := range datasets {
+			tr, err := train.New(a.reg, train.Options{
+				Key:             localizer.Key{Building: a.building, Floor: floor, Backend: "calloc"},
+				Config:          core.DefaultConfig(ds.NumAPs, ds.NumRPs),
+				Base:            ds.Train,
+				Holdout:         holdoutOf(ds),
+				Checkpoint:      ckpts[floor],
+				Lessons:         cfg.FineTuneLessons,
+				EpochsPerLesson: cfg.FineTuneEpochs,
+				LearningRate:    cfg.FineTuneLR,
+				MinFeedback:     cfg.FeedbackMin,
+				Interval:        cfg.TrainerInterval,
+				Dist:            ds.ErrorMeters,
+				Logf:            cfg.Logf,
+			})
+			if err != nil {
+				a.engine.Close()
+				return nil, fmt.Errorf("floor %d trainer: %w", floor, err)
+			}
+			a.trainers[floor] = tr
+		}
+	}
+	return a, nil
+}
+
+// start launches the background trainers.
+func (a *app) start() {
+	for _, tr := range a.trainers {
+		tr.Start()
+	}
+}
+
+// close shuts down the trainers first (no new fine-tunes or swaps), then
+// drains the engine.
+func (a *app) close() {
+	for _, tr := range a.trainers {
+		tr.Close()
+	}
+	a.engine.Close()
+}
+
+// holdoutOf flattens the online-phase test fingerprints into the validation
+// split that gates fine-tune swaps.
+func holdoutOf(ds *fingerprint.Dataset) []fingerprint.Sample {
+	var out []fingerprint.Sample
+	for _, samples := range ds.Test {
+		out = append(out, samples...)
+	}
+	return out
+}
+
+func hasBackend(backends []string, want string) bool {
+	for _, b := range backends {
+		if strings.TrimSpace(b) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// handler builds the HTTP mux over the engine, registry, and trainers.
+func (a *app) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/localize", a.handleLocalize)
+	mux.HandleFunc("POST /v1/feedback", a.handleFeedback)
+	mux.HandleFunc("POST /v1/swap", a.handleSwap)
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, a.reg.List())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, a.engine.Stats())
+	})
+	mux.HandleFunc("GET /v1/trainer", func(w http.ResponseWriter, _ *http.Request) {
+		stats := make(map[string]train.Stats, len(a.trainers))
+		for floor, tr := range a.trainers {
+			stats[fmt.Sprintf("floor_%d", floor)] = tr.Stats()
+		}
+		writeJSON(w, stats)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (a *app) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		RSS     []float64 `json:"rss"`
+		Backend string    `json:"backend"`
+		Floor   *int      `json:"floor"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = a.deflt
+	}
+	var res serve.Result
+	var err error
+	if req.Floor != nil {
+		key := localizer.Key{Building: a.building, Floor: *req.Floor, Backend: backend}
+		res, err = a.engine.Localize(r.Context(), key, req.RSS)
+	} else {
+		res, err = a.engine.Route(r.Context(), a.building, backend, req.RSS)
+	}
+	switch {
+	case errors.Is(err, serve.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, serve.ErrUnknownModel):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"rp":      res.Class,
+		"floor":   res.Floor,
+		"backend": res.Backend,
+		"version": res.Version,
+	})
+}
+
+// handleFeedback accepts one labelled online fingerprint — a client that
+// learned its true reference point (map tap, QR checkpoint, fused dead
+// reckoning) reports it here — and queues it for the floor's background
+// fine-tune loop. Accumulation is O(1) on the request path; training,
+// validation, and the eventual hot-swap all happen on the trainer goroutine.
+func (a *app) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		RSS   []float64 `json:"rss"`
+		RP    int       `json:"rp"`
+		Floor int       `json:"floor"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tr, ok := a.trainers[req.Floor]
+	if !ok {
+		http.Error(w, fmt.Sprintf("no trainer for floor %d (calloc backend with trainer enabled required)", req.Floor),
+			http.StatusNotFound)
+		return
+	}
+	if err := tr.AddFeedback(req.RSS, req.RP); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"pending": tr.Pending()})
+}
+
+func (a *app) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Backend string `json:"backend"`
+		Floor   int    `json:"floor"`
+		Weights string `json:"weights"` // base64 of calloc-train output
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Backend != "" && req.Backend != "calloc" {
+		http.Error(w, "swap supports only the calloc backend (weight pushes)", http.StatusBadRequest)
+		return
+	}
+	if req.Floor < 0 || req.Floor >= len(a.datasets) {
+		http.Error(w, fmt.Sprintf("floor %d out of range [0,%d)", req.Floor, len(a.datasets)), http.StatusNotFound)
+		return
+	}
+	blob, err := base64.StdEncoding.DecodeString(req.Weights)
+	if err != nil {
+		http.Error(w, "weights must be base64: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	loc, _, err := buildCALLOC(a.datasets[req.Floor], blob, 0, a.cfg.Logf)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := localizer.Key{Building: a.building, Floor: req.Floor, Backend: "calloc"}
+	version, err := a.reg.Swap(key, loc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	a.cfg.Logf("calloc-serve: swapped %s to version %d", key, version)
+	writeJSON(w, map[string]uint64{"version": version})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// buildBackend fits (or loads) one backend on one floor's dataset. For the
+// calloc backend it also returns the quick-train checkpoint (nil when
+// weights were loaded), which seeds the floor's fine-tune trainer.
+func buildBackend(backend string, ds *fingerprint.Dataset, callocWeights []byte, trainEpochs int,
+	logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
+	x := fingerprint.X(ds.Train)
+	labels := fingerprint.Labels(ds.Train)
+	switch backend {
+	case "calloc":
+		return buildCALLOC(ds, callocWeights, trainEpochs, logf)
+	case "knn":
+		c, err := knn.New(x, labels, 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromKNN("KNN", c), nil, nil
+	case "bayes":
+		c, err := bayes.Fit(x, labels, ds.NumRPs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromBayes("Bayes", c), nil, nil
+	case "gpc":
+		c, err := gp.Fit(x, labels, ds.NumRPs, gp.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromGP("GPC", c), nil, nil
+	case "gbdt":
+		c, err := gbdt.Fit(x, labels, ds.NumRPs, gbdt.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromGBDT("GBDT", c), nil, nil
+	case "dnn":
+		d, err := baselines.FitDNN("DNN", x, labels, ds.NumRPs, baselines.DefaultDNNConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromBaseline(d, ds.NumAPs, ds.NumRPs), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown backend %q (calloc, knn, bayes, gpc, gbdt, dnn)", backend)
+	}
+}
+
+// buildCALLOC constructs a CALLOC model over the dataset: deserialising
+// weights when given (the /v1/swap path passes trainEpochs 0), quick-training
+// otherwise. Quick-training captures the final per-lesson checkpoint so the
+// fine-tune trainer continues from it with warm optimizer state.
+func buildCALLOC(ds *fingerprint.Dataset, weights []byte, trainEpochs int,
+	logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
+	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := model.SetMemory(ds.Train); err != nil {
+		return nil, nil, err
+	}
+	var ckpt *core.TrainCheckpoint
+	switch {
+	case weights != nil:
+		if err := model.UnmarshalWeights(weights); err != nil {
+			return nil, nil, err
+		}
+	default:
+		tc := core.DefaultTrainConfig()
+		tc.EpochsPerLesson = trainEpochs
+		tc.OnCheckpoint = func(c *core.TrainCheckpoint) { ckpt = c }
+		logf("calloc-serve: no weights for %s, quick-training (%d epochs/lesson)...",
+			ds.BuildingName, trainEpochs)
+		if _, err := model.Train(ds.Train, tc); err != nil {
+			return nil, nil, err
+		}
+	}
+	return localizer.FromCore("CALLOC", model), ckpt, nil
+}
+
+// fitFloorClassifier trains the routing stage: a weighted Gaussian Naive
+// Bayes over the concatenated offline databases with floor indices as
+// labels. Bayes fits in one pass and is robust to the class imbalance of
+// unequal floor sizes, which is all the routing stage needs.
+func fitFloorClassifier(datasets []*fingerprint.Dataset) (localizer.Localizer, error) {
+	var all []fingerprint.Sample
+	var labels []int
+	for floor, ds := range datasets {
+		for _, s := range ds.Train {
+			all = append(all, s)
+			labels = append(labels, floor)
+		}
+	}
+	x := fingerprint.X(all)
+	c, err := bayes.Fit(x, labels, len(datasets))
+	if err != nil {
+		return nil, fmt.Errorf("floor classifier: %w", err)
+	}
+	return localizer.FromBayes(localizer.FloorBackend, c), nil
+}

@@ -1,11 +1,14 @@
 // Command calloc-train trains a CALLOC model on a dataset produced by
 // calloc-data, reports clean and attacked localization error per device, and
-// optionally saves the trained weights.
+// optionally saves the trained weights. Long runs can checkpoint after every
+// curriculum lesson and resume later.
 //
 // Usage:
 //
 //	calloc-train -data b3.gob -weights b3.model
-//	calloc-train -data b3.gob -no-curriculum     # the NC ablation
+//	calloc-train -data b3.gob -no-curriculum          # the NC ablation
+//	calloc-train -data b3.gob -checkpoint b3.ckpt     # checkpoint per lesson
+//	calloc-train -data b3.gob -resume b3.ckpt         # continue from a checkpoint
 package main
 
 import (
@@ -18,15 +21,17 @@ import (
 	"calloc/internal/core"
 	"calloc/internal/eval"
 	"calloc/internal/fingerprint"
-	"calloc/internal/mat"
 )
 
 func main() {
 	data := flag.String("data", "", "dataset gob file from calloc-data (required)")
 	weights := flag.String("weights", "", "optional path to save trained weights")
 	epochs := flag.Int("epochs", 30, "epochs per curriculum lesson")
+	batch := flag.Int("batch", 0, "mini-batch size (0 = full-batch epochs, the paper's regime)")
 	noCurriculum := flag.Bool("no-curriculum", false, "train the NC ablation (no adversarial curriculum)")
 	seed := flag.Int64("seed", 1, "training seed")
+	checkpoint := flag.String("checkpoint", "", "optional path to write a per-lesson training checkpoint")
+	resume := flag.String("resume", "", "optional checkpoint file to resume training from")
 	evalEps := flag.Float64("eval-eps", 0.3, "FGSM ε for the post-training robustness report")
 	evalPhi := flag.Int("eval-phi", 50, "FGSM ø (percent of APs) for the robustness report")
 	flag.Parse()
@@ -47,10 +52,41 @@ func main() {
 	}
 	tc := core.DefaultTrainConfig()
 	tc.EpochsPerLesson = *epochs
+	tc.BatchSize = *batch
 	tc.UseCurriculum = !*noCurriculum
 	tc.Seed = *seed
 	tc.Verbose = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *resume != "" {
+		blob, err := os.ReadFile(*resume)
+		if err != nil {
+			fail(err)
+		}
+		ck, err := core.DecodeTrainCheckpoint(blob)
+		if err != nil {
+			fail(err)
+		}
+		tc.Resume = ck
+		fmt.Fprintf(os.Stderr, "calloc-train: resuming with %d of %d lessons complete\n", ck.Lesson, len(tc.Lessons))
+	}
+	if *checkpoint != "" {
+		tc.OnCheckpoint = func(ck *core.TrainCheckpoint) {
+			blob, err := ck.Encode()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "calloc-train: checkpoint: %v\n", err)
+				return
+			}
+			// Write-then-rename so an interrupted run never truncates the
+			// previous good checkpoint.
+			tmp := *checkpoint + ".tmp"
+			if err := os.WriteFile(tmp, blob, 0o644); err == nil {
+				err = os.Rename(tmp, *checkpoint)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "calloc-train: checkpoint: %v\n", err)
+			}
+		}
 	}
 	res, err := model.Train(ds.Train, tc)
 	if err != nil {
@@ -68,10 +104,10 @@ func main() {
 		samples := ds.Test[dev]
 		x := fingerprint.X(samples)
 		labels := fingerprint.Labels(samples)
-		clean := errsOf(model, ds, x, labels)
+		clean := eval.Errors(model.Predict(x), labels, ds.ErrorMeters)
 		adv := attack.Craft(attack.FGSM, model, x, labels,
 			attack.Config{Epsilon: *evalEps, PhiPercent: *evalPhi, Seed: *seed})
-		attacked := errsOf(model, ds, adv, labels)
+		attacked := eval.Errors(model.Predict(adv), labels, ds.ErrorMeters)
 		cs, as := eval.Summarize(clean), eval.Summarize(attacked)
 		t.AddRow(dev,
 			fmt.Sprintf("%.2f", cs.Mean), fmt.Sprintf("%.2f", cs.Worst),
@@ -89,15 +125,6 @@ func main() {
 		}
 		fmt.Printf("saved weights to %s (%d bytes)\n", *weights, len(blob))
 	}
-}
-
-func errsOf(m *core.Model, ds *fingerprint.Dataset, x *mat.Matrix, labels []int) []float64 {
-	preds := m.Predict(x)
-	errs := make([]float64, len(preds))
-	for i, p := range preds {
-		errs[i] = ds.ErrorMeters(p, labels[i])
-	}
-	return errs
 }
 
 func deviceOrder(ds *fingerprint.Dataset) []string {

@@ -90,10 +90,19 @@ func (c Config) momentum() float64 {
 // TargetAPs deterministically selects the attacked AP subset: ø% of nAPs,
 // rounded to the nearest AP, chosen by the config seed. This mirrors the
 // adversary's real-world choice of which APs to compromise (§III.C).
+//
+// Whenever ø is positive the adversary compromises at least one AP, even when
+// ø%·nAPs rounds to zero: on small buildings (say ø=10%, 4 APs) a literal
+// rounding would silently turn every "attacked" lesson and attacked
+// evaluation into a no-op, which both trains and scores a threat that was
+// never exercised.
 func (c Config) TargetAPs(nAPs int) []int {
-	k := int(math.Round(float64(c.PhiPercent) / 100 * float64(nAPs)))
-	if k <= 0 {
+	if c.PhiPercent <= 0 || nAPs <= 0 {
 		return nil
+	}
+	k := int(math.Round(float64(c.PhiPercent) / 100 * float64(nAPs)))
+	if k < 1 {
+		k = 1
 	}
 	if k > nAPs {
 		k = nAPs
@@ -113,28 +122,61 @@ func (c Config) mask(nAPs int) []float64 {
 	return m
 }
 
+// GradientIntoModel is implemented by victims that can write the input
+// gradient into a caller-provided matrix (core.Model does). Crafting loops
+// that run every training epoch use it, together with CraftInto, to stop
+// allocating a fresh gradient and adversarial matrix per epoch.
+type GradientIntoModel interface {
+	GradientModel
+	InputGradientInto(dst *mat.Matrix, x *mat.Matrix, labels []int) *mat.Matrix
+}
+
 // Craft runs the selected attack method on every row of x (labels are the
 // true RPs, which the white-box adversary knows) and returns the adversarial
 // matrix. The input is not modified. Guarantees, verified by tests:
 // |x_adv − x| ≤ ε on targeted columns, 0 off-target, and x_adv ∈ [0,1].
 func Craft(method Method, victim GradientModel, x *mat.Matrix, labels []int, cfg Config) *mat.Matrix {
+	return CraftInto(nil, method, victim, x, labels, cfg)
+}
+
+// CraftInto is Craft with the adversarial destination reused: dst must be
+// x-shaped (nil allocates) and must not alias x. Victims implementing
+// GradientIntoModel additionally have their input gradient drawn from the
+// scratch pool, so a steady-state FGSM crafting loop — one Craft per
+// curriculum epoch — allocates no full matrices at all.
+func CraftInto(dst *mat.Matrix, method Method, victim GradientModel, x *mat.Matrix, labels []int, cfg Config) *mat.Matrix {
+	if dst == nil {
+		dst = mat.New(x.Rows, x.Cols)
+	} else if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("attack: CraftInto destination %dx%d, want %dx%d", dst.Rows, dst.Cols, x.Rows, x.Cols))
+	}
 	switch method {
 	case FGSM:
-		return craftFGSM(victim, x, labels, cfg)
+		return craftFGSM(dst, victim, x, labels, cfg)
 	case PGD:
-		return craftIterative(victim, x, labels, cfg, false)
+		return craftIterative(dst, victim, x, labels, cfg, false)
 	case MIM:
-		return craftIterative(victim, x, labels, cfg, true)
+		return craftIterative(dst, victim, x, labels, cfg, true)
 	default:
 		panic(fmt.Sprintf("attack: unknown method %d", int(method)))
 	}
 }
 
+// inputGradient evaluates the victim's input gradient, writing into pooled
+// scratch when the victim supports it. Callers must release via PutScratch
+// exactly when the second return is true.
+func inputGradient(victim GradientModel, x *mat.Matrix, labels []int) (*mat.Matrix, bool) {
+	if gi, ok := victim.(GradientIntoModel); ok {
+		return gi.InputGradientInto(mat.GetScratch(x.Rows, x.Cols), x, labels), true
+	}
+	return victim.InputGradient(x, labels), false
+}
+
 // craftFGSM implements x_adv = clip(x + ε·sign(∇J(x,y))) on targeted columns.
-func craftFGSM(victim GradientModel, x *mat.Matrix, labels []int, cfg Config) *mat.Matrix {
+func craftFGSM(adv *mat.Matrix, victim GradientModel, x *mat.Matrix, labels []int, cfg Config) *mat.Matrix {
 	mask := cfg.mask(x.Cols)
-	grad := victim.InputGradient(x, labels)
-	adv := x.Clone()
+	grad, pooled := inputGradient(victim, x, labels)
+	copy(adv.Data, x.Data)
 	for i := 0; i < x.Rows; i++ {
 		arow, grow := adv.Row(i), grad.Row(i)
 		for j := range arow {
@@ -144,6 +186,9 @@ func craftFGSM(victim GradientModel, x *mat.Matrix, labels []int, cfg Config) *m
 			arow[j] = mat.Clamp(arow[j]+cfg.Epsilon*signum(grow[j]), 0, 1)
 		}
 	}
+	if pooled {
+		mat.PutScratch(grad)
+	}
 	return adv
 }
 
@@ -151,14 +196,15 @@ func craftFGSM(victim GradientModel, x *mat.Matrix, labels []int, cfg Config) *m
 // repeated gradient steps projected back into the ε-ball around x and the
 // [0,1] box. MIM accumulates an L1-normalised gradient with decay μ before
 // taking the sign step (Dong et al., CVPR 2018).
-func craftIterative(victim GradientModel, x *mat.Matrix, labels []int, cfg Config, momentum bool) *mat.Matrix {
+func craftIterative(adv *mat.Matrix, victim GradientModel, x *mat.Matrix, labels []int, cfg Config, momentum bool) *mat.Matrix {
 	mask := cfg.mask(x.Cols)
-	adv := x.Clone()
-	accum := mat.New(x.Rows, x.Cols)
+	copy(adv.Data, x.Data)
+	accum := mat.GetScratch(x.Rows, x.Cols)
+	accum.Zero()
 	alpha := cfg.alpha()
 	mu := cfg.momentum()
 	for step := 0; step < cfg.steps(); step++ {
-		grad := victim.InputGradient(adv, labels)
+		grad, pooled := inputGradient(victim, adv, labels)
 		dir := grad
 		if momentum {
 			for i := 0; i < x.Rows; i++ {
@@ -189,7 +235,11 @@ func craftIterative(victim GradientModel, x *mat.Matrix, labels []int, cfg Confi
 				arow[j] = mat.Clamp(v, 0, 1)
 			}
 		}
+		if pooled {
+			mat.PutScratch(grad)
+		}
 	}
+	mat.PutScratch(accum)
 	return adv
 }
 

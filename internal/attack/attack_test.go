@@ -298,3 +298,87 @@ func TestIterativeDefaults(t *testing.T) {
 		t.Fatalf("default momentum %g, want 1", c.momentum())
 	}
 }
+
+// TestTargetAPsSmallBuildingAtLeastOne is the regression test for the
+// ø-rounding bug: on small buildings ø%·nAPs can round to zero, which used
+// to return an empty target set and silently turn every "attacked" lesson
+// and attacked evaluation into a no-op. Any positive ø must target at least
+// one AP.
+func TestTargetAPsSmallBuildingAtLeastOne(t *testing.T) {
+	cases := []struct {
+		phi, nAPs, want int
+	}{
+		{10, 4, 1},  // round(0.4) = 0 before the fix
+		{1, 10, 1},  // round(0.1) = 0 before the fix
+		{2, 24, 1},  // round(0.48) = 0 before the fix — an eased lesson's ø
+		{12, 4, 1},  // round(0.48) = 0 before the fix
+		{0, 4, 0},   // ø = 0 stays a genuine no-op
+		{-5, 4, 0},  // negative ø stays a no-op
+		{10, 0, 0},  // degenerate building
+		{100, 4, 4}, // full attack unchanged
+	}
+	for _, c := range cases {
+		cfg := Config{PhiPercent: c.phi, Seed: 3}
+		if got := len(cfg.TargetAPs(c.nAPs)); got != c.want {
+			t.Errorf("phi=%d nAPs=%d: %d targets, want %d", c.phi, c.nAPs, got, c.want)
+		}
+	}
+}
+
+// TestSmallBuildingAttackIsNotNoOp drives the bug end to end: at ø=5 on an
+// 8-AP victim (ø%·nAPs = 0.4, rounding to zero), crafting must still perturb
+// the input.
+func TestSmallBuildingAttackIsNotNoOp(t *testing.T) {
+	net, x, labels := trainedVictim(t, 11)
+	cfg := Config{Epsilon: 0.3, PhiPercent: 5, Seed: 1}
+	for _, m := range Methods() {
+		adv := Craft(m, net, x, labels, cfg)
+		changed := false
+		for i := range adv.Data {
+			if adv.Data[i] != x.Data[i] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			t.Errorf("%s: ø=5%% attack on 8 APs was a no-op", m)
+		}
+	}
+}
+
+// TestCraftIntoMatchesCraft: the destination-reuse path must produce exactly
+// the allocating path's result for every method, including when the
+// destination is reused dirty across configurations.
+func TestCraftIntoMatchesCraft(t *testing.T) {
+	net, x, labels := trainedVictim(t, 4)
+	dst := mat.New(x.Rows, x.Cols)
+	for _, m := range Methods() {
+		for _, cfg := range []Config{
+			{Epsilon: 0.2, PhiPercent: 50, Seed: 9},
+			{Epsilon: 0.4, PhiPercent: 100, Seed: 10},
+		} {
+			want := Craft(m, net, x, labels, cfg)
+			got := CraftInto(dst, m, net, x, labels, cfg)
+			if got != dst {
+				t.Fatalf("%s: CraftInto did not return its destination", m)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%s cfg %+v: CraftInto differs from Craft at %d", m, cfg, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCraftIntoValidatesShape: a wrong-shaped destination must panic rather
+// than silently truncate.
+func TestCraftIntoValidatesShape(t *testing.T) {
+	net, x, labels := trainedVictim(t, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong-shaped destination")
+		}
+	}()
+	CraftInto(mat.New(1, 2), FGSM, net, x, labels, Config{Epsilon: 0.1, PhiPercent: 50})
+}

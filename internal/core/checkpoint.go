@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"calloc/internal/nn"
+)
+
+// TrainCheckpoint is a resumable snapshot of curriculum training, captured at
+// lesson boundaries (TrainConfig.OnCheckpoint) and restored through
+// TrainConfig.Resume. It carries everything the trainer cannot rederive: the
+// position in the schedule, the (possibly adaptively eased) ø to resume at,
+// the weights, the lesson-best weights the adaptive monitor reverts to, and
+// the Adam optimizer state including the annealed learning rate — resuming
+// with cold moments would spike the effective step size and undo the
+// curriculum's late-lesson fine-tuning.
+//
+// The online fine-tune loop (internal/train) uses the same type to continue
+// the curriculum on base+feedback data: it clones the incumbent's checkpoint,
+// rewinds Lesson to the start of its fine-tune schedule, and trains from
+// there.
+type TrainCheckpoint struct {
+	// Lesson is the index into the schedule of the next lesson to train.
+	Lesson int
+	// Phi, when non-negative, overrides the resumed lesson's starting ø —
+	// how an adaptively eased lesson resumes where it left off.
+	Phi int
+	// Weights holds the model's current parameter tensors in Params order.
+	Weights [][]float64
+	// Best holds the lesson-best snapshot the adaptive monitor reverts to
+	// (may be nil for checkpoints built outside a training run).
+	Best [][]float64
+	// Opt is the Adam optimizer state (annealed LR, step count, moments).
+	Opt nn.AdamState
+	// LessonsCompleted, Reverts, and FinalLoss carry the TrainResult
+	// counters across resumes, so a resumed run reports cumulative figures.
+	LessonsCompleted int
+	Reverts          int
+	FinalLoss        float64
+	// RngSeed seeds the resumed run's data/attack rng. A resume is
+	// deterministic given the checkpoint, but it is not a bit-continuation
+	// of the uninterrupted run: math/rand streams cannot be captured.
+	RngSeed int64
+}
+
+// NewTrainCheckpoint builds a resume point at the given schedule position
+// from the model's current weights with a fresh optimizer at lr — how a
+// deployed model (loaded weights, no optimizer history) enters a fine-tune
+// loop.
+func (m *Model) NewTrainCheckpoint(lesson int, lr float64, seed int64) *TrainCheckpoint {
+	return &TrainCheckpoint{
+		Lesson:  lesson,
+		Phi:     -1,
+		Weights: m.snapshotInto(nil),
+		Opt:     nn.AdamState{LR: lr},
+		RngSeed: seed,
+	}
+}
+
+// Clone deep-copies the checkpoint, so a caller can rewind or retarget it
+// (fine-tune rounds do) without mutating the stored original.
+func (c *TrainCheckpoint) Clone() *TrainCheckpoint {
+	out := *c
+	out.Weights = cloneTensors(c.Weights)
+	out.Best = cloneTensors(c.Best)
+	out.Opt.M = cloneTensors(c.Opt.M)
+	out.Opt.V = cloneTensors(c.Opt.V)
+	return &out
+}
+
+// validate checks the checkpoint against the model architecture and schedule
+// length before any state is restored.
+func (c *TrainCheckpoint) validate(m *Model, lessons int) error {
+	if c.Lesson < 0 || c.Lesson > lessons {
+		return fmt.Errorf("core: checkpoint lesson %d outside schedule of %d lessons", c.Lesson, lessons)
+	}
+	ps := m.Params()
+	if len(c.Weights) != len(ps) {
+		return fmt.Errorf("core: checkpoint has %d weight tensors, model has %d", len(c.Weights), len(ps))
+	}
+	for i, p := range ps {
+		if len(c.Weights[i]) != len(p.W.Data) {
+			return fmt.Errorf("core: checkpoint tensor %d (%s) has %d values, model has %d",
+				i, p.Name, len(c.Weights[i]), len(p.W.Data))
+		}
+	}
+	if len(c.Best) != 0 {
+		if len(c.Best) != len(ps) {
+			return fmt.Errorf("core: checkpoint best snapshot has %d tensors, model has %d", len(c.Best), len(ps))
+		}
+		for i, p := range ps {
+			if len(c.Best[i]) != len(p.W.Data) {
+				return fmt.Errorf("core: checkpoint best tensor %d (%s) has %d values, model has %d",
+					i, p.Name, len(c.Best[i]), len(p.W.Data))
+			}
+		}
+	}
+	return nil
+}
+
+// Encode serialises the checkpoint with gob for -checkpoint files.
+func (c *TrainCheckpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTrainCheckpoint restores a checkpoint produced by Encode.
+func DecodeTrainCheckpoint(data []byte) (*TrainCheckpoint, error) {
+	var c TrainCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	return &c, nil
+}

@@ -21,6 +21,12 @@ type Model struct {
 	attn   *nn.CrossAttention // Q=H^C, K=H^O, V=RP one-hots
 	fc     *nn.Network        // final classifier over RP classes
 
+	// Direct handles into the networks above for the sharded trainer and the
+	// Into-style gradient path, which hand-roll the forward/backward math
+	// instead of going through the caching Layer interface.
+	denseC, denseO, denseF *nn.Dense
+	reluC                  *nn.ReLU
+
 	// Attention memory: the offline fingerprint database.
 	memX    *mat.Matrix // clean fingerprints (M×NumAPs)
 	memV    *mat.Matrix // one-hot RP labels (M×NumRPs)
@@ -41,18 +47,19 @@ func NewModel(cfg Config) (*Model, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &Model{Cfg: cfg, rng: rng}
-	m.embedC = nn.NewNetwork(
-		nn.NewDense("embedC", cfg.NumAPs, cfg.EmbedDim, rng),
-		&nn.ReLU{},
-	)
+	m.denseC = nn.NewDense("embedC", cfg.NumAPs, cfg.EmbedDim, rng)
+	m.reluC = &nn.ReLU{}
+	m.embedC = nn.NewNetwork(m.denseC, m.reluC)
+	m.denseO = nn.NewDense("embedO", cfg.NumAPs, cfg.EmbedDim, rng)
 	m.embedO = nn.NewNetwork(
-		nn.NewDense("embedO", cfg.NumAPs, cfg.EmbedDim, rng),
+		m.denseO,
 		&nn.ReLU{},
 		nn.NewDropout(cfg.DropoutRate, rng),
 		nn.NewGaussianNoise(cfg.NoiseSigma, rng),
 	)
 	m.attn = nn.NewCrossAttention("attn", cfg.EmbedDim, cfg.AttnDim, rng)
-	m.fc = nn.NewNetwork(nn.NewDense("fc", cfg.NumRPs, cfg.NumRPs, rng))
+	m.denseF = nn.NewDense("fc", cfg.NumRPs, cfg.NumRPs, rng)
+	m.fc = nn.NewNetwork(m.denseF)
 	return m, nil
 }
 
@@ -186,13 +193,25 @@ func (m *Model) putPredictor(p *Predictor) { m.predPool.Put(p) }
 // The memory keys are fixed (as they are in a deployed model), so the
 // gradient flows through the query path: fc → attention → EmbedC.
 func (m *Model) InputGradient(x *mat.Matrix, labels []int) *mat.Matrix {
+	return m.InputGradientInto(nil, x, labels)
+}
+
+// InputGradientInto is InputGradient with the result written into dst (nil
+// allocates) and the last backward stage's temporaries drawn from the scratch
+// pool, satisfying attack.GradientIntoModel: a per-epoch FGSM crafting loop
+// reusing its destination allocates no full gradient matrix per epoch. Not
+// safe for concurrent use with itself or with training (it drives the caching
+// Forward/Backward paths); concurrent inference is fine.
+func (m *Model) InputGradientInto(dst *mat.Matrix, x *mat.Matrix, labels []int) *mat.Matrix {
 	logits := m.Logits(x)
 	_, g := nn.SoftmaxCrossEntropy(logits, labels)
 	gAtt := m.fc.Backward(g)
 	dq, _ := m.attn.Backward(gAtt)
-	dx := m.embedC.Backward(dq)
+	dRelu := m.reluC.BackwardInto(dq, mat.GetScratch(dq.Rows, dq.Cols))
+	dst = m.denseC.BackwardInto(dRelu, dst)
+	mat.PutScratch(dRelu)
 	m.zeroGrads()
-	return dx
+	return dst
 }
 
 // MarshalWeights serialises every trainable parameter with gob for
@@ -232,9 +251,6 @@ func (m *Model) zeroGrads() {
 		p.ZeroGrad()
 	}
 }
-
-// snapshot and restore support the adaptive curriculum's revert mechanism.
-func (m *Model) snapshot() [][]float64 { return m.snapshotInto(nil) }
 
 // snapshotInto copies the current weights into dst, reusing its backing
 // slices when the shapes line up (the trainer snapshots up to once per

@@ -26,6 +26,11 @@ func softmaxRowsBackward(s, ds *mat.Matrix) *mat.Matrix {
 	return ds
 }
 
+// SoftmaxRowsBackward is the exported softmax gradient used by the sharded
+// trainer in internal/core, which hand-rolls the attention backward pass over
+// row shards; see softmaxRowsBackward.
+func SoftmaxRowsBackward(s, ds *mat.Matrix) *mat.Matrix { return softmaxRowsBackward(s, ds) }
+
 // CrossAttention is the scaled dot-product attention at the centre of CALLOC
 // (paper §IV.C): Attention(Q, K, V) = softmax(QKᵀ/√d_k)·V, where Q is the
 // projected curriculum hyperspace H^C of the batch, K is the projected

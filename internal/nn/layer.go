@@ -95,6 +95,22 @@ func (d *Dense) Backward(gradOut *mat.Matrix) *mat.Matrix {
 	return mat.MulT(gradOut, d.W.W)
 }
 
+// BackwardInto is Backward with the input gradient written into dst instead
+// of a fresh matrix (nil dst allocates). Parameter gradients accumulate as in
+// Backward. It lets gradient consumers that run every epoch — FGSM crafting,
+// the sharded trainer — reuse one destination across calls.
+func (d *Dense) BackwardInto(gradOut, dst *mat.Matrix) *mat.Matrix {
+	gw := mat.TMulInto(mat.GetScratch(d.W.W.Rows, d.W.W.Cols), d.lastX, gradOut)
+	d.W.G.AddInPlace(gw)
+	mat.PutScratch(gw)
+	for i := 0; i < gradOut.Rows; i++ {
+		for j, v := range gradOut.Row(i) {
+			d.B.G.Data[j] += v
+		}
+	}
+	return mat.MulTInto(dst, gradOut, d.W.W)
+}
+
 // Params returns the layer's weight and bias.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
@@ -121,6 +137,22 @@ func (r *ReLU) Backward(gradOut *mat.Matrix) *mat.Matrix {
 		}
 	}
 	return out
+}
+
+// BackwardInto is Backward with the masked gradient written into dst (nil
+// allocates); dst may alias gradOut for an in-place mask.
+func (r *ReLU) BackwardInto(gradOut, dst *mat.Matrix) *mat.Matrix {
+	if dst == nil {
+		dst = mat.New(gradOut.Rows, gradOut.Cols)
+	}
+	for i, v := range r.lastX.Data {
+		if v > 0 {
+			dst.Data[i] = gradOut.Data[i]
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+	return dst
 }
 
 // Params returns nil: ReLU is stateless.

@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer updates parameters in place from their accumulated gradients and
 // clears the gradients.
@@ -76,6 +79,86 @@ func (a *Adam) Step(params []*Param) {
 		p.NoteUpdate()
 		p.ZeroGrad()
 	}
+}
+
+// AdamState is the serialisable snapshot of an Adam optimizer: the annealed
+// learning rate, the step counter driving bias correction, and the first and
+// second moments in parameter order. It exists so trainer checkpoints can
+// resume optimisation mid-curriculum (core.TrainCheckpoint) instead of
+// restarting with cold moments, which would spike the effective step size on
+// the first resumed update.
+type AdamState struct {
+	LR, Beta1, Beta2, Eps float64
+	T                     int
+	M, V                  [][]float64
+}
+
+// State captures the optimizer's state for the given parameters, in order.
+// Parameters the optimizer has not stepped yet get zero moments.
+func (a *Adam) State(params []*Param) AdamState {
+	s := AdamState{
+		LR: a.LR, Beta1: a.Beta1, Beta2: a.Beta2, Eps: a.Eps, T: a.t,
+		M: make([][]float64, len(params)),
+		V: make([][]float64, len(params)),
+	}
+	for i, p := range params {
+		s.M[i] = make([]float64, len(p.W.Data))
+		s.V[i] = make([]float64, len(p.W.Data))
+		copy(s.M[i], a.m[p])
+		copy(s.V[i], a.v[p])
+	}
+	return s
+}
+
+// SetState restores a snapshot captured by State onto the same parameter
+// list (same order, same shapes). Nil moment slices select zero moments, so
+// a hand-built AdamState{LR: lr} acts as a fresh optimizer.
+func (a *Adam) SetState(s AdamState, params []*Param) error {
+	if len(s.M) != 0 && len(s.M) != len(params) {
+		return fmt.Errorf("nn: Adam state has %d moment tensors, want %d", len(s.M), len(params))
+	}
+	if len(s.V) != len(s.M) {
+		return fmt.Errorf("nn: Adam state has %d first moments but %d second moments", len(s.M), len(s.V))
+	}
+	for i, p := range params {
+		if i >= len(s.M) {
+			break
+		}
+		if s.M[i] != nil && len(s.M[i]) != len(p.W.Data) {
+			return fmt.Errorf("nn: Adam moment %d has %d values, parameter %q has %d",
+				i, len(s.M[i]), p.Name, len(p.W.Data))
+		}
+		if s.V[i] != nil && len(s.V[i]) != len(p.W.Data) {
+			return fmt.Errorf("nn: Adam second moment %d has %d values, parameter %q has %d",
+				i, len(s.V[i]), p.Name, len(p.W.Data))
+		}
+	}
+	if s.LR > 0 {
+		a.LR = s.LR
+	}
+	if s.Beta1 > 0 {
+		a.Beta1 = s.Beta1
+	}
+	if s.Beta2 > 0 {
+		a.Beta2 = s.Beta2
+	}
+	if s.Eps > 0 {
+		a.Eps = s.Eps
+	}
+	a.t = s.T
+	a.m = make(map[*Param][]float64, len(params))
+	a.v = make(map[*Param][]float64, len(params))
+	for i, p := range params {
+		m := make([]float64, len(p.W.Data))
+		v := make([]float64, len(p.W.Data))
+		if i < len(s.M) {
+			copy(m, s.M[i])
+			copy(v, s.V[i])
+		}
+		a.m[p] = m
+		a.v[p] = v
+	}
+	return nil
 }
 
 // ClipGradients scales all gradients down so that their global L2 norm does

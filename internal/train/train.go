@@ -1,0 +1,492 @@
+// Package train implements the online fine-tune subsystem that closes the
+// train→serve→feedback→retrain→hot-swap cycle: a background Trainer
+// accumulates labelled online fingerprints (e.g. from a /v1/feedback
+// endpoint), periodically continues the curriculum from the incumbent
+// model's checkpoint on base+feedback data, validates the candidate on a
+// held-out clean+attacked split, and only on improvement pushes the new
+// version into the localizer registry with Registry.Swap — in-flight batches
+// finish on the old snapshot, new traffic serves the new version.
+//
+// Everything runs off the request path: fine-tuning happens on the trainer's
+// own goroutine, candidate models are private until the swap, and validation
+// against the live incumbent only uses paths that are safe under concurrent
+// serving (the pooled cache-free predictors for inference; the caching
+// gradient path is exercised by the trainer goroutine alone, and serving
+// never touches the training caches).
+package train
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"calloc/internal/attack"
+	"calloc/internal/core"
+	"calloc/internal/curriculum"
+	"calloc/internal/eval"
+	"calloc/internal/fingerprint"
+	"calloc/internal/localizer"
+)
+
+// Options configures a Trainer.
+type Options struct {
+	// Key addresses the served localizer this trainer fine-tunes. It must
+	// already be registered and wrap a *core.Model (localizer.FromCore).
+	Key localizer.Key
+	// Name labels swapped-in candidates; empty keeps the incumbent's name.
+	Name string
+	// Config is the CALLOC architecture, matching the incumbent.
+	Config core.Config
+	// Base is the offline database: the attention memory and the permanent
+	// share of every fine-tune's training data.
+	Base []fingerprint.Sample
+	// Holdout is the held-out validation split that gates swaps; it is
+	// never trained on.
+	Holdout []fingerprint.Sample
+	// Checkpoint seeds the fine-tune loop with the incumbent's training
+	// state (weights, optimizer moments, annealed LR). Nil builds a fresh
+	// one from the incumbent's current weights — how weight-file deployments
+	// (no optimizer history) enter the loop.
+	Checkpoint *core.TrainCheckpoint
+
+	// Lessons is the fine-tune curriculum replayed each round: a short tail
+	// of the paper's schedule — one clean lesson to absorb the feedback,
+	// then escalating ø to re-harden. Nil selects Schedule(3, 30, ε=0.1).
+	Lessons []curriculum.Lesson
+	// EpochsPerLesson caps each fine-tune lesson (default 6).
+	EpochsPerLesson int
+	// LearningRate is the steady-state online rate each round restarts at
+	// (default 0.005); within a round the usual per-lesson annealing applies.
+	LearningRate float64
+	// BatchSize for fine-tune epochs (default 64; fine-tunes favour
+	// mini-batches so feedback rows get gradient signal early).
+	BatchSize int
+
+	// MinFeedback is how many new samples must accumulate before the
+	// background loop fine-tunes (default 16). MaxFeedback caps the online
+	// set, dropping the oldest samples (default 4096).
+	MinFeedback int
+	MaxFeedback int
+	// Interval is the background loop's poll cadence (default 2s).
+	Interval time.Duration
+
+	// AttackEpsilon/AttackPhi parameterise the attacked half of the
+	// validation gate (defaults: the curriculum's ε=0.1, ø=50).
+	AttackEpsilon float64
+	AttackPhi     int
+
+	// Seed drives fine-tune data shuffling and attack realisations; each
+	// round derives its own stream so repeated rounds see fresh attacks.
+	Seed int64
+	// Dist scores a validation prediction against its label — typically
+	// Dataset.ErrorMeters. Nil selects 0/1 misclassification. Must be safe
+	// for concurrent calls (validation fans out over eval.Errors).
+	Dist func(pred, label int) float64
+	// Logf, when non-nil, receives one line per fine-tune round.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.Lessons == nil {
+		o.Lessons = curriculum.Schedule(3, 30, curriculum.DefaultEpsilon)
+	}
+	if o.EpochsPerLesson <= 0 {
+		o.EpochsPerLesson = 6
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.005
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.MinFeedback <= 0 {
+		o.MinFeedback = 16
+	}
+	if o.MaxFeedback <= 0 {
+		o.MaxFeedback = 4096
+	}
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.AttackEpsilon <= 0 {
+		o.AttackEpsilon = curriculum.DefaultEpsilon
+	}
+	if o.AttackPhi <= 0 {
+		o.AttackPhi = 50
+	}
+}
+
+// Scores is one model's validation result on the held-out split.
+type Scores struct {
+	// Clean and Attacked are mean per-sample errors (Dist units; 0/1
+	// misclassification when no Dist is configured). Attacked evaluates
+	// FGSM crafted white-box against the scored model itself.
+	Clean    float64 `json:"clean"`
+	Attacked float64 `json:"attacked"`
+}
+
+// Total is the gate score: clean and attacked weighted equally, the same
+// trade-off the curriculum itself optimises.
+func (s Scores) Total() float64 { return s.Clean + s.Attacked }
+
+// Round reports one fine-tune cycle.
+type Round struct {
+	Round     int64  `json:"round"`
+	Feedback  int    `json:"feedback"`
+	Candidate Scores `json:"candidate"`
+	Incumbent Scores `json:"incumbent"`
+	Swapped   bool   `json:"swapped"`
+	Version   uint64 `json:"version"`
+}
+
+// Stats is a point-in-time snapshot of a trainer's counters.
+type Stats struct {
+	FeedbackTotal   int64  `json:"feedback_total"`
+	FeedbackPending int    `json:"feedback_pending"`
+	FeedbackHeld    int    `json:"feedback_held"`
+	Rounds          int64  `json:"rounds"`
+	Swaps           int64  `json:"swaps"`
+	Version         uint64 `json:"version"`
+	LastCandidate   Scores `json:"last_candidate"`
+	LastIncumbent   Scores `json:"last_incumbent"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Trainer is the background fine-tune loop for one registered CALLOC
+// localizer. AddFeedback is safe to call from any number of request
+// handlers; the fine-tune cycle runs on one goroutine at a time.
+type Trainer struct {
+	reg  *localizer.Registry
+	opts Options
+	name string
+
+	holdout []fingerprint.Sample
+
+	mu       sync.Mutex
+	feedback []fingerprint.Sample // ring once full; fbHead is the oldest slot
+	fbHead   int
+	pending  int
+	ckpt     *core.TrainCheckpoint
+	version  uint64
+	stats    Stats
+
+	runMu sync.Mutex // serialises fine-tune rounds
+	round int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a trainer for the localizer registered under opts.Key. The
+// incumbent must wrap a *core.Model with dimensions matching opts.Config.
+func New(reg *localizer.Registry, opts Options) (*Trainer, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("train: nil registry")
+	}
+	opts.setDefaults()
+	if len(opts.Base) == 0 {
+		return nil, fmt.Errorf("train: empty base dataset")
+	}
+	if len(opts.Holdout) == 0 {
+		return nil, fmt.Errorf("train: empty holdout split (the swap gate needs one)")
+	}
+	snap, ok := reg.Get(opts.Key)
+	if !ok {
+		return nil, fmt.Errorf("train: %s not registered", opts.Key)
+	}
+	inc, ok := localizer.Unwrap(snap.Localizer).(*core.Model)
+	if !ok {
+		return nil, fmt.Errorf("train: %s does not wrap a core.Model (got %q)", opts.Key, snap.Localizer.Name())
+	}
+	if inc.Cfg.NumAPs != opts.Config.NumAPs || inc.Cfg.NumRPs != opts.Config.NumRPs {
+		return nil, fmt.Errorf("train: incumbent is %d×%d, options configure %d×%d",
+			inc.Cfg.NumAPs, inc.Cfg.NumRPs, opts.Config.NumAPs, opts.Config.NumRPs)
+	}
+	name := opts.Name
+	if name == "" {
+		name = snap.Localizer.Name()
+	}
+	t := &Trainer{
+		reg:     reg,
+		opts:    opts,
+		name:    name,
+		holdout: fingerprint.CloneSamples(opts.Holdout),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	t.ckpt = opts.Checkpoint
+	if t.ckpt == nil {
+		t.ckpt = inc.NewTrainCheckpoint(0, opts.LearningRate, opts.Seed)
+	}
+	t.version = snap.Version
+	t.stats.Version = snap.Version
+	return t, nil
+}
+
+// AddFeedback records one labelled online fingerprint. It is cheap and safe
+// to call from concurrent request handlers; training never happens here.
+func (t *Trainer) AddFeedback(rss []float64, rp int) error {
+	if len(rss) != t.opts.Config.NumAPs {
+		return fmt.Errorf("train: feedback has %d features, model expects %d", len(rss), t.opts.Config.NumAPs)
+	}
+	if rp < 0 || rp >= t.opts.Config.NumRPs {
+		return fmt.Errorf("train: feedback label %d outside [0,%d)", rp, t.opts.Config.NumRPs)
+	}
+	for _, v := range rss {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("train: feedback contains a non-finite RSS value")
+		}
+	}
+	s := fingerprint.Sample{RSS: append([]float64(nil), rss...), RP: rp}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.feedback) >= t.opts.MaxFeedback {
+		// Ring overwrite of the oldest slot: the online set is a sliding
+		// window over the environment's recent state, and the request path
+		// stays O(1) at the cap.
+		t.feedback[t.fbHead] = s
+		t.fbHead = (t.fbHead + 1) % len(t.feedback)
+	} else {
+		t.feedback = append(t.feedback, s)
+	}
+	t.stats.FeedbackTotal++
+	t.pending++
+	return nil
+}
+
+// Pending returns how many feedback samples arrived since the last
+// fine-tune.
+func (t *Trainer) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pending
+}
+
+// Stats returns a snapshot of the trainer's counters.
+func (t *Trainer) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.FeedbackPending = t.pending
+	s.FeedbackHeld = len(t.feedback)
+	return s
+}
+
+// Start launches the background loop: every Interval, if at least
+// MinFeedback new samples arrived, run one fine-tune round. Idempotent.
+func (t *Trainer) Start() {
+	t.startOnce.Do(func() {
+		t.started.Store(true)
+		go func() {
+			defer close(t.done)
+			ticker := time.NewTicker(t.opts.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-t.stop:
+					return
+				case <-ticker.C:
+					if t.Pending() < t.opts.MinFeedback {
+						continue
+					}
+					if _, err := t.FineTune(); err != nil {
+						t.logf("train: fine-tune: %v", err)
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the background loop and waits for any in-flight round to
+// finish. Idempotent; safe to call without Start.
+func (t *Trainer) Close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	if t.started.Load() {
+		<-t.done
+	}
+	t.runMu.Lock() // wait for a manually triggered round, if any
+	defer t.runMu.Unlock()
+}
+
+// FineTune runs one synchronous fine-tune cycle: continue the curriculum
+// from the incumbent's checkpoint on base+feedback data, validate on the
+// held-out clean+attacked split, and Registry.Swap only on improvement.
+// Rounds are serialised; concurrent callers queue.
+func (t *Trainer) FineTune() (Round, error) {
+	t.runMu.Lock()
+	defer t.runMu.Unlock()
+
+	snap, ok := t.reg.Get(t.opts.Key)
+	if !ok {
+		return Round{}, t.fail(fmt.Errorf("train: %s no longer registered", t.opts.Key))
+	}
+	inc, ok := localizer.Unwrap(snap.Localizer).(*core.Model)
+	if !ok {
+		return Round{}, t.fail(fmt.Errorf("train: %s no longer wraps a core.Model", t.opts.Key))
+	}
+
+	t.mu.Lock()
+	if snap.Version != t.version {
+		// Someone else pushed a version (e.g. a manual /v1/swap weight
+		// push): the carried optimizer state describes a different model,
+		// so restart the fine-tune continuation from the live weights.
+		t.ckpt = inc.NewTrainCheckpoint(0, t.opts.LearningRate, t.opts.Seed)
+		t.version = snap.Version
+	}
+	fb := t.feedbackSnapshotLocked()
+	t.pending = 0
+	resume := t.ckpt.Clone()
+	round := t.round
+	t.round++
+	t.mu.Unlock()
+
+	// Rewind the continuation to the head of the fine-tune schedule and
+	// restart the online learning rate: the weights and optimizer moments
+	// continue, the short curriculum replays over the refreshed data.
+	resume.Lesson = 0
+	resume.Phi = -1
+	resume.Opt.LR = t.opts.LearningRate
+	resume.RngSeed = t.opts.Seed + round + 1
+
+	cand, err := core.NewModel(t.opts.Config)
+	if err != nil {
+		return Round{}, t.fail(err)
+	}
+	if err := cand.SetMemory(t.opts.Base); err != nil {
+		return Round{}, t.fail(err)
+	}
+	db := make([]fingerprint.Sample, 0, len(t.opts.Base)+len(fb))
+	db = append(db, t.opts.Base...)
+	db = append(db, fb...)
+
+	var final *core.TrainCheckpoint
+	tc := core.TrainConfig{
+		Lessons:         t.opts.Lessons,
+		UseCurriculum:   true,
+		EpochsPerLesson: t.opts.EpochsPerLesson,
+		BatchSize:       t.opts.BatchSize,
+		LearningRate:    t.opts.LearningRate,
+		Patience:        3,
+		MaxReverts:      3,
+		Seed:            resume.RngSeed,
+		Resume:          resume,
+		OnCheckpoint:    func(c *core.TrainCheckpoint) { final = c },
+	}
+	if _, err := cand.Train(db, tc); err != nil {
+		return Round{}, t.fail(err)
+	}
+
+	res := Round{Round: round, Feedback: len(fb), Version: snap.Version}
+	res.Candidate = t.score(cand, round)
+	res.Incumbent = t.score(inc, round)
+
+	if res.Candidate.Total() < res.Incumbent.Total() {
+		// SwapIf: the candidate was derived from snap.Version's weights. If
+		// anyone published a version during the round (a manual /v1/swap
+		// push), installing this candidate would silently discard their
+		// work — treat it as a rejected round instead; the next round
+		// detects the drift and rebuilds from the live weights.
+		version, err := t.reg.SwapIf(t.opts.Key, localizer.FromCore(t.name, cand), snap.Version)
+		if errors.Is(err, localizer.ErrVersionConflict) {
+			t.logf("train: round %d: discarding candidate — %v", round, err)
+			res.Swapped = false
+			t.mu.Lock()
+			t.stats.Rounds++
+			t.stats.LastCandidate = res.Candidate
+			t.stats.LastIncumbent = res.Incumbent
+			t.stats.LastError = err.Error()
+			t.mu.Unlock()
+			return res, nil
+		}
+		if err != nil {
+			return Round{}, t.fail(err)
+		}
+		res.Swapped = true
+		res.Version = version
+		t.mu.Lock()
+		t.ckpt = final
+		t.version = version
+		t.stats.Swaps++
+		t.mu.Unlock()
+	}
+	t.mu.Lock()
+	t.stats.Rounds++
+	t.stats.Version = res.Version
+	t.stats.LastCandidate = res.Candidate
+	t.stats.LastIncumbent = res.Incumbent
+	t.stats.LastError = ""
+	t.mu.Unlock()
+	t.logf("train: round %d: feedback %d, candidate %.4f (clean %.4f + attacked %.4f) vs incumbent %.4f — swapped=%v (v%d)",
+		round, len(fb), res.Candidate.Total(), res.Candidate.Clean, res.Candidate.Attacked,
+		res.Incumbent.Total(), res.Swapped, res.Version)
+	return res, nil
+}
+
+// score evaluates a model on the holdout split: clean predictions plus an
+// FGSM attack crafted white-box against the scored model itself, the same
+// threat the curriculum trains for. Prediction uses the pooled cache-free
+// path, so scoring the live incumbent is safe under concurrent serving; the
+// gradient pass for crafting touches only training-side state that serving
+// never reads.
+func (t *Trainer) score(m *core.Model, round int64) Scores {
+	x := fingerprint.X(t.holdout)
+	labels := fingerprint.Labels(t.holdout)
+	dist := t.opts.Dist
+	if dist == nil {
+		dist = func(pred, label int) float64 {
+			if pred == label {
+				return 0
+			}
+			return 1
+		}
+	}
+	var s Scores
+	s.Clean = mean(eval.Errors(m.Predict(x), labels, dist))
+	adv := attack.Craft(attack.FGSM, m, x, labels, attack.Config{
+		Epsilon:    t.opts.AttackEpsilon,
+		PhiPercent: t.opts.AttackPhi,
+		Seed:       t.opts.Seed + 7919*(round+1),
+	})
+	s.Attacked = mean(eval.Errors(m.Predict(adv), labels, dist))
+	return s
+}
+
+// feedbackSnapshotLocked copies the online set oldest-first; t.mu held.
+func (t *Trainer) feedbackSnapshotLocked() []fingerprint.Sample {
+	ordered := make([]fingerprint.Sample, 0, len(t.feedback))
+	ordered = append(ordered, t.feedback[t.fbHead:]...)
+	ordered = append(ordered, t.feedback[:t.fbHead]...)
+	return fingerprint.CloneSamples(ordered)
+}
+
+func (t *Trainer) fail(err error) error {
+	t.mu.Lock()
+	t.stats.Rounds++
+	t.stats.LastError = err.Error()
+	t.mu.Unlock()
+	return err
+}
+
+func (t *Trainer) logf(format string, args ...any) {
+	if t.opts.Logf != nil {
+		t.opts.Logf(format, args...)
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}

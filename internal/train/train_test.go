@@ -1,0 +1,316 @@
+package train
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"calloc/internal/core"
+	"calloc/internal/device"
+	"calloc/internal/fingerprint"
+	"calloc/internal/floorplan"
+	"calloc/internal/localizer"
+	"calloc/internal/mat"
+	"calloc/internal/serve"
+)
+
+// testDataset builds a small deterministic dataset.
+func testDataset(t testing.TB) *fingerprint.Dataset {
+	t.Helper()
+	spec := floorplan.Spec{
+		ID: 42, Name: "TrainTest", VisibleAPs: 24, PathLengthM: 10,
+		Characteristics: "test",
+		Model:           floorplan.Registry()[0].Model,
+	}
+	b := floorplan.Build(spec, 3)
+	ds, err := fingerprint.Collect(b, device.Registry(), fingerprint.DefaultCollectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func smallConfig(ds *fingerprint.Dataset) core.Config {
+	cfg := core.DefaultConfig(ds.NumAPs, ds.NumRPs)
+	cfg.EmbedDim = 32
+	cfg.AttnDim = 16
+	return cfg
+}
+
+// weakIncumbent registers an untrained CALLOC model — the worst plausible
+// incumbent, so a real fine-tune reliably clears the swap gate.
+func weakIncumbent(t testing.TB, reg *localizer.Registry, key localizer.Key, ds *fingerprint.Dataset) *core.Model {
+	t.Helper()
+	m, err := core.NewModel(smallConfig(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetMemory(ds.Train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(key, localizer.FromCore("CALLOC", m)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func holdoutOf(ds *fingerprint.Dataset) []fingerprint.Sample {
+	var out []fingerprint.Sample
+	for _, samples := range ds.Test {
+		out = append(out, samples...)
+	}
+	return out
+}
+
+func fastOptions(ds *fingerprint.Dataset, key localizer.Key) Options {
+	return Options{
+		Key:             key,
+		Config:          smallConfig(ds),
+		Base:            ds.Train,
+		Holdout:         holdoutOf(ds),
+		EpochsPerLesson: 8,
+		LearningRate:    0.02,
+		BatchSize:       32,
+		MinFeedback:     4,
+		Interval:        10 * time.Millisecond,
+		Seed:            1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ds := testDataset(t)
+	reg := localizer.NewRegistry()
+	key := localizer.Key{Building: ds.BuildingID, Floor: 0, Backend: "calloc"}
+
+	if _, err := New(nil, fastOptions(ds, key)); err == nil {
+		t.Error("expected error for nil registry")
+	}
+	if _, err := New(reg, fastOptions(ds, key)); err == nil {
+		t.Error("expected error for unregistered key")
+	}
+	opts := fastOptions(ds, key)
+	opts.Base = nil
+	if _, err := New(reg, opts); err == nil {
+		t.Error("expected error for empty base")
+	}
+	opts = fastOptions(ds, key)
+	opts.Holdout = nil
+	if _, err := New(reg, opts); err == nil {
+		t.Error("expected error for empty holdout")
+	}
+	// A registered localizer that does not wrap a core.Model must be
+	// rejected — the trainer can only continue a CALLOC curriculum.
+	stubKey := localizer.Key{Building: ds.BuildingID, Floor: 0, Backend: "stub"}
+	stub := localizer.Wrap("stub", ds.NumAPs, ds.NumRPs, nil, func(dst []int, x *mat.Matrix) []int {
+		if dst == nil {
+			dst = make([]int, x.Rows)
+		}
+		return dst
+	})
+	if _, err := reg.Register(stubKey, stub); err != nil {
+		t.Fatal(err)
+	}
+	opts = fastOptions(ds, stubKey)
+	if _, err := New(reg, opts); err == nil {
+		t.Error("expected error for a non-CALLOC localizer")
+	}
+
+	weakIncumbent(t, reg, key, ds)
+	if _, err := New(reg, fastOptions(ds, key)); err != nil {
+		t.Fatalf("valid construction failed: %v", err)
+	}
+}
+
+func TestAddFeedbackValidation(t *testing.T) {
+	ds := testDataset(t)
+	reg := localizer.NewRegistry()
+	key := localizer.Key{Building: ds.BuildingID, Floor: 0, Backend: "calloc"}
+	weakIncumbent(t, reg, key, ds)
+	opts := fastOptions(ds, key)
+	opts.MaxFeedback = 3
+	tr, err := New(reg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	good := ds.Test["OP3"][0]
+	if err := tr.AddFeedback(good.RSS, good.RP); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddFeedback(good.RSS[:3], good.RP); err == nil {
+		t.Error("expected error for wrong feature count")
+	}
+	if err := tr.AddFeedback(good.RSS, ds.NumRPs); err == nil {
+		t.Error("expected error for out-of-range label")
+	}
+	bad := append([]float64(nil), good.RSS...)
+	bad[0] = bad[0] / 0 // +Inf
+	if err := tr.AddFeedback(bad, good.RP); err == nil {
+		t.Error("expected error for non-finite RSS")
+	}
+
+	// The online set is a sliding window of MaxFeedback samples.
+	for i := 0; i < 10; i++ {
+		if err := tr.AddFeedback(good.RSS, good.RP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.Stats()
+	if st.FeedbackHeld != 3 {
+		t.Fatalf("held %d feedback samples, want the cap 3", st.FeedbackHeld)
+	}
+	if st.FeedbackTotal != 11 {
+		t.Fatalf("accepted %d samples, want 11", st.FeedbackTotal)
+	}
+	if st.FeedbackPending != 11 {
+		t.Fatalf("pending %d, want 11", st.FeedbackPending)
+	}
+}
+
+// TestFineTuneSwapsUnderRoutedTraffic is the end-to-end -race hammer for the
+// online pipeline: concurrent clients route traffic through the serving
+// engine while labelled feedback streams in and the real trainer fine-tunes
+// and hot-swaps the served CALLOC model. Every response must stay valid
+// across swaps, and the swap gate must actually fire (the untrained
+// incumbent is beaten by the fine-tuned candidate).
+func TestFineTuneSwapsUnderRoutedTraffic(t *testing.T) {
+	ds := testDataset(t)
+	reg := localizer.NewRegistry()
+	key := localizer.Key{Building: ds.BuildingID, Floor: 0, Backend: "calloc"}
+	weakIncumbent(t, reg, key, ds)
+
+	tr, err := New(reg, fastOptions(ds, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	engine, err := serve.New(reg, serve.Options{MaxBatch: 8, MaxWait: 100 * time.Microsecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Routed traffic: the building has exactly one floor for this backend,
+	// so Route dispatches without a floor classifier.
+	queries := holdoutOf(ds)
+	stopTraffic := make(chan struct{})
+	var maxVersion atomic.Uint64
+	var trafficWg sync.WaitGroup
+	const clients = 3
+	for c := 0; c < clients; c++ {
+		trafficWg.Add(1)
+		go func(c int) {
+			defer trafficWg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				q := queries[(c*31+i)%len(queries)]
+				res, err := engine.Route(nil, ds.BuildingID, "calloc", q.RSS)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if res.Class < 0 || res.Class >= ds.NumRPs {
+					t.Errorf("client %d: class %d out of range", c, res.Class)
+					return
+				}
+				for v := maxVersion.Load(); res.Version > v; v = maxVersion.Load() {
+					maxVersion.CompareAndSwap(v, res.Version)
+				}
+			}
+		}(c)
+	}
+
+	// Feedback: stream labelled online samples (clients re-observing known
+	// reference points — never the holdout split, which stays genuinely held
+	// out), then fine-tune. Two rounds exercise the checkpoint carry-over
+	// between swaps.
+	var swaps int
+	for round := 0; round < 2; round++ {
+		for _, s := range ds.Train {
+			if err := tr.AddFeedback(s.RSS, s.RP); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := tr.FineTune()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Swapped {
+			swaps++
+			if res.Candidate.Total() >= res.Incumbent.Total() {
+				t.Fatalf("round %d swapped without improvement: candidate %.4f vs incumbent %.4f",
+					round, res.Candidate.Total(), res.Incumbent.Total())
+			}
+		} else if res.Candidate.Total() < res.Incumbent.Total() {
+			t.Fatalf("round %d improved but did not swap: %.4f vs %.4f",
+				round, res.Candidate.Total(), res.Incumbent.Total())
+		}
+	}
+	if swaps == 0 {
+		t.Fatal("fine-tuning an untrained incumbent never cleared the swap gate")
+	}
+
+	close(stopTraffic)
+	trafficWg.Wait()
+	engine.Close()
+
+	snap, ok := reg.Get(key)
+	if !ok {
+		t.Fatal("key vanished")
+	}
+	if want := uint64(1 + swaps); snap.Version != want {
+		t.Fatalf("registry at version %d, want %d (1 + %d swaps)", snap.Version, want, swaps)
+	}
+	if seen := maxVersion.Load(); seen > snap.Version {
+		t.Fatalf("traffic observed version %d beyond installed %d", seen, snap.Version)
+	}
+	st := tr.Stats()
+	if st.Swaps != int64(swaps) || st.Rounds != 2 {
+		t.Fatalf("stats %+v disagree with %d swaps over 2 rounds", st, swaps)
+	}
+	if st.Version != snap.Version {
+		t.Fatalf("trainer tracks version %d, registry at %d", st.Version, snap.Version)
+	}
+}
+
+// TestBackgroundLoopFineTunes: the Start/Close lifecycle — feedback past the
+// threshold makes the background loop fine-tune and swap without any manual
+// trigger.
+func TestBackgroundLoopFineTunes(t *testing.T) {
+	ds := testDataset(t)
+	reg := localizer.NewRegistry()
+	key := localizer.Key{Building: ds.BuildingID, Floor: 0, Backend: "calloc"}
+	weakIncumbent(t, reg, key, ds)
+	tr, err := New(reg, fastOptions(ds, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Start()
+	defer tr.Close()
+
+	for _, s := range ds.Train {
+		if err := tr.AddFeedback(s.RSS, s.RP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(30 * time.Second)
+	for {
+		if snap, ok := reg.Get(key); ok && snap.Version > 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("background loop never swapped: stats %+v", tr.Stats())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if st := tr.Stats(); st.Swaps < 1 || st.FeedbackPending >= st.FeedbackHeld && st.Rounds == 0 {
+		t.Fatalf("unexpected stats after background swap: %+v", st)
+	}
+}
