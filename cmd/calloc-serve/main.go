@@ -27,16 +27,28 @@
 //	GET  /v1/trainer                                          -> per-floor fine-tune loop counters
 //	POST /v1/swap {"backend": "calloc", "floor": 0, "weights": "<base64>"}
 //	                                                          -> hot-swap a new CALLOC weight version
-//	GET  /v1/stats                                            -> engine throughput/latency counters
+//	POST /v1/swap {..., "stage": true}                        -> stage the weights into the A/B candidate lane instead
+//	GET  /v1/ab                                               -> per-key A/B lane status: candidate, shadow counters, gate state
+//	POST /v1/ab/promote {"floor": 0}                          -> force-promote the staged candidate (regret window still applies)
+//	POST /v1/ab/abort   {"floor": 0}                          -> withdraw the staged candidate
+//	GET  /v1/stats                                            -> engine throughput/latency counters (incl. shadow + misroutes)
 //	GET  /healthz                                             -> 200 ok
 //
 // The fine-tune loop (one background trainer per floor's CALLOC model)
 // accumulates /v1/feedback samples; once enough arrive it continues the
 // training curriculum from the served model's checkpoint on base+feedback
-// data, validates the candidate on a held-out clean+attacked split, and only
-// on improvement swaps the new version into the registry — in-flight batches
-// finish on the old version, and responses carry the snapshot version so
-// clients observe the swap. /v1/swap remains for manual weight pushes.
+// data and validates the candidate on a held-out clean+attacked split. A
+// candidate that beats the incumbent by -min-delta for -stage-after
+// consecutive rounds is STAGED into the registry's A/B lane, where every
+// -ab-fraction-th routed request is also scored by it (shadow dispatch — its
+// predictions are recorded, never returned). After -promote-after shadow
+// rows (and -min-agreement agreement with the live arm) it is PROMOTED:
+// in-flight batches finish on the old version, responses carry the new
+// snapshot version, and the displaced snapshot is retained. For the next
+// -regret-window trainer ticks the promoted model is re-validated; a
+// regression beyond -regret-delta automatically ROLLS BACK to the retained
+// snapshot. /v1/swap remains for manual weight pushes and /v1/ab/{promote,
+// abort} for manual gate overrides.
 //
 // SIGINT/SIGTERM shut down gracefully: the HTTP server stops accepting, the
 // trainers stop, then the engine drains its queued requests.
@@ -73,6 +85,13 @@ func main() {
 	trainerInterval := flag.Duration("trainer-interval", 2*time.Second, "fine-tune loop poll cadence")
 	fineTuneEpochs := flag.Int("finetune-epochs", 6, "epochs per lesson of the fine-tune curriculum")
 	fineTuneLR := flag.Float64("finetune-lr", 0.005, "learning rate each fine-tune round restarts at")
+	abFraction := flag.Int("ab-fraction", 8, "shadow every Nth routed request through the staged A/B candidate (0 disables the shadow lane)")
+	minDelta := flag.Float64("min-delta", 0, "holdout improvement a fine-tune round must clear to count as a win")
+	stageAfter := flag.Int("stage-after", 1, "consecutive winning rounds before the candidate is staged into the A/B lane")
+	promoteAfter := flag.Int64("promote-after", 32, "live shadow rows a staged candidate must score before promotion (needs -ab-fraction > 0)")
+	minAgreement := flag.Float64("min-agreement", 0, "minimum candidate-vs-live agreement over the shadow sample to promote (0 disables)")
+	regretWindow := flag.Int("regret-window", 3, "post-promotion trainer ticks that re-validate the promoted model (0 disables rollback-on-regret)")
+	regretDelta := flag.Float64("regret-delta", 0, "tolerated holdout regression before a promoted model rolls back")
 	flag.Parse()
 
 	if *data == "" {
@@ -111,16 +130,23 @@ func main() {
 		WeightBlobs: weightBlobs,
 		TrainEpochs: *trainEpochs,
 		Engine: serve.Options{
-			MaxBatch: *maxBatch,
-			MaxWait:  *maxWait,
-			Workers:  *workers,
-			QueueCap: *queueCap,
+			MaxBatch:   *maxBatch,
+			MaxWait:    *maxWait,
+			Workers:    *workers,
+			QueueCap:   *queueCap,
+			ABFraction: *abFraction,
 		},
 		DisableTrainer:  *noTrainer,
 		FeedbackMin:     *feedbackMin,
 		TrainerInterval: *trainerInterval,
 		FineTuneEpochs:  *fineTuneEpochs,
 		FineTuneLR:      *fineTuneLR,
+		MinDelta:        *minDelta,
+		StageAfter:      *stageAfter,
+		PromoteAfter:    *promoteAfter,
+		MinAgreement:    *minAgreement,
+		RegretWindow:    *regretWindow,
+		RegretDelta:     *regretDelta,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

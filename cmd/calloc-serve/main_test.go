@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	"calloc/internal/floorplan"
 	"calloc/internal/localizer"
 	"calloc/internal/serve"
+	"calloc/internal/train"
 )
 
 // testFloors builds two small deterministic "floor" datasets of one building
@@ -254,4 +256,270 @@ func TestFeedbackValidationOverHTTP(t *testing.T) {
 	if fmt.Sprint(a.trainers[0].Pending()) != "1" {
 		t.Fatalf("pending %d after one valid sample", a.trainers[0].Pending())
 	}
+}
+
+// abEntry mirrors the GET /v1/ab response shape.
+type abEntry struct {
+	Key              localizer.Key  `json:"key"`
+	LiveVersion      uint64         `json:"live_version"`
+	CandidateVersion uint64         `json:"candidate_version,omitempty"`
+	PreviousRetained bool           `json:"previous_retained"`
+	Shadow           *serve.ABStats `json:"shadow,omitempty"`
+	Gate             *train.Stats   `json:"gate,omitempty"`
+}
+
+func getAB(t testing.TB, client *http.Client, base string) []abEntry {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []abEntry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func liveVersion(t testing.TB, client *http.Client, base string, key localizer.Key) uint64 {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var models []localizer.Info
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	for _, mi := range models {
+		if mi.Key == key {
+			return mi.Version
+		}
+	}
+	t.Fatalf("%s not in /v1/models", key)
+	return 0
+}
+
+// TestABPipelineOverHTTP drives the whole shadow A/B deployment path over
+// the real HTTP surface with -race: routed /v1/localize traffic flows while
+// /v1/feedback fine-tunes a candidate; the candidate is STAGED, earns shadow
+// exposure visible in /v1/ab, and is PROMOTED by the shadow gate — the
+// version bump visible in served responses. Then a deliberately bad model is
+// staged over /v1/swap{stage:true} and force-promoted over /v1/ab/promote;
+// the regret watch detects the regression and automatically ROLLS BACK to
+// the prior version, again visible in /v1/models, /v1/trainer, and served
+// responses.
+func TestABPipelineOverHTTP(t *testing.T) {
+	datasets := testFloors(t)[:1]
+	ds := datasets[0]
+	a, err := newApp(datasets, appConfig{
+		Backends:    []string{"calloc"},
+		WeightBlobs: [][]byte{untrainedWeights(t, ds)},
+		Engine: serve.Options{
+			MaxBatch: 8, MaxWait: 100 * time.Microsecond, Workers: 2, ABFraction: 2,
+		},
+		FeedbackMin:     4,
+		TrainerInterval: 25 * time.Millisecond,
+		FineTuneEpochs:  8,
+		FineTuneLR:      0.02,
+		StageAfter:      1,
+		PromoteAfter:    8,
+		RegretWindow:    2,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.start()
+	ts := httptest.NewServer(a.handler())
+	client := ts.Client()
+	key := localizer.Key{Building: ds.BuildingID, Floor: 0, Backend: "calloc"}
+
+	// Routed traffic throughout: it is both the correctness load and the
+	// source of shadow exposure for staged candidates.
+	stopTraffic := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(stopTraffic) }) }
+	var trafficWg sync.WaitGroup
+	closed := false
+	defer func() {
+		if !closed {
+			stop()
+			trafficWg.Wait()
+			ts.Close()
+			a.close()
+		}
+	}()
+	for c := 0; c < 2; c++ {
+		trafficWg.Add(1)
+		go func(c int) {
+			defer trafficWg.Done()
+			queries := ds.Test["OP3"]
+			for i := 0; ; i++ {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				q := queries[(c+i)%len(queries)]
+				status, body := postJSON(t, client, ts.URL+"/v1/localize", map[string]any{"rss": q.RSS})
+				if status != http.StatusOK {
+					t.Errorf("client %d: /v1/localize status %d (%v)", c, status, body)
+					return
+				}
+				if rp, ok := body["rp"].(float64); !ok || rp < 0 || int(rp) >= ds.NumRPs {
+					t.Errorf("client %d: bad rp in %v", c, body)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Phase 1 — feedback → fine-tune → stage → shadow → automatic promotion.
+	// Feedback streams varied labelled samples only while nothing is staged:
+	// once a candidate sits in the A/B lane the stream stops, so the shadow
+	// gate promotes on live traffic alone instead of racing further rounds
+	// (which would restage — resetting the shadow counters — or abort).
+	sawStaged := false
+	fbIdx := 0
+	deadline := time.After(240 * time.Second)
+	for liveVersion(t, client, ts.URL, key) < 2 {
+		staged := false
+		for _, e := range getAB(t, client, ts.URL) {
+			if e.Key == key && e.CandidateVersion > 0 {
+				staged = true
+				sawStaged = true
+			}
+		}
+		if !staged {
+			for i := 0; i < 8; i++ {
+				s := ds.Train[fbIdx%len(ds.Train)]
+				fbIdx++
+				status, body := postJSON(t, client, ts.URL+"/v1/feedback",
+					map[string]any{"rss": s.RSS, "rp": s.RP, "floor": 0})
+				if status != http.StatusOK {
+					t.Fatalf("/v1/feedback status %d (%v)", status, body)
+				}
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no automatic promotion observed; /v1/ab: %+v", getAB(t, client, ts.URL))
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	// The promotion must have been earned through live shadow exposure,
+	// and /v1/ab must carry the evidence.
+	entries := getAB(t, client, ts.URL)
+	if len(entries) != 1 || entries[0].Key != key {
+		t.Fatalf("unexpected /v1/ab listing: %+v", entries)
+	}
+	e := entries[0]
+	if e.Shadow == nil || e.Shadow.Rows < 8 {
+		t.Fatalf("promotion without the required shadow exposure: %+v", e.Shadow)
+	}
+	if e.Gate == nil || e.Gate.Swaps < 1 {
+		t.Fatalf("gate stats missing the promotion: %+v", e.Gate)
+	}
+	if !e.PreviousRetained {
+		t.Fatal("no rollback target retained after the promotion")
+	}
+	if !sawStaged {
+		t.Log("note: staged window too short to observe live; shadow counters prove it existed")
+	}
+
+	// Wait for the trainer to go quiet (pending below the round threshold)
+	// so background rounds do not race the manual phase.
+	for {
+		resp, err := client.Get(ts.URL + "/v1/trainer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trainerStats map[string]train.Stats
+		json.NewDecoder(resp.Body).Decode(&trainerStats)
+		resp.Body.Close()
+		if trainerStats["floor_0"].FeedbackPending < 4 {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Phase 2 — forced regression: stage an untrained model into the A/B
+	// lane and force-promote it past the shadow gate. The regret watch must
+	// roll the deployment back automatically.
+	vBefore := liveVersion(t, client, ts.URL, key)
+	status, body := postJSON(t, client, ts.URL+"/v1/swap", map[string]any{
+		"floor": 0, "stage": true,
+		"weights": base64.StdEncoding.EncodeToString(untrainedWeights(t, ds)),
+	})
+	if status != http.StatusOK || body["candidate_version"] == nil {
+		t.Fatalf("/v1/swap stage failed: %d %v", status, body)
+	}
+	status, body = postJSON(t, client, ts.URL+"/v1/ab/promote", map[string]any{"floor": 0})
+	if status != http.StatusOK {
+		t.Fatalf("/v1/ab/promote failed: %d %v", status, body)
+	}
+	vBad := uint64(body["version"].(float64))
+	if vBad <= vBefore {
+		t.Fatalf("forced promotion did not advance the version: %d -> %d", vBefore, vBad)
+	}
+
+	// The regret watch runs on the trainer ticker; the rolled-back version
+	// must appear in /v1/models, /v1/trainer, and served responses.
+	rollDeadline := time.After(120 * time.Second)
+	for liveVersion(t, client, ts.URL, key) <= vBad {
+		select {
+		case <-rollDeadline:
+			t.Fatalf("no rollback observed; /v1/ab: %+v", getAB(t, client, ts.URL))
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	resp, err := client.Get(ts.URL + "/v1/trainer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trainerStats map[string]train.Stats
+	json.NewDecoder(resp.Body).Decode(&trainerStats)
+	resp.Body.Close()
+	if trainerStats["floor_0"].Rollbacks < 1 {
+		t.Fatalf("trainer stats do not record the rollback: %+v", trainerStats["floor_0"])
+	}
+	vRolled := liveVersion(t, client, ts.URL, key)
+	sawRolled := false
+	for i := 0; i < 50 && !sawRolled; i++ {
+		q := ds.Test["OP3"][i%len(ds.Test["OP3"])]
+		status, body := postJSON(t, client, ts.URL+"/v1/localize", map[string]any{"rss": q.RSS})
+		if status != http.StatusOK {
+			t.Fatalf("post-rollback localize status %d", status)
+		}
+		if v, ok := body["version"].(float64); ok && uint64(v) >= vRolled {
+			sawRolled = true
+		}
+	}
+	if !sawRolled {
+		t.Fatal("no served response carried the rolled-back version")
+	}
+
+	// Phase 3 — manual abort path: stage another candidate and withdraw it.
+	status, _ = postJSON(t, client, ts.URL+"/v1/swap", map[string]any{
+		"floor": 0, "stage": true,
+		"weights": base64.StdEncoding.EncodeToString(untrainedWeights(t, ds)),
+	})
+	if status != http.StatusOK {
+		t.Fatalf("restage failed: %d", status)
+	}
+	if status, _ = postJSON(t, client, ts.URL+"/v1/ab/abort", map[string]any{"floor": 0}); status != http.StatusOK {
+		t.Fatalf("/v1/ab/abort failed: %d", status)
+	}
+	if status, _ = postJSON(t, client, ts.URL+"/v1/ab/abort", map[string]any{"floor": 0}); status != http.StatusNotFound {
+		t.Fatalf("aborting an empty lane returned %d, want 404", status)
+	}
+
+	stop()
+	trafficWg.Wait()
+	ts.Close()
+	a.close()
+	closed = true
 }

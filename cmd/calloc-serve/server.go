@@ -39,7 +39,18 @@ type appConfig struct {
 	FineTuneEpochs  int
 	FineTuneLR      float64
 	FineTuneLessons []curriculum.Lesson
-	Logf            func(format string, args ...any)
+
+	// Promotion gate (see internal/train): holdout min-delta + hysteresis
+	// stages candidates, live shadow exposure (Engine.ABFraction > 0)
+	// promotes them, and the regret window rolls back regressions.
+	MinDelta     float64
+	StageAfter   int
+	PromoteAfter int64
+	MinAgreement float64
+	RegretWindow int
+	RegretDelta  float64
+
+	Logf func(format string, args ...any)
 }
 
 // app owns the serving state: the registry of localizers, the micro-batching
@@ -116,8 +127,9 @@ func newApp(datasets []*fingerprint.Dataset, cfg appConfig) (*app, error) {
 
 	if !cfg.DisableTrainer && hasBackend(cfg.Backends, "calloc") {
 		for floor, ds := range datasets {
-			tr, err := train.New(a.reg, train.Options{
-				Key:             localizer.Key{Building: a.building, Floor: floor, Backend: "calloc"},
+			key := localizer.Key{Building: a.building, Floor: floor, Backend: "calloc"}
+			topts := train.Options{
+				Key:             key,
 				Config:          core.DefaultConfig(ds.NumAPs, ds.NumRPs),
 				Base:            ds.Train,
 				Holdout:         holdoutOf(ds),
@@ -127,9 +139,29 @@ func newApp(datasets []*fingerprint.Dataset, cfg appConfig) (*app, error) {
 				LearningRate:    cfg.FineTuneLR,
 				MinFeedback:     cfg.FeedbackMin,
 				Interval:        cfg.TrainerInterval,
+				MinDelta:        cfg.MinDelta,
+				StageAfter:      cfg.StageAfter,
+				RegretWindow:    cfg.RegretWindow,
+				RegretDelta:     cfg.RegretDelta,
 				Dist:            ds.ErrorMeters,
 				Logf:            cfg.Logf,
-			})
+			}
+			if cfg.Engine.ABFraction > 0 {
+				// Shadow gate: staged candidates must earn live exposure
+				// through the engine's A/B lane before promotion. Without
+				// shadowing there is no exposure to wait for, so the gate
+				// stays disabled and staging promotes directly.
+				topts.PromoteAfter = cfg.PromoteAfter
+				topts.MinAgreement = cfg.MinAgreement
+				topts.Shadow = func() (uint64, int64, int64) {
+					st, ok := a.engine.ABStats(key)
+					if !ok {
+						return 0, 0, 0
+					}
+					return st.CandidateVersion, st.Rows, st.Agree
+				}
+			}
+			tr, err := train.New(a.reg, topts)
 			if err != nil {
 				a.engine.Close()
 				return nil, fmt.Errorf("floor %d trainer: %w", floor, err)
@@ -181,6 +213,9 @@ func (a *app) handler() http.Handler {
 	mux.HandleFunc("POST /v1/localize", a.handleLocalize)
 	mux.HandleFunc("POST /v1/feedback", a.handleFeedback)
 	mux.HandleFunc("POST /v1/swap", a.handleSwap)
+	mux.HandleFunc("GET /v1/ab", a.handleABStatus)
+	mux.HandleFunc("POST /v1/ab/promote", a.handleABPromote)
+	mux.HandleFunc("POST /v1/ab/abort", a.handleABAbort)
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, a.reg.List())
 	})
@@ -229,6 +264,11 @@ func (a *app) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, serve.ErrUnknownModel):
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
+	case errors.Is(err, serve.ErrMisroute):
+		// A classifier fault, not a client addressing error: 5xx so
+		// monitoring sees it and clients may retry.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -274,6 +314,10 @@ func (a *app) handleSwap(w http.ResponseWriter, r *http.Request) {
 		Backend string `json:"backend"`
 		Floor   int    `json:"floor"`
 		Weights string `json:"weights"` // base64 of calloc-train output
+		// Stage pushes the weights into the A/B candidate lane instead of
+		// the live slot: the model shadows routed traffic until it is
+		// promoted (by the gate or POST /v1/ab/promote) or aborted.
+		Stage bool `json:"stage"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -298,13 +342,150 @@ func (a *app) handleSwap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := localizer.Key{Building: a.building, Floor: req.Floor, Backend: "calloc"}
+	if _, ok := a.reg.Get(key); !ok {
+		// Floor exists but the calloc backend is not served.
+		http.Error(w, fmt.Sprintf("%s not registered", key), http.StatusNotFound)
+		return
+	}
+	if req.Stage {
+		c, err := a.reg.Stage(key, loc)
+		if err != nil {
+			// The key exists, so a Stage failure is a bad payload (shape
+			// mismatch), not a missing resource.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		a.cfg.Logf("calloc-serve: staged candidate %d for %s (against live version %d)", c.Version, key, c.Base)
+		writeJSON(w, map[string]uint64{"candidate_version": c.Version, "base_version": c.Base})
+		return
+	}
 	version, err := a.reg.Swap(key, loc)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	a.cfg.Logf("calloc-serve: swapped %s to version %d", key, version)
 	writeJSON(w, map[string]uint64{"version": version})
+}
+
+// handleABStatus reports the A/B lane of every registered position
+// localizer: live and candidate versions, the serving engine's shadow
+// counters, and (for trainer-managed keys) the promotion-gate state.
+func (a *app) handleABStatus(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		Key              localizer.Key  `json:"key"`
+		LiveVersion      uint64         `json:"live_version"`
+		CandidateVersion uint64         `json:"candidate_version,omitempty"`
+		CandidateName    string         `json:"candidate_name,omitempty"`
+		PreviousRetained bool           `json:"previous_retained"`
+		Shadow           *serve.ABStats `json:"shadow,omitempty"`
+		Gate             *train.Stats   `json:"gate,omitempty"`
+	}
+	out := make([]entry, 0, a.reg.Len())
+	for _, info := range a.reg.List() {
+		if info.Key.Floor == localizer.ClassifierFloor {
+			continue
+		}
+		e := entry{
+			Key:              info.Key,
+			LiveVersion:      info.Version,
+			CandidateVersion: info.CandidateVersion,
+			CandidateName:    info.CandidateName,
+		}
+		if _, ok := a.reg.Previous(info.Key); ok {
+			e.PreviousRetained = true
+		}
+		if st, ok := a.engine.ABStats(info.Key); ok {
+			e.Shadow = &st
+		}
+		if info.Key.Backend == "calloc" {
+			if tr, ok := a.trainers[info.Key.Floor]; ok {
+				st := tr.Stats()
+				e.Gate = &st
+			}
+		}
+		out = append(out, e)
+	}
+	writeJSON(w, out)
+}
+
+// abTarget resolves the {floor, backend} of a manual A/B override request.
+func (a *app) abTarget(w http.ResponseWriter, r *http.Request) (localizer.Key, *train.Trainer, bool) {
+	var req struct {
+		Floor   int    `json:"floor"`
+		Backend string `json:"backend"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return localizer.Key{}, nil, false
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = "calloc"
+	}
+	key := localizer.Key{Building: a.building, Floor: req.Floor, Backend: backend}
+	if _, ok := a.reg.Get(key); !ok {
+		http.Error(w, fmt.Sprintf("%s not registered", key), http.StatusNotFound)
+		return localizer.Key{}, nil, false
+	}
+	if backend == "calloc" {
+		return key, a.trainers[req.Floor], true
+	}
+	return key, nil, true
+}
+
+// handleABPromote force-promotes the staged candidate, bypassing the shadow
+// evidence gate. Trainer-managed keys go through the trainer so the regret
+// window still guards the forced promotion; other keys promote directly in
+// the registry.
+func (a *app) handleABPromote(w http.ResponseWriter, r *http.Request) {
+	key, tr, ok := a.abTarget(w, r)
+	if !ok {
+		return
+	}
+	var version uint64
+	var err error
+	if tr != nil {
+		version, err = tr.Promote()
+	} else {
+		version, err = a.reg.Promote(key)
+	}
+	switch {
+	case errors.Is(err, localizer.ErrNoCandidate):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case errors.Is(err, localizer.ErrVersionConflict), errors.Is(err, localizer.ErrCandidateConflict):
+		// Retryable races (live slot moved, lane restaged), not malformed
+		// requests.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.cfg.Logf("calloc-serve: manually promoted the candidate for %s to version %d", key, version)
+	writeJSON(w, map[string]uint64{"version": version})
+}
+
+// handleABAbort withdraws the staged candidate (and, for trainer-managed
+// keys, resets the hysteresis streak).
+func (a *app) handleABAbort(w http.ResponseWriter, r *http.Request) {
+	key, tr, ok := a.abTarget(w, r)
+	if !ok {
+		return
+	}
+	var aborted bool
+	if tr != nil {
+		aborted = tr.Abort()
+	} else {
+		aborted = a.reg.Abort(key)
+	}
+	if !aborted {
+		http.Error(w, fmt.Sprintf("no staged candidate for %s", key), http.StatusNotFound)
+		return
+	}
+	a.cfg.Logf("calloc-serve: manually aborted the candidate for %s", key)
+	writeJSON(w, map[string]bool{"aborted": true})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -25,6 +25,15 @@
 // the floor, then localizes the position on that floor's backend. Both
 // stages are micro-batched.
 //
+// When Options.ABFraction is set and a key has a staged candidate
+// (Registry.Stage), every Nth routed request is additionally scored through
+// the candidate's own shadow micro-batch lane: the candidate's prediction is
+// compared against the live answer and recorded in per-key A/B counters
+// (ABStats) but never returned, and shadow work never blocks or fails live
+// traffic — a full shadow queue drops the sample. This is how a next model
+// version earns real-traffic evidence before the promotion gate (see
+// internal/train) makes it the live version.
+//
 // Model updates come in two flavours (see DESIGN.md):
 //   - Hot-swap (preferred): build a NEW localizer and Registry.Swap it in.
 //     Lock-free for readers; in-flight batches finish on the old snapshot.
@@ -38,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +63,12 @@ var ErrClosed = errors.New("serve: engine closed")
 // ErrUnknownModel is returned when a request addresses a key with no
 // registered localizer.
 var ErrUnknownModel = errors.New("serve: no localizer registered for key")
+
+// ErrMisroute is returned by Route when the building's floor classifier
+// predicts a floor with no registered localizer for the requested backend —
+// a classifier bug or drift, not a client addressing error. Counted in
+// Stats.Misroutes.
+var ErrMisroute = errors.New("serve: floor classifier predicted an unregistered floor")
 
 // Options configures an Engine.
 type Options struct {
@@ -73,6 +89,16 @@ type Options struct {
 	// without bound, and one overloaded model does not consume another
 	// model's queue space.
 	QueueCap int
+	// ABFraction enables shadow A/B dispatch on the routed path: every Nth
+	// routed request whose position key has a staged candidate (see
+	// localizer.Registry.Stage) is ALSO batched through the candidate's own
+	// shadow micro-batch lane. The candidate's prediction is recorded in the
+	// key's A/B counters (agreement with the live arm, per-arm latency,
+	// shadow row counts — see ABStats) but never returned to the caller, and
+	// shadow enqueues never block: when the shadow lane is full the sample is
+	// dropped and counted. 0 disables shadowing entirely (no per-request
+	// candidate lookup).
+	ABFraction int
 }
 
 func (o *Options) setDefaults() {
@@ -100,11 +126,56 @@ type response struct {
 	err     error
 }
 
-// request is one in-flight localization query.
+// request is one in-flight localization query. Shadow requests additionally
+// carry the live arm's answer for agreement accounting; nobody waits on their
+// result channel — the worker recycles them after scoring.
 type request struct {
-	x      []float64
-	enq    time.Time
-	result chan response // buffered (cap 1) so an abandoned caller never blocks a worker
+	x         []float64
+	enq       time.Time
+	liveClass int
+	result    chan response // buffered (cap 1) so an abandoned caller never blocks a worker
+}
+
+// abCounters is one shadow lane's A/B bookkeeping. rows/agree/candNs are
+// only touched by the single worker holding the lane; sampled/dropped/liveNs
+// are bumped from Route goroutines. Counters reset when the staged candidate
+// version changes, so they always describe the current candidate's exposure.
+type abCounters struct {
+	candVersion atomic.Uint64
+	sampled     atomic.Int64 // routed requests selected for shadowing
+	rows        atomic.Int64 // shadow rows actually scored by the candidate
+	agree       atomic.Int64 // shadow rows where candidate == live prediction
+	dropped     atomic.Int64 // samples dropped (lane full, candidate vanished)
+	candNs      atomic.Int64 // cumulative enqueue→scored latency of shadow rows
+	liveNs      atomic.Int64 // cumulative live-arm latency of sampled requests
+	liveRows    atomic.Int64
+}
+
+// resetIfStale zeroes the counters when they still describe an older
+// candidate version. Candidate versions are monotonic per key, so a sample
+// that pinned its version before a restage (and was then delayed in a
+// batching window) must never roll the bucket backwards and wipe the newer
+// candidate's evidence — it just lands in the newer bucket. The CAS elects
+// exactly one resetter per version bump; increments racing the reset from
+// still-in-flight old-version samples may be lost or re-attributed, which
+// is acceptable for advisory counters.
+func (c *abCounters) resetIfStale(version uint64) {
+	for {
+		v := c.candVersion.Load()
+		if v >= version {
+			return
+		}
+		if c.candVersion.CompareAndSwap(v, version) {
+			c.sampled.Store(0)
+			c.rows.Store(0)
+			c.agree.Store(0)
+			c.dropped.Store(0)
+			c.candNs.Store(0)
+			c.liveNs.Store(0)
+			c.liveRows.Store(0)
+			return
+		}
+	}
 }
 
 // lane is one localizer's micro-batch queue. Lanes are created on first use
@@ -114,6 +185,16 @@ type lane struct {
 	key      localizer.Key
 	features int
 	reqs     chan *request
+
+	// shadow marks the candidate lane of an A/B pair: dispatch pins the
+	// key's staged candidate instead of the live snapshot, records the
+	// prediction in ab, and answers nobody. sampleSeq drives this key's
+	// every-Nth shadow sampling — per lane, so periodic multi-key traffic
+	// cannot alias one key's candidate out of all exposure; it survives
+	// restages (it is a cadence, not evidence).
+	shadow    bool
+	sampleSeq atomic.Int64
+	ab        abCounters
 
 	// pending counts accepted-but-undispatched requests; scheduled is true
 	// while the lane sits in the run queue or is held by a worker. Together
@@ -132,10 +213,12 @@ type Engine struct {
 	reg  *localizer.Registry
 	opts Options
 
-	// laneMu guards the lane map (read-mostly; lanes are created once per
-	// key and never removed while the engine runs).
-	laneMu sync.RWMutex
-	lanes  map[localizer.Key]*lane
+	// laneMu guards the lane maps (read-mostly; lanes are created once per
+	// key and never removed while the engine runs). shadowLanes holds the
+	// candidate lanes of A/B pairs, keyed by the same position key.
+	laneMu      sync.RWMutex
+	lanes       map[localizer.Key]*lane
+	shadowLanes map[localizer.Key]*lane
 
 	// runMu/cond protect the run queue of lanes with pending requests.
 	// draining tells idle workers to exit once the queue is empty.
@@ -167,6 +250,12 @@ type Engine struct {
 	fullWaits atomic.Int64
 	completed atomic.Int64
 	latencyNs atomic.Int64
+	misroutes atomic.Int64
+
+	// Shadow A/B aggregates across shadow lanes (per-key figures, including
+	// the sampling cadence, live on the lanes).
+	shadowBatches atomic.Int64
+	shadowRows    atomic.Int64
 }
 
 // New starts an engine dispatching into the given registry. Localizers may
@@ -177,9 +266,10 @@ func New(reg *localizer.Registry, opts Options) (*Engine, error) {
 	}
 	opts.setDefaults()
 	e := &Engine{
-		reg:   reg,
-		opts:  opts,
-		lanes: make(map[localizer.Key]*lane),
+		reg:         reg,
+		opts:        opts,
+		lanes:       make(map[localizer.Key]*lane),
+		shadowLanes: make(map[localizer.Key]*lane),
 	}
 	e.cond = sync.NewCond(&e.runMu)
 	e.reqPool.New = func() any {
@@ -288,6 +378,17 @@ func (e *Engine) Route(ctx context.Context, building int, backend string, rss []
 			return Result{}, err
 		}
 		floor = fr.Class
+		// The classifier's predicted class is an index into ITS label space,
+		// not necessarily a registered floor: a buggy or drifted classifier
+		// (or one trained for more floors than this deployment serves) would
+		// otherwise surface as a confusing ErrUnknownModel from the second
+		// stage. Validate before dispatching and report the misroute as what
+		// it is.
+		if _, ok := e.reg.Get(localizer.Key{Building: building, Floor: floor, Backend: backend}); !ok {
+			e.misroutes.Add(1)
+			return Result{}, fmt.Errorf("%w: building %d backend %q predicted floor %d (registered floors %v)",
+				ErrMisroute, building, backend, floor, e.reg.Floors(building, backend))
+		}
 	} else {
 		floors := e.reg.Floors(building, backend)
 		switch len(floors) {
@@ -300,12 +401,75 @@ func (e *Engine) Route(ctx context.Context, building int, backend string, rss []
 				building, len(floors), backend)
 		}
 	}
-	res, err := e.Localize(ctx, localizer.Key{Building: building, Floor: floor, Backend: backend}, rss)
+	key := localizer.Key{Building: building, Floor: floor, Backend: backend}
+
+	// Shadow A/B sampling: every ABFraction-th routed request whose position
+	// key has a staged candidate also goes through the candidate's shadow
+	// lane (per-key cadence — see lane.sampleSeq). The decision is taken
+	// before the live dispatch so the live arm's latency can be attributed;
+	// everything shadow-related stays off the non-sampled path (one
+	// lock-free Candidate lookup when enabled).
+	var shadowL *lane
+	var candVersion uint64
+	var liveStart time.Time
+	if e.opts.ABFraction > 0 {
+		if cand, staged := e.reg.Candidate(key); staged {
+			if l, err := e.shadowLane(key); err == nil {
+				if l.sampleSeq.Add(1)%int64(e.opts.ABFraction) == 0 {
+					shadowL = l
+					candVersion = cand.Version
+					liveStart = time.Now()
+				}
+			}
+		}
+	}
+
+	res, err := e.Localize(ctx, key, rss)
 	if err != nil {
 		return Result{}, err
 	}
 	res.Floor = floor
+	if shadowL != nil {
+		e.shadow(shadowL, rss, res.Class, time.Since(liveStart), candVersion)
+	}
 	return res, nil
+}
+
+// shadow enqueues one sampled routed request into the key's candidate lane.
+// It never blocks and never fails the caller: a full shadow queue, a
+// vanished candidate, or a closing engine just drops the sample (counted).
+func (e *Engine) shadow(l *lane, rss []float64, liveClass int, liveLatency time.Duration, candVersion uint64) {
+	l.ab.resetIfStale(candVersion)
+	l.ab.sampled.Add(1)
+	l.ab.liveNs.Add(liveLatency.Nanoseconds())
+	l.ab.liveRows.Add(1)
+
+	r := e.reqPool.Get().(*request)
+	if cap(r.x) < l.features {
+		r.x = make([]float64, l.features)
+	}
+	r.x = r.x[:l.features]
+	copy(r.x, rss)
+	r.enq = time.Now()
+	r.liveClass = liveClass
+
+	e.sendMu.RLock()
+	if e.closed {
+		e.sendMu.RUnlock()
+		e.reqPool.Put(r)
+		l.ab.dropped.Add(1)
+		return
+	}
+	select {
+	case l.reqs <- r:
+		l.pending.Add(1)
+		e.schedule(l)
+		e.sendMu.RUnlock()
+	default:
+		e.sendMu.RUnlock()
+		e.reqPool.Put(r)
+		l.ab.dropped.Add(1)
+	}
 }
 
 // lane returns (creating on first use) the micro-batch lane for key. Lane
@@ -333,6 +497,35 @@ func (e *Engine) lane(key localizer.Key) (*lane, error) {
 		reqs:     make(chan *request, e.opts.QueueCap),
 	}
 	e.lanes[key] = l
+	return l, nil
+}
+
+// shadowLane returns (creating on first use) the candidate shadow lane for
+// key. Its feature width is pinned from the live localizer — Stage enforces
+// that candidates preserve it, exactly like Swap does for the live lane.
+func (e *Engine) shadowLane(key localizer.Key) (*lane, error) {
+	e.laneMu.RLock()
+	l, ok := e.shadowLanes[key]
+	e.laneMu.RUnlock()
+	if ok {
+		return l, nil
+	}
+	snap, ok := e.reg.Get(key)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownModel, key)
+	}
+	e.laneMu.Lock()
+	defer e.laneMu.Unlock()
+	if l, ok := e.shadowLanes[key]; ok {
+		return l, nil
+	}
+	l = &lane{
+		key:      key,
+		features: snap.Localizer.InputDim(),
+		reqs:     make(chan *request, e.opts.QueueCap),
+		shadow:   true,
+	}
+	e.shadowLanes[key] = l
 	return l, nil
 }
 
@@ -384,7 +577,11 @@ func (e *Engine) run() {
 			if cap(xbuf) < len(batch)*l.features {
 				xbuf = make([]float64, maxB*l.features)
 			}
-			e.dispatch(l, batch, dst, xbuf)
+			if l.shadow {
+				e.dispatchShadow(l, batch, dst, xbuf)
+			} else {
+				e.dispatch(l, batch, dst, xbuf)
+			}
 		}
 
 		// Release the lane: decrement pending by what we served, clear the
@@ -488,6 +685,108 @@ func (e *Engine) dispatch(l *lane, batch []*request, dst []int, xbuf []float64) 
 	e.rows.Add(int64(n))
 }
 
+// dispatchShadow runs one shadow window through the key's staged candidate:
+// it pins the candidate (not the live snapshot), records agreement with the
+// live arm and candidate-arm latency, and answers nobody — shadow requests
+// have no waiting caller and are recycled here. A candidate that was aborted
+// (or restaged with a different shape) while the window sat queued just
+// drops the rows.
+func (e *Engine) dispatchShadow(l *lane, batch []*request, dst []int, xbuf []float64) {
+	recycle := func() {
+		for _, r := range batch {
+			e.reqPool.Put(r)
+		}
+	}
+	cand, ok := e.reg.Candidate(l.key)
+	if !ok || cand.Localizer.InputDim() != l.features {
+		l.ab.dropped.Add(int64(len(batch)))
+		recycle()
+		return
+	}
+	// Counters describe exactly one candidate version: a restage resets
+	// them. Rows queued before the restage are scored by (and attributed
+	// to) the candidate pinned here.
+	l.ab.resetIfStale(cand.Version)
+
+	n := len(batch)
+	f := l.features
+	for i, r := range batch {
+		copy(xbuf[i*f:(i+1)*f], r.x)
+	}
+	x := mat.FromSlice(n, f, xbuf[:n*f])
+
+	e.modelMu.RLock()
+	cand.Localizer.PredictInto(dst[:n], x)
+	e.modelMu.RUnlock()
+
+	now := time.Now()
+	for i, r := range batch {
+		if dst[i] == r.liveClass {
+			l.ab.agree.Add(1)
+		}
+		l.ab.candNs.Add(now.Sub(r.enq).Nanoseconds())
+		e.reqPool.Put(r)
+	}
+	l.ab.rows.Add(int64(n))
+	e.shadowBatches.Add(1)
+	e.shadowRows.Add(int64(n))
+}
+
+// ABStats is one key's shadow A/B exposure: how much routed traffic the
+// staged candidate has scored and how it compares to the live arm. Counters
+// reset whenever a new candidate version is staged.
+type ABStats struct {
+	Key localizer.Key `json:"key"`
+	// CandidateVersion is the candidate sequence the counters describe (see
+	// localizer.Candidate.Version); 0 before any shadow row was scored.
+	CandidateVersion uint64 `json:"candidate_version"`
+	// Sampled counts routed requests selected for shadowing; Rows counts
+	// shadow rows the candidate actually scored; Dropped counts samples lost
+	// to a full shadow queue or a vanished candidate.
+	Sampled int64 `json:"sampled"`
+	Rows    int64 `json:"shadow_rows"`
+	Dropped int64 `json:"dropped"`
+	// Agree counts shadow rows where the candidate matched the live arm's
+	// prediction; Agreement is Agree/Rows.
+	Agree     int64   `json:"agree"`
+	Agreement float64 `json:"agreement"`
+	// AvgCandidateLatency is the mean enqueue→scored time of shadow rows;
+	// AvgLiveLatency the mean live-arm latency of the sampled requests.
+	AvgCandidateLatency time.Duration `json:"avg_candidate_latency_ns"`
+	AvgLiveLatency      time.Duration `json:"avg_live_latency_ns"`
+}
+
+func (l *lane) abStats() ABStats {
+	s := ABStats{
+		Key:              l.key,
+		CandidateVersion: l.ab.candVersion.Load(),
+		Sampled:          l.ab.sampled.Load(),
+		Rows:             l.ab.rows.Load(),
+		Dropped:          l.ab.dropped.Load(),
+		Agree:            l.ab.agree.Load(),
+	}
+	if s.Rows > 0 {
+		s.Agreement = float64(s.Agree) / float64(s.Rows)
+		s.AvgCandidateLatency = time.Duration(l.ab.candNs.Load() / s.Rows)
+	}
+	if lr := l.ab.liveRows.Load(); lr > 0 {
+		s.AvgLiveLatency = time.Duration(l.ab.liveNs.Load() / lr)
+	}
+	return s
+}
+
+// ABStats returns the shadow A/B counters for key, false when no routed
+// request has ever been sampled for it.
+func (e *Engine) ABStats(key localizer.Key) (ABStats, bool) {
+	e.laneMu.RLock()
+	l, ok := e.shadowLanes[key]
+	e.laneMu.RUnlock()
+	if !ok {
+		return ABStats{}, false
+	}
+	return l.abStats(), true
+}
+
 // Refresh runs fn with exclusive dispatch access: it waits for in-flight
 // batches to finish and holds new ones off until fn returns. It is required
 // only for IN-PLACE mutation of a live localizer's state (weight updates,
@@ -544,19 +843,37 @@ type Stats struct {
 	AvgBatch float64 `json:"avg_batch"`
 	// AvgLatency is the mean enqueue-to-result time of completed requests.
 	AvgLatency time.Duration `json:"avg_latency_ns"`
+	// Misroutes counts routed requests whose floor classifier predicted a
+	// floor with no registered localizer (failed with ErrMisroute).
+	Misroutes int64 `json:"misroutes"`
+	// ShadowBatches/ShadowRows count candidate-lane dispatches across all
+	// keys (excluded from Batches/Rows/AvgBatch, which describe live
+	// traffic); AB carries the per-key candidate counters.
+	ShadowBatches int64     `json:"shadow_batches"`
+	ShadowRows    int64     `json:"shadow_rows"`
+	AB            []ABStats `json:"ab,omitempty"`
 }
 
 // Stats returns a snapshot of the engine's throughput and latency counters.
 func (e *Engine) Stats() Stats {
 	e.laneMu.RLock()
 	lanes := len(e.lanes)
+	ab := make([]ABStats, 0, len(e.shadowLanes))
+	for _, l := range e.shadowLanes {
+		ab = append(ab, l.abStats())
+	}
 	e.laneMu.RUnlock()
+	sort.Slice(ab, func(i, j int) bool { return ab[i].Key.Less(ab[j].Key) })
 	s := Stats{
 		Requests:       e.requests.Load(),
 		Batches:        e.batches.Load(),
 		Rows:           e.rows.Load(),
 		QueueFullWaits: e.fullWaits.Load(),
 		Lanes:          lanes,
+		Misroutes:      e.misroutes.Load(),
+		ShadowBatches:  e.shadowBatches.Load(),
+		ShadowRows:     e.shadowRows.Load(),
+		AB:             ab,
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.Rows) / float64(s.Batches)

@@ -2,17 +2,35 @@
 // train→serve→feedback→retrain→hot-swap cycle: a background Trainer
 // accumulates labelled online fingerprints (e.g. from a /v1/feedback
 // endpoint), periodically continues the curriculum from the incumbent
-// model's checkpoint on base+feedback data, validates the candidate on a
-// held-out clean+attacked split, and only on improvement pushes the new
-// version into the localizer registry with Registry.Swap — in-flight batches
-// finish on the old snapshot, new traffic serves the new version.
+// model's checkpoint on base+feedback data, and walks each candidate through
+// a two-phase promotion gate before it replaces what is being served:
+//
+//  1. Holdout gate (stage): a fine-tune round "wins" when the candidate
+//     beats the incumbent on the held-out clean+attacked split by at least
+//     MinDelta; after StageAfter consecutive winning rounds the candidate is
+//     staged into the registry's A/B lane (Registry.Stage), where the
+//     serving engine shadows live routed traffic through it without ever
+//     returning its predictions. A losing round aborts the staged candidate
+//     and resets the hysteresis streak.
+//  2. Shadow gate (promote): once the candidate has scored at least
+//     PromoteAfter real shadowed rows (and, optionally, agrees with the live
+//     arm on at least MinAgreement of them), it is promoted
+//     (Registry.Promote) — the live version advances, in-flight batches
+//     finish on the old snapshot, and the displaced snapshot is retained.
+//
+// After a promotion the trainer watches a regret window: for RegretWindow
+// ticker checks it scores the live model AND the retained previous snapshot
+// on the same salted holdout evaluation, and if the served error regresses
+// past the previous snapshot's (plus RegretDelta) it automatically rolls
+// back (Registry.Rollback) — promotion is cheap to undo, so the gate can
+// afford to be optimistic.
 //
 // Everything runs off the request path: fine-tuning happens on the trainer's
-// own goroutine, candidate models are private until the swap, and validation
-// against the live incumbent only uses paths that are safe under concurrent
-// serving (the pooled cache-free predictors for inference; the caching
-// gradient path is exercised by the trainer goroutine alone, and serving
-// never touches the training caches).
+// own goroutine, candidate models shadow but never answer until the
+// promotion, and validation against the live incumbent only uses paths that
+// are safe under concurrent serving (the pooled cache-free predictors for
+// inference; the caching gradient path is exercised under the trainer's
+// round lock alone, and serving never touches the training caches).
 package train
 
 import (
@@ -20,7 +38,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"calloc/internal/attack"
@@ -70,8 +87,43 @@ type Options struct {
 	// set, dropping the oldest samples (default 4096).
 	MinFeedback int
 	MaxFeedback int
-	// Interval is the background loop's poll cadence (default 2s).
+	// Interval is the background loop's poll cadence (default 2s). Each tick
+	// also advances the promotion and regret checks, which do not need new
+	// feedback.
 	Interval time.Duration
+
+	// MinDelta is how much the candidate's holdout score (Scores.Total) must
+	// improve on the incumbent's for a fine-tune round to count as a win.
+	// The default 0 keeps the historical strict-improvement rule.
+	MinDelta float64
+	// StageAfter is the hysteresis depth: consecutive winning rounds
+	// required before the candidate is staged into the A/B lane (default 1).
+	// A losing round resets the streak and aborts any staged candidate.
+	StageAfter int
+	// PromoteAfter is the minimum number of live shadowed rows the staged
+	// candidate must score before promotion. It only gates when Shadow is
+	// wired; with Shadow nil (or PromoteAfter 0) a staged candidate promotes
+	// immediately — the historical behaviour.
+	PromoteAfter int64
+	// MinAgreement, when > 0, additionally requires the candidate to agree
+	// with the live arm on at least this fraction of the shadow sample —
+	// a cheap sanity floor against degenerate candidates that happened to
+	// score well on the holdout.
+	MinAgreement float64
+	// Shadow reads the serving layer's A/B counters for Key: the staged
+	// candidate version the counters describe, shadow rows scored, and
+	// agreements with the live arm (see serve.Engine.ABStats). Nil disables
+	// the shadow gate.
+	Shadow func() (candVersion uint64, rows, agree int64)
+	// RegretWindow is how many ticker checks after a promotion the live
+	// model is re-validated on the holdout; 0 disables rollback-on-regret.
+	RegretWindow int
+	// RegretDelta is the tolerance on the regret comparison. Each regret
+	// tick scores the promoted model AND the retained previous snapshot on
+	// the same salted holdout evaluation (paired, so attack-realisation
+	// noise cancels); rollback fires when the promoted model's total
+	// exceeds the previous snapshot's by more than RegretDelta.
+	RegretDelta float64
 
 	// AttackEpsilon/AttackPhi parameterise the attacked half of the
 	// validation gate (defaults: the curriculum's ε=0.1, ø=50).
@@ -111,6 +163,9 @@ func (o *Options) setDefaults() {
 	if o.Interval <= 0 {
 		o.Interval = 2 * time.Second
 	}
+	if o.StageAfter <= 0 {
+		o.StageAfter = 1
+	}
 	if o.AttackEpsilon <= 0 {
 		o.AttackEpsilon = curriculum.DefaultEpsilon
 	}
@@ -138,21 +193,63 @@ type Round struct {
 	Feedback  int    `json:"feedback"`
 	Candidate Scores `json:"candidate"`
 	Incumbent Scores `json:"incumbent"`
-	Swapped   bool   `json:"swapped"`
-	Version   uint64 `json:"version"`
+	// Win reports whether the candidate cleared the holdout min-delta gate
+	// this round; Streak is the consecutive-win count after this round.
+	Win    bool `json:"win"`
+	Streak int  `json:"streak"`
+	// Staged reports whether the candidate sits in the A/B lane after this
+	// round (staged now or in an earlier round and not yet promoted);
+	// CandidateVersion identifies it.
+	Staged           bool   `json:"staged"`
+	CandidateVersion uint64 `json:"candidate_version,omitempty"`
+	// Swapped reports whether this round's candidate was promoted to the
+	// live slot (immediately — when the shadow gate is disabled or already
+	// satisfied). Version is the live registry version after the round.
+	Swapped bool   `json:"swapped"`
+	Version uint64 `json:"version"`
 }
 
 // Stats is a point-in-time snapshot of a trainer's counters.
 type Stats struct {
-	FeedbackTotal   int64  `json:"feedback_total"`
-	FeedbackPending int    `json:"feedback_pending"`
-	FeedbackHeld    int    `json:"feedback_held"`
-	Rounds          int64  `json:"rounds"`
-	Swaps           int64  `json:"swaps"`
-	Version         uint64 `json:"version"`
-	LastCandidate   Scores `json:"last_candidate"`
-	LastIncumbent   Scores `json:"last_incumbent"`
-	LastError       string `json:"last_error,omitempty"`
+	FeedbackTotal   int64 `json:"feedback_total"`
+	FeedbackPending int   `json:"feedback_pending"`
+	FeedbackHeld    int   `json:"feedback_held"`
+	Rounds          int64 `json:"rounds"`
+	// Swaps counts promotions into the live slot (the historical name: each
+	// one is a served hot-swap). Aborts counts staged candidates withdrawn
+	// (hysteresis reset or version conflict); Rollbacks counts regretted
+	// promotions undone.
+	Swaps     int64 `json:"swaps"`
+	Aborts    int64 `json:"aborts"`
+	Rollbacks int64 `json:"rollbacks"`
+	// Streak is the current consecutive-win count; Staged/CandidateVersion
+	// describe the A/B lane; RegretTicksLeft is how much of the
+	// post-promotion regret window remains.
+	Streak           int    `json:"streak"`
+	Staged           bool   `json:"staged"`
+	CandidateVersion uint64 `json:"candidate_version,omitempty"`
+	RegretTicksLeft  int    `json:"regret_ticks_left,omitempty"`
+	Version          uint64 `json:"version"`
+	LastCandidate    Scores `json:"last_candidate"`
+	LastIncumbent    Scores `json:"last_incumbent"`
+	LastError        string `json:"last_error,omitempty"`
+}
+
+// staged is the trainer-side record of a candidate sitting in the A/B lane.
+type stagedState struct {
+	candVersion uint64 // localizer.Candidate.Version staged under the key
+	final       *core.TrainCheckpoint
+	cand, inc   Scores // holdout scores at stage time (inc = regret baseline)
+}
+
+// regretState is the post-promotion watch: while ticksLeft > 0 the live
+// model is re-validated against the registry's retained previous snapshot,
+// both scored on the SAME salted holdout evaluation each tick (paired
+// comparison — attack-realisation noise cancels instead of masquerading as
+// a regression).
+type regretState struct {
+	version   uint64 // the promoted live version under watch
+	ticksLeft int
 }
 
 // Trainer is the background fine-tune loop for one registered CALLOC
@@ -172,15 +269,26 @@ type Trainer struct {
 	ckpt     *core.TrainCheckpoint
 	version  uint64
 	stats    Stats
+	streak   int
+	staged   *stagedState
+	regret   *regretState
 
-	runMu sync.Mutex // serialises fine-tune rounds
-	round int64
+	runMu   sync.Mutex // serialises fine-tune rounds and gate transitions
+	round   int64
+	evalSeq int64 // salts out-of-round holdout evaluations (regret checks)
 
-	startOnce sync.Once
-	stopOnce  sync.Once
-	started   atomic.Bool
-	stop      chan struct{}
-	done      chan struct{}
+	// prePromote, when non-nil, runs immediately before Registry.Promote —
+	// a test hook to interleave concurrent version pushes deterministically.
+	prePromote func()
+	// scoreFn, when non-nil, replaces score — a test hook that lets the
+	// gate state machine be driven with scripted holdout results.
+	scoreFn func(m *core.Model, salt int64) Scores
+
+	lifeMu  sync.Mutex // guards started/closed; orders Start against Close
+	started bool
+	closed  bool
+	stop    chan struct{}
+	done    chan struct{}
 }
 
 // New builds a trainer for the localizer registered under opts.Key. The
@@ -275,40 +383,77 @@ func (t *Trainer) Stats() Stats {
 	s := t.stats
 	s.FeedbackPending = t.pending
 	s.FeedbackHeld = len(t.feedback)
+	s.Streak = t.streak
+	if t.staged != nil {
+		s.Staged = true
+		s.CandidateVersion = t.staged.candVersion
+	}
+	if t.regret != nil {
+		s.RegretTicksLeft = t.regret.ticksLeft
+	}
 	return s
 }
 
-// Start launches the background loop: every Interval, if at least
-// MinFeedback new samples arrived, run one fine-tune round. Idempotent.
+// Start launches the background loop: every Interval, advance the regret and
+// promotion checks, and if at least MinFeedback new samples arrived, run one
+// fine-tune round. Idempotent; a no-op after Close.
 func (t *Trainer) Start() {
-	t.startOnce.Do(func() {
-		t.started.Store(true)
-		go func() {
-			defer close(t.done)
-			ticker := time.NewTicker(t.opts.Interval)
-			defer ticker.Stop()
-			for {
+	t.lifeMu.Lock()
+	defer t.lifeMu.Unlock()
+	if t.started || t.closed {
+		return
+	}
+	t.started = true
+	go func() {
+		defer close(t.done)
+		ticker := time.NewTicker(t.opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-ticker.C:
+				// A tick racing Close could be drawn even after stop is
+				// closed (select picks ready cases arbitrarily): re-check so
+				// no work starts once Close has begun.
 				select {
 				case <-t.stop:
 					return
-				case <-ticker.C:
-					if t.Pending() < t.opts.MinFeedback {
-						continue
-					}
-					if _, err := t.FineTune(); err != nil {
-						t.logf("train: fine-tune: %v", err)
-					}
+				default:
 				}
+				t.tick()
 			}
-		}()
-	})
+		}
+	}()
+}
+
+// tick is one background-loop step: advance the post-promotion regret watch,
+// promote a staged candidate whose shadow sample filled up between rounds,
+// then fine-tune if enough feedback accumulated.
+func (t *Trainer) tick() {
+	t.regretCheck()
+	t.promoteCheck()
+	if t.Pending() < t.opts.MinFeedback {
+		return
+	}
+	if _, err := t.FineTune(); err != nil {
+		t.logf("train: fine-tune: %v", err)
+	}
 }
 
 // Close stops the background loop and waits for any in-flight round to
-// finish. Idempotent; safe to call without Start.
+// finish. A Start racing (or following) Close never launches the loop: the
+// flag handshake is ordered by lifeMu, so after Close returns no round is
+// running and none will start. Idempotent; safe to call without Start.
 func (t *Trainer) Close() {
-	t.stopOnce.Do(func() { close(t.stop) })
-	if t.started.Load() {
+	t.lifeMu.Lock()
+	wasStarted := t.started
+	if !t.closed {
+		t.closed = true
+		close(t.stop)
+	}
+	t.lifeMu.Unlock()
+	if wasStarted {
 		<-t.done
 	}
 	t.runMu.Lock() // wait for a manually triggered round, if any
@@ -317,8 +462,10 @@ func (t *Trainer) Close() {
 
 // FineTune runs one synchronous fine-tune cycle: continue the curriculum
 // from the incumbent's checkpoint on base+feedback data, validate on the
-// held-out clean+attacked split, and Registry.Swap only on improvement.
-// Rounds are serialised; concurrent callers queue.
+// held-out clean+attacked split, and walk the two-phase gate — stage into
+// the A/B lane after StageAfter consecutive MinDelta wins, promote once the
+// shadow gate is satisfied (immediately when it is disabled). Rounds are
+// serialised; concurrent callers queue.
 func (t *Trainer) FineTune() (Round, error) {
 	t.runMu.Lock()
 	defer t.runMu.Unlock()
@@ -334,18 +481,43 @@ func (t *Trainer) FineTune() (Round, error) {
 
 	t.mu.Lock()
 	if snap.Version != t.version {
-		// Someone else pushed a version (e.g. a manual /v1/swap weight
-		// push): the carried optimizer state describes a different model,
-		// so restart the fine-tune continuation from the live weights.
+		// Someone else published a version (a manual /v1/swap weight push, a
+		// rollback): the carried optimizer state describes a different
+		// model, so restart the fine-tune continuation from the live
+		// weights; a staged candidate was derived from the displaced version
+		// and is withdrawn.
 		t.ckpt = inc.NewTrainCheckpoint(0, t.opts.LearningRate, t.opts.Seed)
 		t.version = snap.Version
+		t.streak = 0
+		if t.staged != nil {
+			stagedVersion := t.staged.candVersion
+			t.staged = nil
+			t.stats.Aborts++
+			t.mu.Unlock()
+			// Withdraw only OUR candidate: an operator may have restaged the
+			// lane since (AbortIf is the candidate-lane analogue of SwapIf).
+			t.reg.AbortIf(t.opts.Key, stagedVersion)
+			t.logf("train: live version moved to %d — aborting the staged candidate", snap.Version)
+			t.mu.Lock()
+		}
 	}
 	fb := t.feedbackSnapshotLocked()
+	taken := t.pending
 	t.pending = 0
 	resume := t.ckpt.Clone()
 	round := t.round
 	t.round++
 	t.mu.Unlock()
+
+	// A failed round must not swallow the feedback credit that triggered
+	// it: restore the pending count so the background loop retries on the
+	// next tick instead of waiting for MinFeedback NEW samples.
+	failRestore := func(err error) (Round, error) {
+		t.mu.Lock()
+		t.pending += taken
+		t.mu.Unlock()
+		return Round{}, t.fail(err)
+	}
 
 	// Rewind the continuation to the head of the fine-tune schedule and
 	// restart the online learning rate: the weights and optimizer moments
@@ -357,10 +529,10 @@ func (t *Trainer) FineTune() (Round, error) {
 
 	cand, err := core.NewModel(t.opts.Config)
 	if err != nil {
-		return Round{}, t.fail(err)
+		return failRestore(err)
 	}
 	if err := cand.SetMemory(t.opts.Base); err != nil {
-		return Round{}, t.fail(err)
+		return failRestore(err)
 	}
 	db := make([]fingerprint.Sample, 0, len(t.opts.Base)+len(fb))
 	db = append(db, t.opts.Base...)
@@ -380,53 +552,377 @@ func (t *Trainer) FineTune() (Round, error) {
 		OnCheckpoint:    func(c *core.TrainCheckpoint) { final = c },
 	}
 	if _, err := cand.Train(db, tc); err != nil {
-		return Round{}, t.fail(err)
+		return failRestore(err)
 	}
 
 	res := Round{Round: round, Feedback: len(fb), Version: snap.Version}
-	res.Candidate = t.score(cand, round)
-	res.Incumbent = t.score(inc, round)
+	res.Candidate = t.scoreOf(cand, round)
+	res.Incumbent = t.scoreOf(inc, round)
+	res.Win = res.Candidate.Total() < res.Incumbent.Total()-t.opts.MinDelta
 
-	if res.Candidate.Total() < res.Incumbent.Total() {
-		// SwapIf: the candidate was derived from snap.Version's weights. If
-		// anyone published a version during the round (a manual /v1/swap
-		// push), installing this candidate would silently discard their
-		// work — treat it as a rejected round instead; the next round
-		// detects the drift and rebuilds from the live weights.
-		version, err := t.reg.SwapIf(t.opts.Key, localizer.FromCore(t.name, cand), snap.Version)
-		if errors.Is(err, localizer.ErrVersionConflict) {
-			t.logf("train: round %d: discarding candidate — %v", round, err)
-			res.Swapped = false
-			t.mu.Lock()
-			t.stats.Rounds++
-			t.stats.LastCandidate = res.Candidate
-			t.stats.LastIncumbent = res.Incumbent
-			t.stats.LastError = err.Error()
-			t.mu.Unlock()
-			return res, nil
-		}
-		if err != nil {
-			return Round{}, t.fail(err)
-		}
-		res.Swapped = true
-		res.Version = version
+	var gateErr error
+	if !res.Win {
+		// Hysteresis reset: the streak restarts, and a previously staged
+		// candidate loses its evidence — abort it rather than let it keep
+		// shadowing (or promote) on stale holdout wins. Only OUR candidate
+		// is withdrawn; an operator's external stage is left alone.
 		t.mu.Lock()
-		t.ckpt = final
-		t.version = version
-		t.stats.Swaps++
+		t.streak = 0
+		var stagedVersion uint64
+		aborted := t.staged != nil
+		if aborted {
+			stagedVersion = t.staged.candVersion
+			t.staged = nil
+			t.stats.Aborts++
+		}
 		t.mu.Unlock()
+		if aborted {
+			t.reg.AbortIf(t.opts.Key, stagedVersion)
+			t.logf("train: round %d: candidate lost the holdout gate — aborted the staged candidate", round)
+		}
+	} else {
+		t.mu.Lock()
+		t.streak++
+		streak := t.streak
+		st := t.staged
+		t.mu.Unlock()
+		res.Streak = streak
+		if streak >= t.opts.StageAfter {
+			stage := true
+			if cur, ok := t.reg.Candidate(t.opts.Key); ok {
+				switch {
+				case st == nil || cur.Version != st.candVersion:
+					// The lane holds a candidate the trainer did not stage
+					// (an operator's /v1/swap{stage:true} push): never stomp
+					// it — the operator promotes or aborts it explicitly.
+					stage = false
+					t.logf("train: round %d: lane holds an external candidate (v%d) — not staging the trainer's", round, cur.Version)
+				default:
+					// Restage only when the new candidate beats the one
+					// already shadowing by MinDelta on THIS round's salted
+					// evaluation (paired — the staged candidate's recorded
+					// score used an older attack draw, and comparing across
+					// draws would let noise alone restage, resetting the
+					// shadow counters every round and starving the promote
+					// gate). Ties keep the accumulated evidence.
+					stagedScore := st.cand
+					if sm, isCore := localizer.Unwrap(cur.Localizer).(*core.Model); isCore {
+						stagedScore = t.scoreOf(sm, round)
+					}
+					if res.Candidate.Total() >= stagedScore.Total()-t.opts.MinDelta {
+						stage = false
+					}
+				}
+			}
+			if stage {
+				// StageIf makes the decision above atomic with the stage: a
+				// /v1/swap{stage:true} push that slips in between fails the
+				// expectation instead of being silently replaced.
+				expect := uint64(0)
+				if st != nil {
+					expect = st.candVersion
+				}
+				c, err := t.reg.StageIf(t.opts.Key, localizer.FromCore(t.name, cand), expect)
+				switch {
+				case errors.Is(err, localizer.ErrCandidateConflict):
+					// An operator claimed the lane concurrently: yield — and
+					// if they displaced our candidate, drop its record.
+					t.mu.Lock()
+					t.staged = nil
+					t.mu.Unlock()
+					t.logf("train: round %d: lane claimed concurrently — not staging (%v)", round, err)
+				case err != nil:
+					return failRestore(err)
+				default:
+					t.mu.Lock()
+					t.staged = &stagedState{
+						candVersion: c.Version,
+						final:       final,
+						cand:        res.Candidate,
+						inc:         res.Incumbent,
+					}
+					t.mu.Unlock()
+				}
+			}
+			res.Swapped, gateErr = t.maybePromote()
+		}
+	}
+
+	// Report the live version as it is now — a promotion advanced it, and a
+	// conflicting concurrent push must not leave a stale number in stats.
+	if live, ok := t.reg.Get(t.opts.Key); ok {
+		res.Version = live.Version
 	}
 	t.mu.Lock()
 	t.stats.Rounds++
 	t.stats.Version = res.Version
 	t.stats.LastCandidate = res.Candidate
 	t.stats.LastIncumbent = res.Incumbent
-	t.stats.LastError = ""
+	if gateErr == nil {
+		t.stats.LastError = ""
+	}
+	// Staged/CandidateVersion describe the lane AFTER the round: a
+	// promotion or a conflict-abort inside maybePromote clears them.
+	res.Staged = t.staged != nil
+	res.CandidateVersion = 0
+	if t.staged != nil {
+		res.CandidateVersion = t.staged.candVersion
+	}
+	res.Streak = t.streak
 	t.mu.Unlock()
-	t.logf("train: round %d: feedback %d, candidate %.4f (clean %.4f + attacked %.4f) vs incumbent %.4f — swapped=%v (v%d)",
+	t.logf("train: round %d: feedback %d, candidate %.4f (clean %.4f + attacked %.4f) vs incumbent %.4f — win=%v streak=%d staged=%v swapped=%v (v%d)",
 		round, len(fb), res.Candidate.Total(), res.Candidate.Clean, res.Candidate.Attacked,
-		res.Incumbent.Total(), res.Swapped, res.Version)
+		res.Incumbent.Total(), res.Win, res.Streak, res.Staged, res.Swapped, res.Version)
 	return res, nil
+}
+
+// maybePromote promotes the staged candidate if the shadow gate allows:
+// immediately when the gate is disabled (Shadow nil or PromoteAfter 0),
+// otherwise once the candidate has scored PromoteAfter live shadow rows with
+// at least MinAgreement agreement. Caller holds runMu. Returns whether a
+// promotion happened; a non-nil error reports a candidate withdrawn on a
+// version conflict (also recorded in stats.LastError).
+func (t *Trainer) maybePromote() (bool, error) {
+	t.mu.Lock()
+	st := t.staged
+	t.mu.Unlock()
+	if st == nil {
+		return false, nil
+	}
+	if t.opts.Shadow != nil && t.opts.PromoteAfter > 0 {
+		v, rows, agree := t.opts.Shadow()
+		if v != st.candVersion || rows < t.opts.PromoteAfter {
+			return false, nil
+		}
+		if t.opts.MinAgreement > 0 && float64(agree) < t.opts.MinAgreement*float64(rows) {
+			return false, nil
+		}
+	}
+	if t.prePromote != nil {
+		t.prePromote()
+	}
+	// PromoteIf pins the promotion to the exact candidate the gate
+	// validated: a concurrent external stage/abort fails the expectation
+	// instead of installing a model the trainer never evaluated.
+	version, err := t.reg.PromoteIf(t.opts.Key, st.candVersion)
+	switch {
+	case errors.Is(err, localizer.ErrCandidateConflict), errors.Is(err, localizer.ErrNoCandidate):
+		// The lane no longer holds the trainer's candidate — an operator
+		// aborted it or staged their own over it. Leave the lane alone;
+		// drop the local record and let the hysteresis rebuild.
+		t.mu.Lock()
+		t.staged = nil
+		t.streak = 0
+		t.mu.Unlock()
+		t.logf("train: staged candidate %d no longer in the lane — dropping it (%v)", st.candVersion, err)
+		return false, nil
+	case err != nil:
+		// The live slot moved past the candidate's base (a manual weight
+		// push while it was shadowing): installing the candidate would
+		// discard that work, so withdraw it; the next round detects the
+		// drift and rebuilds from the live weights. Either way the reported
+		// version must track what is actually served, not the stale base.
+		t.reg.AbortIf(t.opts.Key, st.candVersion)
+		live, _ := t.reg.Get(t.opts.Key)
+		t.mu.Lock()
+		t.staged = nil
+		t.streak = 0
+		t.stats.Aborts++
+		t.stats.LastError = err.Error()
+		t.stats.Version = live.Version
+		t.mu.Unlock()
+		t.logf("train: discarding candidate — %v", err)
+		return false, err
+	}
+	t.mu.Lock()
+	t.ckpt = st.final
+	t.version = version
+	t.staged = nil
+	t.streak = 0
+	t.stats.Swaps++
+	t.stats.Version = version
+	if t.opts.RegretWindow > 0 {
+		t.regret = &regretState{version: version, ticksLeft: t.opts.RegretWindow}
+	}
+	t.mu.Unlock()
+	t.logf("train: promoted candidate %d to live version %d (candidate %.4f vs incumbent %.4f on holdout)",
+		st.candVersion, version, st.cand.Total(), st.inc.Total())
+	return true, nil
+}
+
+// promoteCheck runs the shadow-gate check outside a fine-tune round — shadow
+// evidence accumulates from live traffic between rounds, so a staged
+// candidate can earn promotion on any ticker tick.
+func (t *Trainer) promoteCheck() {
+	t.mu.Lock()
+	staged := t.staged != nil
+	t.mu.Unlock()
+	if !staged {
+		return
+	}
+	t.runMu.Lock()
+	defer t.runMu.Unlock()
+	t.maybePromote()
+}
+
+// regretCheck advances the post-promotion watch: while the promoted version
+// is still live and the window is open, re-score it on the holdout and roll
+// back if the served error regressed past the displaced incumbent's
+// baseline.
+func (t *Trainer) regretCheck() {
+	t.mu.Lock()
+	watching := t.regret != nil
+	t.mu.Unlock()
+	if !watching {
+		return
+	}
+	t.runMu.Lock()
+	defer t.runMu.Unlock()
+	t.mu.Lock()
+	r := t.regret
+	t.mu.Unlock()
+	if r == nil {
+		return
+	}
+	clearWatch := func() {
+		t.mu.Lock()
+		t.regret = nil
+		t.mu.Unlock()
+	}
+	snap, ok := t.reg.Get(t.opts.Key)
+	if !ok || snap.Version != r.version {
+		// The watched version is no longer served (another promotion, a
+		// manual push, or a rollback already happened): the watch is moot.
+		clearWatch()
+		return
+	}
+	live, ok := localizer.Unwrap(snap.Localizer).(*core.Model)
+	if !ok {
+		clearWatch()
+		return
+	}
+	prevSnap, ok := t.reg.Previous(t.opts.Key)
+	if !ok {
+		// The rollback target is gone (a manual swap consumed it): there is
+		// nothing to roll back to, so the watch is moot.
+		clearWatch()
+		return
+	}
+	prev, ok := localizer.Unwrap(prevSnap.Localizer).(*core.Model)
+	if !ok {
+		clearWatch()
+		return
+	}
+	// Paired comparison: both models scored on the same salted evaluation,
+	// so a rollback reflects "the displaced model would serve this eval
+	// better", not a fresh attack draw being unluckier than the baseline's.
+	t.evalSeq++
+	salt := 100000 + t.evalSeq // clear of the round sequence
+	liveScore := t.scoreOf(live, salt)
+	prevScore := t.scoreOf(prev, salt)
+	if liveScore.Total() > prevScore.Total()+t.opts.RegretDelta {
+		version, err := t.reg.Rollback(t.opts.Key)
+		if err != nil {
+			t.mu.Lock()
+			t.regret = nil
+			t.stats.LastError = err.Error()
+			t.mu.Unlock()
+			t.logf("train: regret rollback failed: %v", err)
+			return
+		}
+		t.mu.Lock()
+		t.regret = nil
+		t.staged = nil // Rollback also clears the registry's candidate slot
+		t.streak = 0
+		t.version = 0 // force the next round to rebuild from the restored live weights
+		t.stats.Rollbacks++
+		t.stats.Version = version
+		t.mu.Unlock()
+		t.logf("train: regret: promoted model scores %.4f vs displaced snapshot's %.4f (+%.4f tolerance) — rolled back to previous snapshot as version %d",
+			liveScore.Total(), prevScore.Total(), t.opts.RegretDelta, version)
+		return
+	}
+	t.mu.Lock()
+	r.ticksLeft--
+	cleared := r.ticksLeft <= 0
+	if cleared {
+		t.regret = nil
+	}
+	t.mu.Unlock()
+	if cleared {
+		t.logf("train: regret window closed — version %d holds (%.4f vs displaced %.4f)", r.version, liveScore.Total(), prevScore.Total())
+	}
+}
+
+// Promote is the manual override: it promotes whatever candidate is staged
+// under the trainer's key RIGHT NOW — whether the trainer staged it or an
+// operator pushed it into the lane externally — bypassing the shadow
+// evidence gate. The regret window (when configured) still guards the
+// forced promotion: the displaced snapshot is retained by the registry and
+// each regret tick scores it against the promoted model on the same salted
+// evaluation. Returns the new live version.
+func (t *Trainer) Promote() (uint64, error) {
+	t.runMu.Lock()
+	defer t.runMu.Unlock()
+	cand, ok := t.reg.Candidate(t.opts.Key)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", localizer.ErrNoCandidate, t.opts.Key)
+	}
+	// Pin to the observed candidate: a restage racing this call surfaces as
+	// a conflict for the operator to retry, not a silent promotion of a
+	// different model than the one they looked at.
+	version, err := t.reg.PromoteIf(t.opts.Key, cand.Version)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	if t.staged != nil && t.staged.candVersion == cand.Version {
+		// The trainer's own candidate: adopt its training continuation.
+		t.ckpt = t.staged.final
+		t.version = version
+	} else {
+		// Externally staged model: no optimizer history — force the next
+		// round to rebuild the continuation from the live weights.
+		t.version = 0
+	}
+	t.staged = nil
+	t.streak = 0
+	t.stats.Swaps++
+	t.stats.Version = version
+	if t.opts.RegretWindow > 0 {
+		t.regret = &regretState{version: version, ticksLeft: t.opts.RegretWindow}
+	}
+	t.mu.Unlock()
+	t.logf("train: manual promote of candidate %d to live version %d", cand.Version, version)
+	return version, nil
+}
+
+// Abort is the manual override that withdraws the staged candidate and
+// resets the hysteresis streak. Reports whether a candidate was staged.
+func (t *Trainer) Abort() bool {
+	t.runMu.Lock()
+	defer t.runMu.Unlock()
+	aborted := t.reg.Abort(t.opts.Key)
+	t.mu.Lock()
+	t.staged = nil
+	t.streak = 0
+	if aborted {
+		t.stats.Aborts++
+	}
+	t.mu.Unlock()
+	if aborted {
+		t.logf("train: manual abort of the staged candidate for %s", t.opts.Key)
+	}
+	return aborted
+}
+
+// scoreOf dispatches to the scripted score hook in tests and to the real
+// holdout evaluation otherwise.
+func (t *Trainer) scoreOf(m *core.Model, salt int64) Scores {
+	if t.scoreFn != nil {
+		return t.scoreFn(m, salt)
+	}
+	return t.score(m, salt)
 }
 
 // score evaluates a model on the holdout split: clean predictions plus an
@@ -434,8 +930,9 @@ func (t *Trainer) FineTune() (Round, error) {
 // threat the curriculum trains for. Prediction uses the pooled cache-free
 // path, so scoring the live incumbent is safe under concurrent serving; the
 // gradient pass for crafting touches only training-side state that serving
-// never reads.
-func (t *Trainer) score(m *core.Model, round int64) Scores {
+// never reads, and every score call runs under runMu so two gradient passes
+// never overlap on the same model.
+func (t *Trainer) score(m *core.Model, salt int64) Scores {
 	x := fingerprint.X(t.holdout)
 	labels := fingerprint.Labels(t.holdout)
 	dist := t.opts.Dist
@@ -452,7 +949,7 @@ func (t *Trainer) score(m *core.Model, round int64) Scores {
 	adv := attack.Craft(attack.FGSM, m, x, labels, attack.Config{
 		Epsilon:    t.opts.AttackEpsilon,
 		PhiPercent: t.opts.AttackPhi,
-		Seed:       t.opts.Seed + 7919*(round+1),
+		Seed:       t.opts.Seed + 7919*(salt+1),
 	})
 	s.Attacked = mean(eval.Errors(m.Predict(adv), labels, dist))
 	return s
