@@ -10,13 +10,19 @@
 package calloc_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"calloc/internal/attack"
+	"calloc/internal/cluster"
 	"calloc/internal/core"
 	"calloc/internal/curriculum"
 	"calloc/internal/device"
@@ -25,6 +31,7 @@ import (
 	"calloc/internal/floorplan"
 	"calloc/internal/localizer"
 	"calloc/internal/mat"
+	"calloc/internal/node"
 	"calloc/internal/serve"
 )
 
@@ -974,4 +981,83 @@ func BenchmarkShadowDispatch(b *testing.B) {
 	run("ab_off", 0, false)
 	run("ab_on_no_candidate", 8, false)
 	run("ab_on_shadow_8", 8, true)
+}
+
+// BenchmarkRouterHop measures the fleet router's per-hop cost: one
+// /v1/localize POST against a node's HTTP surface directly vs the same
+// request through a cluster.Router front door backed by that node. Both
+// paths use one keep-alive client and an explicit floor (a direct registry
+// lookup on the node), so the delta is purely the router hop — body read,
+// owner resolution, and the pooled proxy round trip.
+func BenchmarkRouterHop(b *testing.B) {
+	ds := ablationDataset(b)
+	m, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := m.MarshalWeights()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := node.New([]*fingerprint.Dataset{ds}, node.Config{
+		Backends:       []string{"calloc"},
+		WeightBlobs:    [][]byte{blob},
+		Engine:         serve.Options{MaxBatch: 8, MaxWait: -1},
+		DisableTrainer: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	nodeSrv := httptest.NewServer(n.Handler())
+	defer nodeSrv.Close()
+
+	sm, err := cluster.NewStaticMap(
+		map[string]string{"n": nodeSrv.URL},
+		map[cluster.ShardKey]string{{Building: ds.BuildingID, Floor: 0}: "n"},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	router, err := cluster.NewRouter(sm, cluster.RouterOptions{
+		Building: ds.BuildingID, ProbeInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer router.Close()
+	frontSrv := httptest.NewServer(router.Handler())
+	defer frontSrv.Close()
+
+	q := ds.Test["OP3"][0]
+	body, err := json.Marshal(map[string]any{"rss": q.RSS, "floor": 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	post := func(b *testing.B, url string) {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	run := func(name, url string) {
+		b.Run(name, func(b *testing.B) {
+			post(b, url) // warm the connection pool and model workspace
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, url)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+		})
+	}
+	run("direct", nodeSrv.URL+"/v1/localize")
+	run("proxied", frontSrv.URL+"/v1/localize")
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func baseFlags() serveFlags {
+	return serveFlags{
+		data:            "f0.gob,f1.gob",
+		backends:        "calloc,knn,bayes",
+		addr:            ":0",
+		maxBatch:        32,
+		maxWait:         time.Millisecond,
+		feedbackMin:     16,
+		trainerInterval: time.Second,
+		abFraction:      8,
+	}
+}
+
+// Regression: a negative -ab-fraction used to silently disable the shadow
+// lane (the promotion gate then never saw exposure) instead of failing.
+func TestValidateRejectsNegativeABFraction(t *testing.T) {
+	f := baseFlags()
+	f.abFraction = -1
+	err := f.validate()
+	if err == nil || !strings.Contains(err.Error(), "-ab-fraction") {
+		t.Fatalf("want -ab-fraction error, got %v", err)
+	}
+}
+
+// Regression: an unknown -backends entry used to surface only after the
+// preceding backends had quick-trained — minutes into startup.
+func TestValidateRejectsUnknownBackend(t *testing.T) {
+	f := baseFlags()
+	f.backends = "calloc,svm"
+	err := f.validate()
+	if err == nil || !strings.Contains(err.Error(), `"svm"`) {
+		t.Fatalf("want unknown-backend error naming svm, got %v", err)
+	}
+}
+
+// Regression: a -weights list shorter than -data used to panic indexing the
+// per-floor blob slice inside node construction.
+func TestValidateRejectsMismatchedWeightCount(t *testing.T) {
+	f := baseFlags()
+	f.weights = "only-one.model"
+	err := f.validate()
+	if err == nil || !strings.Contains(err.Error(), "-weights") {
+		t.Fatalf("want -weights count error, got %v", err)
+	}
+}
+
+func TestValidateRejectsMismatchedFloorCount(t *testing.T) {
+	f := baseFlags()
+	f.floors = "0,1,2"
+	err := f.validate()
+	if err == nil || !strings.Contains(err.Error(), "-floors") {
+		t.Fatalf("want -floors count error, got %v", err)
+	}
+	f.floors = "0,x"
+	if err := f.validate(); err == nil || !strings.Contains(err.Error(), "-floors") {
+		t.Fatalf("want -floors parse error, got %v", err)
+	}
+}
+
+func TestValidateRequiresData(t *testing.T) {
+	f := baseFlags()
+	f.data = ""
+	if err := f.validate(); err == nil || !strings.Contains(err.Error(), "-data") {
+		t.Fatalf("want -data error, got %v", err)
+	}
+}
+
+func TestValidateRouterRequiresShards(t *testing.T) {
+	f := baseFlags()
+	f.router = true
+	if err := f.validate(); err == nil || !strings.Contains(err.Error(), "-shards") {
+		t.Fatalf("want -shards error, got %v", err)
+	}
+	f.shards = "shards.json"
+	if err := f.validate(); err != nil {
+		t.Fatalf("router mode with -shards should validate, got %v", err)
+	}
+}
+
+func TestValidateAcceptsGoodConfig(t *testing.T) {
+	f := baseFlags()
+	f.weights = "f0.model,f1.model"
+	f.floors = "2,3"
+	if err := f.validate(); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+}

@@ -1,23 +1,37 @@
 // Command calloc-serve exposes a multi-model, multi-floor localization
-// service over HTTP, backed by the micro-batching serve engine and the
-// localizer registry: every {floor, backend} pair is a registered localizer
+// service over HTTP — one serving node (internal/node) behind flags, or a
+// fleet router (internal/cluster) in front of many of them.
+//
+// Node mode (default): every {floor, backend} pair is a registered localizer
 // with its own micro-batch lane, requests route hierarchically (floor
 // classifier → position model), and model versions hot-swap under load —
 // pushed manually over /v1/swap or produced automatically by the online
 // fine-tune loop fed from /v1/feedback.
 //
-// Usage:
-//
 //	calloc-serve -data b3.gob                                # one floor, default backends
 //	calloc-serve -data b3.gob -weights b3.model              # serve trained CALLOC weights
 //	calloc-serve -data f0.gob,f1.gob -backends calloc,knn,bayes
-//	calloc-serve -data b3.gob -train-epochs 10 -addr :9000 -max-batch 64
+//	calloc-serve -data f1.gob -floors 1 -addr :8081          # fleet shard owning global floor 1
 //
 // With several -data files each becomes one floor of the building (all must
 // share the AP count); a Naive-Bayes floor classifier is fitted over the
 // combined offline databases and registered for hierarchical routing.
+// -floors assigns each dataset its global floor index so a fleet can split
+// one building's floors across shards that agree on floor numbering.
 //
-// Endpoints:
+// Router mode (-router -shards shards.json): the process owns no models. It
+// proxies /v1/localize and /v1/feedback to the shard owning the request's
+// {building, floor} (resolving floor-less localizes through a classifier
+// fitted from -data when given), forwards /v1/swap and /v1/ab/{promote,
+// abort} checkpoint pushes and overrides to the owner — so each shard's
+// stage → shadow → promote gate keeps running per-node — and merges
+// /v1/models, /v1/stats, /v1/ab, and /v1/trainer across every member into a
+// fleet-wide view. /v1/shards reports membership and health.
+//
+//	calloc-serve -router -shards shards.json -addr :8080
+//	calloc-serve -router -shards shards.json -data f0.gob,f1.gob   # + floor resolver
+//
+// Node endpoints:
 //
 //	POST /v1/localize {"rss": [...]}                          -> routed: floor classifier picks the floor
 //	POST /v1/localize {"rss": [...], "backend": "knn"}        -> routed, explicit backend
@@ -31,24 +45,11 @@
 //	GET  /v1/ab                                               -> per-key A/B lane status: candidate, shadow counters, gate state
 //	POST /v1/ab/promote {"floor": 0}                          -> force-promote the staged candidate (regret window still applies)
 //	POST /v1/ab/abort   {"floor": 0}                          -> withdraw the staged candidate
-//	GET  /v1/stats                                            -> engine throughput/latency counters (incl. shadow + misroutes)
+//	GET  /v1/stats                                            -> engine throughput/latency counters (incl. uptime + per-key load)
 //	GET  /healthz                                             -> 200 ok
 //
-// The fine-tune loop (one background trainer per floor's CALLOC model)
-// accumulates /v1/feedback samples; once enough arrive it continues the
-// training curriculum from the served model's checkpoint on base+feedback
-// data and validates the candidate on a held-out clean+attacked split. A
-// candidate that beats the incumbent by -min-delta for -stage-after
-// consecutive rounds is STAGED into the registry's A/B lane, where every
-// -ab-fraction-th routed request is also scored by it (shadow dispatch — its
-// predictions are recorded, never returned). After -promote-after shadow
-// rows (and -min-agreement agreement with the live arm) it is PROMOTED:
-// in-flight batches finish on the old version, responses carry the new
-// snapshot version, and the displaced snapshot is retained. For the next
-// -regret-window trainer ticks the promoted model is re-validated; a
-// regression beyond -regret-delta automatically ROLLS BACK to the retained
-// snapshot. /v1/swap remains for manual weight pushes and /v1/ab/{promote,
-// abort} for manual gate overrides.
+// The router serves the same paths (plus GET /v1/shards); its GET views are
+// fleet-wide merges with each entry annotated by the owning node.
 //
 // SIGINT/SIGTERM shut down gracefully: the HTTP server stops accepting, the
 // trainers stop, then the engine drains its queued requests.
@@ -62,101 +63,75 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
-
-	"calloc/internal/fingerprint"
-	"calloc/internal/serve"
 )
 
+// serveFlags collects every parsed flag; main fills it, validate (server.go)
+// rejects misconfigurations before any dataset loads or training starts.
+type serveFlags struct {
+	data, weights, backends, floors, addr, shards string
+	trainEpochs, maxBatch, workers, queueCap      int
+	feedbackMin, abFraction, stageAfter           int
+	regretWindow, retries                         int
+	promoteAfter                                  int64
+	maxWait, trainerInterval, probeInterval       time.Duration
+	fineTuneLR, minDelta, minAgreement            float64
+	regretDelta                                   float64
+	fineTuneEpochs                                int
+	noTrainer, router                             bool
+}
+
 func main() {
-	data := flag.String("data", "", "comma-separated dataset gob files from calloc-data, one per floor (required)")
-	weights := flag.String("weights", "", "comma-separated trained CALLOC weights per floor (omit to quick-train)")
-	backendsFlag := flag.String("backends", "calloc,knn,bayes", "comma-separated backends to serve: calloc, knn, bayes, gpc, gbdt, dnn")
-	trainEpochs := flag.Int("train-epochs", 10, "epochs per lesson when quick-training CALLOC without -weights")
-	addr := flag.String("addr", ":8080", "HTTP listen address")
-	maxBatch := flag.Int("max-batch", 32, "max coalesced requests per model call")
-	maxWait := flag.Duration("max-wait", 500*time.Microsecond, "max time the first request of a window waits (negative: dispatch immediately)")
-	workers := flag.Int("workers", 0, "concurrent batch dispatchers shared by all lanes (0 = min(2, GOMAXPROCS))")
-	queueCap := flag.Int("queue", 0, "per-lane pending-request bound (0 = 4×max-batch)")
-	noTrainer := flag.Bool("no-trainer", false, "disable the online fine-tune loop")
-	feedbackMin := flag.Int("feedback-min", 16, "new /v1/feedback samples required before a fine-tune round")
-	trainerInterval := flag.Duration("trainer-interval", 2*time.Second, "fine-tune loop poll cadence")
-	fineTuneEpochs := flag.Int("finetune-epochs", 6, "epochs per lesson of the fine-tune curriculum")
-	fineTuneLR := flag.Float64("finetune-lr", 0.005, "learning rate each fine-tune round restarts at")
-	abFraction := flag.Int("ab-fraction", 8, "shadow every Nth routed request through the staged A/B candidate (0 disables the shadow lane)")
-	minDelta := flag.Float64("min-delta", 0, "holdout improvement a fine-tune round must clear to count as a win")
-	stageAfter := flag.Int("stage-after", 1, "consecutive winning rounds before the candidate is staged into the A/B lane")
-	promoteAfter := flag.Int64("promote-after", 32, "live shadow rows a staged candidate must score before promotion (needs -ab-fraction > 0)")
-	minAgreement := flag.Float64("min-agreement", 0, "minimum candidate-vs-live agreement over the shadow sample to promote (0 disables)")
-	regretWindow := flag.Int("regret-window", 3, "post-promotion trainer ticks that re-validate the promoted model (0 disables rollback-on-regret)")
-	regretDelta := flag.Float64("regret-delta", 0, "tolerated holdout regression before a promoted model rolls back")
+	var f serveFlags
+	flag.StringVar(&f.data, "data", "", "comma-separated dataset gob files from calloc-data, one per floor (required in node mode)")
+	flag.StringVar(&f.weights, "weights", "", "comma-separated trained CALLOC weights per floor (omit to quick-train)")
+	flag.StringVar(&f.backends, "backends", "calloc,knn,bayes", "comma-separated backends to serve: calloc, knn, bayes, gpc, gbdt, dnn")
+	flag.StringVar(&f.floors, "floors", "", "comma-separated global floor index per -data file (default 0,1,...)")
+	flag.IntVar(&f.trainEpochs, "train-epochs", 10, "epochs per lesson when quick-training CALLOC without -weights")
+	flag.StringVar(&f.addr, "addr", ":8080", "HTTP listen address")
+	flag.IntVar(&f.maxBatch, "max-batch", 32, "max coalesced requests per model call")
+	flag.DurationVar(&f.maxWait, "max-wait", 500*time.Microsecond, "max time the first request of a window waits (negative: dispatch immediately)")
+	flag.IntVar(&f.workers, "workers", 0, "concurrent batch dispatchers shared by all lanes (0 = min(2, GOMAXPROCS))")
+	flag.IntVar(&f.queueCap, "queue", 0, "per-lane pending-request bound (0 = 4×max-batch)")
+	flag.BoolVar(&f.noTrainer, "no-trainer", false, "disable the online fine-tune loop")
+	flag.IntVar(&f.feedbackMin, "feedback-min", 16, "new /v1/feedback samples required before a fine-tune round")
+	flag.DurationVar(&f.trainerInterval, "trainer-interval", 2*time.Second, "fine-tune loop poll cadence")
+	flag.IntVar(&f.fineTuneEpochs, "finetune-epochs", 6, "epochs per lesson of the fine-tune curriculum")
+	flag.Float64Var(&f.fineTuneLR, "finetune-lr", 0.005, "learning rate each fine-tune round restarts at")
+	flag.IntVar(&f.abFraction, "ab-fraction", 8, "shadow every Nth routed request through the staged A/B candidate (0 disables the shadow lane)")
+	flag.Float64Var(&f.minDelta, "min-delta", 0, "holdout improvement a fine-tune round must clear to count as a win")
+	flag.IntVar(&f.stageAfter, "stage-after", 1, "consecutive winning rounds before the candidate is staged into the A/B lane")
+	flag.Int64Var(&f.promoteAfter, "promote-after", 32, "live shadow rows a staged candidate must score before promotion (needs -ab-fraction > 0)")
+	flag.Float64Var(&f.minAgreement, "min-agreement", 0, "minimum candidate-vs-live agreement over the shadow sample to promote (0 disables)")
+	flag.IntVar(&f.regretWindow, "regret-window", 3, "post-promotion trainer ticks that re-validate the promoted model (0 disables rollback-on-regret)")
+	flag.Float64Var(&f.regretDelta, "regret-delta", 0, "tolerated holdout regression before a promoted model rolls back")
+	flag.BoolVar(&f.router, "router", false, "run as the fleet router instead of a serving node (requires -shards)")
+	flag.StringVar(&f.shards, "shards", "", "shard-map JSON file: {building/floor} -> node assignments (router mode)")
+	flag.DurationVar(&f.probeInterval, "probe-interval", 2*time.Second, "router health-probe cadence (negative disables)")
+	flag.IntVar(&f.retries, "retries", 1, "router retry budget per proxied request on a failed shard")
 	flag.Parse()
 
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "calloc-serve: -data is required")
+	if err := f.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "calloc-serve: %v\n", err)
 		os.Exit(2)
 	}
-	var datasets []*fingerprint.Dataset
-	for _, path := range strings.Split(*data, ",") {
-		ds, err := fingerprint.LoadFile(strings.TrimSpace(path))
-		if err != nil {
-			fail(err)
-		}
-		if len(datasets) > 0 && ds.NumAPs != datasets[0].NumAPs {
-			fail(fmt.Errorf("floor datasets disagree on AP count: %d vs %d (all floors must share the fingerprint width)",
-				ds.NumAPs, datasets[0].NumAPs))
-		}
-		datasets = append(datasets, ds)
+	var err error
+	if f.router {
+		err = runRouter(f)
+	} else {
+		err = runServe(f)
 	}
-	var weightBlobs [][]byte
-	if *weights != "" {
-		weightFiles := strings.Split(*weights, ",")
-		if len(weightFiles) != len(datasets) {
-			fail(fmt.Errorf("-weights names %d files for %d floors", len(weightFiles), len(datasets)))
-		}
-		for _, wf := range weightFiles {
-			blob, err := os.ReadFile(strings.TrimSpace(wf))
-			if err != nil {
-				fail(err)
-			}
-			weightBlobs = append(weightBlobs, blob)
-		}
-	}
-
-	a, err := newApp(datasets, appConfig{
-		Backends:    strings.Split(*backendsFlag, ","),
-		WeightBlobs: weightBlobs,
-		TrainEpochs: *trainEpochs,
-		Engine: serve.Options{
-			MaxBatch:   *maxBatch,
-			MaxWait:    *maxWait,
-			Workers:    *workers,
-			QueueCap:   *queueCap,
-			ABFraction: *abFraction,
-		},
-		DisableTrainer:  *noTrainer,
-		FeedbackMin:     *feedbackMin,
-		TrainerInterval: *trainerInterval,
-		FineTuneEpochs:  *fineTuneEpochs,
-		FineTuneLR:      *fineTuneLR,
-		MinDelta:        *minDelta,
-		StageAfter:      *stageAfter,
-		PromoteAfter:    *promoteAfter,
-		MinAgreement:    *minAgreement,
-		RegretWindow:    *regretWindow,
-		RegretDelta:     *regretDelta,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-	})
 	if err != nil {
 		fail(err)
 	}
-	a.start()
+}
 
-	srv := &http.Server{Addr: *addr, Handler: a.handler()}
+// serveHTTP runs handler on addr until SIGINT/SIGTERM, drains in-flight
+// handlers, then runs shutdown (trainer/engine teardown) — so a handler
+// mid-request never sees a closed engine.
+func serveHTTP(addr string, handler http.Handler, shutdown func()) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	handlersDone := make(chan struct{})
@@ -167,20 +142,12 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 		close(handlersDone)
 	}()
-
-	fmt.Fprintf(os.Stderr, "calloc-serve: %s — %d floors × %v (%d models, %d trainers) listening on %s\n",
-		datasets[0].BuildingName, len(datasets), *backendsFlag, a.reg.Len(), len(a.trainers), *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fail(err)
+		return err
 	}
-	// ListenAndServe returns as soon as the listener closes; wait for
-	// Shutdown to finish draining in-flight handlers before closing the
-	// trainers and engine, so a handler mid-request never sees ErrClosed.
 	<-handlersDone
-	a.close()
-	st := a.engine.Stats()
-	fmt.Fprintf(os.Stderr, "calloc-serve: served %d requests in %d batches over %d lanes (avg %.1f/batch, avg latency %s)\n",
-		st.Requests, st.Batches, st.Lanes, st.AvgBatch, st.AvgLatency)
+	shutdown()
+	return nil
 }
 
 func fail(err error) {

@@ -1,592 +1,141 @@
 package main
 
 import (
-	"encoding/base64"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"net/http"
+	"os"
+	"strconv"
 	"strings"
-	"time"
 
-	"calloc/internal/baselines"
-	"calloc/internal/bayes"
-	"calloc/internal/core"
-	"calloc/internal/curriculum"
 	"calloc/internal/fingerprint"
-	"calloc/internal/gbdt"
-	"calloc/internal/gp"
-	"calloc/internal/knn"
-	"calloc/internal/localizer"
+	"calloc/internal/node"
 	"calloc/internal/serve"
-	"calloc/internal/train"
 )
 
-// appConfig collects everything the server needs beyond the datasets; main
-// fills it from flags, tests construct it directly.
-type appConfig struct {
-	Backends    []string
-	WeightBlobs [][]byte // per-floor CALLOC weights; nil quick-trains
-	TrainEpochs int      // epochs per lesson when quick-training
-
-	Engine serve.Options
-
-	// Online fine-tune loop (calloc backend only). Trainers are created per
-	// floor unless DisableTrainer is set.
-	DisableTrainer  bool
-	FeedbackMin     int
-	TrainerInterval time.Duration
-	FineTuneEpochs  int
-	FineTuneLR      float64
-	FineTuneLessons []curriculum.Lesson
-
-	// Promotion gate (see internal/train): holdout min-delta + hysteresis
-	// stages candidates, live shadow exposure (Engine.ABFraction > 0)
-	// promotes them, and the regret window rolls back regressions.
-	MinDelta     float64
-	StageAfter   int
-	PromoteAfter int64
-	MinAgreement float64
-	RegretWindow int
-	RegretDelta  float64
-
-	Logf func(format string, args ...any)
-}
-
-// app owns the serving state: the registry of localizers, the micro-batching
-// engine, and one background fine-tune trainer per floor's CALLOC model.
-type app struct {
-	cfg      appConfig
-	datasets []*fingerprint.Dataset
-	building int
-	reg      *localizer.Registry
-	engine   *serve.Engine
-	trainers map[int]*train.Trainer // floor → trainer
-	deflt    string                 // default backend
-}
-
-// newApp builds the registry (fitting or loading every backend on every
-// floor), the engine, and the per-floor trainers. Trainers are constructed
-// but not started; call start.
-func newApp(datasets []*fingerprint.Dataset, cfg appConfig) (*app, error) {
-	if len(datasets) == 0 {
-		return nil, errors.New("no datasets")
+// validate catches flag misconfigurations at startup — an unknown backend,
+// a negative shadow fraction, or mismatched per-floor file counts used to
+// surface as a late error (after minutes of quick-training) or a panic.
+func (f *serveFlags) validate() error {
+	if f.router {
+		if f.shards == "" {
+			return errors.New("-router requires -shards")
+		}
+		return nil
 	}
-	if len(cfg.Backends) == 0 {
-		cfg.Backends = []string{"calloc"}
+	if f.data == "" {
+		return errors.New("-data is required")
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if f.abFraction < 0 {
+		return fmt.Errorf("-ab-fraction must be >= 0 (0 disables the shadow lane), got %d", f.abFraction)
 	}
-	a := &app{
-		cfg:      cfg,
-		datasets: datasets,
-		building: datasets[0].BuildingID,
-		reg:      localizer.NewRegistry(),
-		trainers: make(map[int]*train.Trainer),
-		deflt:    strings.TrimSpace(cfg.Backends[0]),
-	}
-	ckpts := make(map[int]*core.TrainCheckpoint)
-	for floor, ds := range datasets {
-		for _, backend := range cfg.Backends {
-			backend = strings.TrimSpace(backend)
-			var blob []byte
-			if backend == "calloc" && cfg.WeightBlobs != nil {
-				blob = cfg.WeightBlobs[floor]
-			}
-			loc, ckpt, err := buildBackend(backend, ds, blob, cfg.TrainEpochs, cfg.Logf)
-			if err != nil {
-				return nil, err
-			}
-			if ckpt != nil {
-				ckpts[floor] = ckpt
-			}
-			key := localizer.Key{Building: a.building, Floor: floor, Backend: backend}
-			if _, err := a.reg.Register(key, loc); err != nil {
-				return nil, err
-			}
-			cfg.Logf("calloc-serve: registered %s (%s, %d classes)", key, loc.Name(), loc.NumClasses())
+	for _, b := range splitList(f.backends) {
+		if !node.ValidBackend(b) {
+			return fmt.Errorf("unknown backend %q in -backends (known: %s)", b, strings.Join(node.KnownBackends, ", "))
 		}
 	}
-	if len(datasets) > 1 {
-		fc, err := fitFloorClassifier(datasets)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := a.reg.Register(localizer.FloorKey(a.building), fc); err != nil {
-			return nil, err
-		}
-		cfg.Logf("calloc-serve: registered floor classifier over %d floors", len(datasets))
-	}
-
-	var err error
-	a.engine, err = serve.New(a.reg, cfg.Engine)
-	if err != nil {
-		return nil, err
-	}
-
-	if !cfg.DisableTrainer && hasBackend(cfg.Backends, "calloc") {
-		for floor, ds := range datasets {
-			key := localizer.Key{Building: a.building, Floor: floor, Backend: "calloc"}
-			topts := train.Options{
-				Key:             key,
-				Config:          core.DefaultConfig(ds.NumAPs, ds.NumRPs),
-				Base:            ds.Train,
-				Holdout:         holdoutOf(ds),
-				Checkpoint:      ckpts[floor],
-				Lessons:         cfg.FineTuneLessons,
-				EpochsPerLesson: cfg.FineTuneEpochs,
-				LearningRate:    cfg.FineTuneLR,
-				MinFeedback:     cfg.FeedbackMin,
-				Interval:        cfg.TrainerInterval,
-				MinDelta:        cfg.MinDelta,
-				StageAfter:      cfg.StageAfter,
-				RegretWindow:    cfg.RegretWindow,
-				RegretDelta:     cfg.RegretDelta,
-				Dist:            ds.ErrorMeters,
-				Logf:            cfg.Logf,
-			}
-			if cfg.Engine.ABFraction > 0 {
-				// Shadow gate: staged candidates must earn live exposure
-				// through the engine's A/B lane before promotion. Without
-				// shadowing there is no exposure to wait for, so the gate
-				// stays disabled and staging promotes directly.
-				topts.PromoteAfter = cfg.PromoteAfter
-				topts.MinAgreement = cfg.MinAgreement
-				topts.Shadow = func() (uint64, int64, int64) {
-					st, ok := a.engine.ABStats(key)
-					if !ok {
-						return 0, 0, 0
-					}
-					return st.CandidateVersion, st.Rows, st.Agree
-				}
-			}
-			tr, err := train.New(a.reg, topts)
-			if err != nil {
-				a.engine.Close()
-				return nil, fmt.Errorf("floor %d trainer: %w", floor, err)
-			}
-			a.trainers[floor] = tr
+	nData := len(splitList(f.data))
+	if f.weights != "" {
+		if n := len(splitList(f.weights)); n != nData {
+			return fmt.Errorf("-weights names %d files for %d -data floors", n, nData)
 		}
 	}
-	return a, nil
-}
-
-// start launches the background trainers.
-func (a *app) start() {
-	for _, tr := range a.trainers {
-		tr.Start()
+	if f.floors != "" {
+		if _, err := parseFloors(f.floors, nData); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// close shuts down the trainers first (no new fine-tunes or swaps), then
-// drains the engine.
-func (a *app) close() {
-	for _, tr := range a.trainers {
-		tr.Close()
-	}
-	a.engine.Close()
-}
-
-// holdoutOf flattens the online-phase test fingerprints into the validation
-// split that gates fine-tune swaps.
-func holdoutOf(ds *fingerprint.Dataset) []fingerprint.Sample {
-	var out []fingerprint.Sample
-	for _, samples := range ds.Test {
-		out = append(out, samples...)
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
 	}
 	return out
 }
 
-func hasBackend(backends []string, want string) bool {
-	for _, b := range backends {
-		if strings.TrimSpace(b) == want {
-			return true
-		}
+// parseFloors parses the -floors list and checks it matches the -data count.
+func parseFloors(s string, nData int) ([]int, error) {
+	parts := splitList(s)
+	if len(parts) != nData {
+		return nil, fmt.Errorf("-floors names %d floors for %d -data files", len(parts), nData)
 	}
-	return false
-}
-
-// handler builds the HTTP mux over the engine, registry, and trainers.
-func (a *app) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/localize", a.handleLocalize)
-	mux.HandleFunc("POST /v1/feedback", a.handleFeedback)
-	mux.HandleFunc("POST /v1/swap", a.handleSwap)
-	mux.HandleFunc("GET /v1/ab", a.handleABStatus)
-	mux.HandleFunc("POST /v1/ab/promote", a.handleABPromote)
-	mux.HandleFunc("POST /v1/ab/abort", a.handleABAbort)
-	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, a.reg.List())
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, a.engine.Stats())
-	})
-	mux.HandleFunc("GET /v1/trainer", func(w http.ResponseWriter, _ *http.Request) {
-		stats := make(map[string]train.Stats, len(a.trainers))
-		for floor, tr := range a.trainers {
-			stats[fmt.Sprintf("floor_%d", floor)] = tr.Stats()
-		}
-		writeJSON(w, stats)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
-}
-
-func (a *app) handleLocalize(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		RSS     []float64 `json:"rss"`
-		Backend string    `json:"backend"`
-		Floor   *int      `json:"floor"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	backend := req.Backend
-	if backend == "" {
-		backend = a.deflt
-	}
-	var res serve.Result
-	var err error
-	if req.Floor != nil {
-		key := localizer.Key{Building: a.building, Floor: *req.Floor, Backend: backend}
-		res, err = a.engine.Localize(r.Context(), key, req.RSS)
-	} else {
-		res, err = a.engine.Route(r.Context(), a.building, backend, req.RSS)
-	}
-	switch {
-	case errors.Is(err, serve.ErrClosed):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	case errors.Is(err, serve.ErrUnknownModel):
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
-	case errors.Is(err, serve.ErrMisroute):
-		// A classifier fault, not a client addressing error: 5xx so
-		// monitoring sees it and clients may retry.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, map[string]any{
-		"rp":      res.Class,
-		"floor":   res.Floor,
-		"backend": res.Backend,
-		"version": res.Version,
-	})
-}
-
-// handleFeedback accepts one labelled online fingerprint — a client that
-// learned its true reference point (map tap, QR checkpoint, fused dead
-// reckoning) reports it here — and queues it for the floor's background
-// fine-tune loop. Accumulation is O(1) on the request path; training,
-// validation, and the eventual hot-swap all happen on the trainer goroutine.
-func (a *app) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		RSS   []float64 `json:"rss"`
-		RP    int       `json:"rp"`
-		Floor int       `json:"floor"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	tr, ok := a.trainers[req.Floor]
-	if !ok {
-		http.Error(w, fmt.Sprintf("no trainer for floor %d (calloc backend with trainer enabled required)", req.Floor),
-			http.StatusNotFound)
-		return
-	}
-	if err := tr.AddFeedback(req.RSS, req.RP); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, map[string]any{"pending": tr.Pending()})
-}
-
-func (a *app) handleSwap(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Backend string `json:"backend"`
-		Floor   int    `json:"floor"`
-		Weights string `json:"weights"` // base64 of calloc-train output
-		// Stage pushes the weights into the A/B candidate lane instead of
-		// the live slot: the model shadows routed traffic until it is
-		// promoted (by the gate or POST /v1/ab/promote) or aborted.
-		Stage bool `json:"stage"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if req.Backend != "" && req.Backend != "calloc" {
-		http.Error(w, "swap supports only the calloc backend (weight pushes)", http.StatusBadRequest)
-		return
-	}
-	if req.Floor < 0 || req.Floor >= len(a.datasets) {
-		http.Error(w, fmt.Sprintf("floor %d out of range [0,%d)", req.Floor, len(a.datasets)), http.StatusNotFound)
-		return
-	}
-	blob, err := base64.StdEncoding.DecodeString(req.Weights)
-	if err != nil {
-		http.Error(w, "weights must be base64: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	loc, _, err := buildCALLOC(a.datasets[req.Floor], blob, 0, a.cfg.Logf)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	key := localizer.Key{Building: a.building, Floor: req.Floor, Backend: "calloc"}
-	if _, ok := a.reg.Get(key); !ok {
-		// Floor exists but the calloc backend is not served.
-		http.Error(w, fmt.Sprintf("%s not registered", key), http.StatusNotFound)
-		return
-	}
-	if req.Stage {
-		c, err := a.reg.Stage(key, loc)
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		f, err := strconv.Atoi(p)
 		if err != nil {
-			// The key exists, so a Stage failure is a bad payload (shape
-			// mismatch), not a missing resource.
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, fmt.Errorf("-floors: bad floor index %q", p)
 		}
-		a.cfg.Logf("calloc-serve: staged candidate %d for %s (against live version %d)", c.Version, key, c.Base)
-		writeJSON(w, map[string]uint64{"candidate_version": c.Version, "base_version": c.Base})
-		return
+		out[i] = f
 	}
-	version, err := a.reg.Swap(key, loc)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	a.cfg.Logf("calloc-serve: swapped %s to version %d", key, version)
-	writeJSON(w, map[string]uint64{"version": version})
+	return out, nil
 }
 
-// handleABStatus reports the A/B lane of every registered position
-// localizer: live and candidate versions, the serving engine's shadow
-// counters, and (for trainer-managed keys) the promotion-gate state.
-func (a *app) handleABStatus(w http.ResponseWriter, _ *http.Request) {
-	type entry struct {
-		Key              localizer.Key  `json:"key"`
-		LiveVersion      uint64         `json:"live_version"`
-		CandidateVersion uint64         `json:"candidate_version,omitempty"`
-		CandidateName    string         `json:"candidate_name,omitempty"`
-		PreviousRetained bool           `json:"previous_retained"`
-		Shadow           *serve.ABStats `json:"shadow,omitempty"`
-		Gate             *train.Stats   `json:"gate,omitempty"`
+// loadDatasets loads the per-floor dataset files, enforcing a shared AP count.
+func loadDatasets(files []string) ([]*fingerprint.Dataset, error) {
+	var datasets []*fingerprint.Dataset
+	for _, path := range files {
+		ds, err := fingerprint.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(datasets) > 0 && ds.NumAPs != datasets[0].NumAPs {
+			return nil, fmt.Errorf("floor datasets disagree on AP count: %d vs %d (all floors must share the fingerprint width)",
+				ds.NumAPs, datasets[0].NumAPs)
+		}
+		datasets = append(datasets, ds)
 	}
-	out := make([]entry, 0, a.reg.Len())
-	for _, info := range a.reg.List() {
-		if info.Key.Floor == localizer.ClassifierFloor {
-			continue
+	return datasets, nil
+}
+
+// runServe wires one serving node from the flags and serves it over HTTP.
+func runServe(f serveFlags) error {
+	datasets, err := loadDatasets(splitList(f.data))
+	if err != nil {
+		return err
+	}
+	cfg := node.Config{
+		Backends:    splitList(f.backends),
+		TrainEpochs: f.trainEpochs,
+		Engine: serve.Options{
+			MaxBatch: f.maxBatch, MaxWait: f.maxWait, Workers: f.workers,
+			QueueCap: f.queueCap, ABFraction: f.abFraction,
+		},
+		DisableTrainer: f.noTrainer, FeedbackMin: f.feedbackMin,
+		TrainerInterval: f.trainerInterval, FineTuneEpochs: f.fineTuneEpochs,
+		FineTuneLR: f.fineTuneLR, MinDelta: f.minDelta, StageAfter: f.stageAfter,
+		PromoteAfter: f.promoteAfter, MinAgreement: f.minAgreement,
+		RegretWindow: f.regretWindow, RegretDelta: f.regretDelta,
+		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	}
+	if f.floors != "" {
+		if cfg.Floors, err = parseFloors(f.floors, len(datasets)); err != nil {
+			return err
 		}
-		e := entry{
-			Key:              info.Key,
-			LiveVersion:      info.Version,
-			CandidateVersion: info.CandidateVersion,
-			CandidateName:    info.CandidateName,
-		}
-		if _, ok := a.reg.Previous(info.Key); ok {
-			e.PreviousRetained = true
-		}
-		if st, ok := a.engine.ABStats(info.Key); ok {
-			e.Shadow = &st
-		}
-		if info.Key.Backend == "calloc" {
-			if tr, ok := a.trainers[info.Key.Floor]; ok {
-				st := tr.Stats()
-				e.Gate = &st
+	}
+	if f.weights != "" {
+		for _, wf := range splitList(f.weights) {
+			blob, err := os.ReadFile(wf)
+			if err != nil {
+				return err
 			}
+			cfg.WeightBlobs = append(cfg.WeightBlobs, blob)
 		}
-		out = append(out, e)
 	}
-	writeJSON(w, out)
-}
-
-// abTarget resolves the {floor, backend} of a manual A/B override request.
-func (a *app) abTarget(w http.ResponseWriter, r *http.Request) (localizer.Key, *train.Trainer, bool) {
-	var req struct {
-		Floor   int    `json:"floor"`
-		Backend string `json:"backend"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return localizer.Key{}, nil, false
-	}
-	backend := req.Backend
-	if backend == "" {
-		backend = "calloc"
-	}
-	key := localizer.Key{Building: a.building, Floor: req.Floor, Backend: backend}
-	if _, ok := a.reg.Get(key); !ok {
-		http.Error(w, fmt.Sprintf("%s not registered", key), http.StatusNotFound)
-		return localizer.Key{}, nil, false
-	}
-	if backend == "calloc" {
-		return key, a.trainers[req.Floor], true
-	}
-	return key, nil, true
-}
-
-// handleABPromote force-promotes the staged candidate, bypassing the shadow
-// evidence gate. Trainer-managed keys go through the trainer so the regret
-// window still guards the forced promotion; other keys promote directly in
-// the registry.
-func (a *app) handleABPromote(w http.ResponseWriter, r *http.Request) {
-	key, tr, ok := a.abTarget(w, r)
-	if !ok {
-		return
-	}
-	var version uint64
-	var err error
-	if tr != nil {
-		version, err = tr.Promote()
-	} else {
-		version, err = a.reg.Promote(key)
-	}
-	switch {
-	case errors.Is(err, localizer.ErrNoCandidate):
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
-	case errors.Is(err, localizer.ErrVersionConflict), errors.Is(err, localizer.ErrCandidateConflict):
-		// Retryable races (live slot moved, lane restaged), not malformed
-		// requests.
-		http.Error(w, err.Error(), http.StatusConflict)
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	a.cfg.Logf("calloc-serve: manually promoted the candidate for %s to version %d", key, version)
-	writeJSON(w, map[string]uint64{"version": version})
-}
-
-// handleABAbort withdraws the staged candidate (and, for trainer-managed
-// keys, resets the hysteresis streak).
-func (a *app) handleABAbort(w http.ResponseWriter, r *http.Request) {
-	key, tr, ok := a.abTarget(w, r)
-	if !ok {
-		return
-	}
-	var aborted bool
-	if tr != nil {
-		aborted = tr.Abort()
-	} else {
-		aborted = a.reg.Abort(key)
-	}
-	if !aborted {
-		http.Error(w, fmt.Sprintf("no staged candidate for %s", key), http.StatusNotFound)
-		return
-	}
-	a.cfg.Logf("calloc-serve: manually aborted the candidate for %s", key)
-	writeJSON(w, map[string]bool{"aborted": true})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
-}
-
-// buildBackend fits (or loads) one backend on one floor's dataset. For the
-// calloc backend it also returns the quick-train checkpoint (nil when
-// weights were loaded), which seeds the floor's fine-tune trainer.
-func buildBackend(backend string, ds *fingerprint.Dataset, callocWeights []byte, trainEpochs int,
-	logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
-	x := fingerprint.X(ds.Train)
-	labels := fingerprint.Labels(ds.Train)
-	switch backend {
-	case "calloc":
-		return buildCALLOC(ds, callocWeights, trainEpochs, logf)
-	case "knn":
-		c, err := knn.New(x, labels, 3)
-		if err != nil {
-			return nil, nil, err
-		}
-		return localizer.FromKNN("KNN", c), nil, nil
-	case "bayes":
-		c, err := bayes.Fit(x, labels, ds.NumRPs)
-		if err != nil {
-			return nil, nil, err
-		}
-		return localizer.FromBayes("Bayes", c), nil, nil
-	case "gpc":
-		c, err := gp.Fit(x, labels, ds.NumRPs, gp.DefaultConfig())
-		if err != nil {
-			return nil, nil, err
-		}
-		return localizer.FromGP("GPC", c), nil, nil
-	case "gbdt":
-		c, err := gbdt.Fit(x, labels, ds.NumRPs, gbdt.DefaultConfig())
-		if err != nil {
-			return nil, nil, err
-		}
-		return localizer.FromGBDT("GBDT", c), nil, nil
-	case "dnn":
-		d, err := baselines.FitDNN("DNN", x, labels, ds.NumRPs, baselines.DefaultDNNConfig())
-		if err != nil {
-			return nil, nil, err
-		}
-		return localizer.FromBaseline(d, ds.NumAPs, ds.NumRPs), nil, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown backend %q (calloc, knn, bayes, gpc, gbdt, dnn)", backend)
-	}
-}
-
-// buildCALLOC constructs a CALLOC model over the dataset: deserialising
-// weights when given (the /v1/swap path passes trainEpochs 0), quick-training
-// otherwise. Quick-training captures the final per-lesson checkpoint so the
-// fine-tune trainer continues from it with warm optimizer state.
-func buildCALLOC(ds *fingerprint.Dataset, weights []byte, trainEpochs int,
-	logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
-	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	n, err := node.New(datasets, cfg)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	if err := model.SetMemory(ds.Train); err != nil {
-		return nil, nil, err
-	}
-	var ckpt *core.TrainCheckpoint
-	switch {
-	case weights != nil:
-		if err := model.UnmarshalWeights(weights); err != nil {
-			return nil, nil, err
-		}
-	default:
-		tc := core.DefaultTrainConfig()
-		tc.EpochsPerLesson = trainEpochs
-		tc.OnCheckpoint = func(c *core.TrainCheckpoint) { ckpt = c }
-		logf("calloc-serve: no weights for %s, quick-training (%d epochs/lesson)...",
-			ds.BuildingName, trainEpochs)
-		if _, err := model.Train(ds.Train, tc); err != nil {
-			return nil, nil, err
-		}
-	}
-	return localizer.FromCore("CALLOC", model), ckpt, nil
-}
-
-// fitFloorClassifier trains the routing stage: a weighted Gaussian Naive
-// Bayes over the concatenated offline databases with floor indices as
-// labels. Bayes fits in one pass and is robust to the class imbalance of
-// unequal floor sizes, which is all the routing stage needs.
-func fitFloorClassifier(datasets []*fingerprint.Dataset) (localizer.Localizer, error) {
-	var all []fingerprint.Sample
-	var labels []int
-	for floor, ds := range datasets {
-		for _, s := range ds.Train {
-			all = append(all, s)
-			labels = append(labels, floor)
-		}
-	}
-	x := fingerprint.X(all)
-	c, err := bayes.Fit(x, labels, len(datasets))
-	if err != nil {
-		return nil, fmt.Errorf("floor classifier: %w", err)
-	}
-	return localizer.FromBayes(localizer.FloorBackend, c), nil
+	n.Start()
+	fmt.Fprintf(os.Stderr, "calloc-serve: %s — floors %v × %s (%d models) listening on %s\n",
+		datasets[0].BuildingName, n.Floors(), f.backends, n.Registry().Len(), f.addr)
+	return serveHTTP(f.addr, n.Handler(), func() {
+		n.Close()
+		st := n.Engine().Stats()
+		fmt.Fprintf(os.Stderr, "calloc-serve: served %d requests in %d batches over %d lanes (avg %.1f/batch, avg latency %s)\n",
+			st.Requests, st.Batches, st.Lanes, st.AvgBatch, st.AvgLatency)
+	})
 }

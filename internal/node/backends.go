@@ -1,0 +1,148 @@
+package node
+
+import (
+	"fmt"
+
+	"calloc/internal/baselines"
+	"calloc/internal/bayes"
+	"calloc/internal/core"
+	"calloc/internal/fingerprint"
+	"calloc/internal/gbdt"
+	"calloc/internal/gp"
+	"calloc/internal/knn"
+	"calloc/internal/localizer"
+	"calloc/internal/mat"
+)
+
+// buildBackend fits (or loads) one backend on one floor's dataset. For the
+// calloc backend it also returns the quick-train checkpoint (nil when
+// weights were loaded), which seeds the floor's fine-tune trainer.
+func buildBackend(backend string, ds *fingerprint.Dataset, callocWeights []byte, trainEpochs int,
+	logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
+	x := fingerprint.X(ds.Train)
+	labels := fingerprint.Labels(ds.Train)
+	switch backend {
+	case "calloc":
+		return buildCALLOC(ds, callocWeights, trainEpochs, logf)
+	case "knn":
+		c, err := knn.New(x, labels, 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromKNN("KNN", c), nil, nil
+	case "bayes":
+		c, err := bayes.Fit(x, labels, ds.NumRPs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromBayes("Bayes", c), nil, nil
+	case "gpc":
+		c, err := gp.Fit(x, labels, ds.NumRPs, gp.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromGP("GPC", c), nil, nil
+	case "gbdt":
+		c, err := gbdt.Fit(x, labels, ds.NumRPs, gbdt.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromGBDT("GBDT", c), nil, nil
+	case "dnn":
+		d, err := baselines.FitDNN("DNN", x, labels, ds.NumRPs, baselines.DefaultDNNConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return localizer.FromBaseline(d, ds.NumAPs, ds.NumRPs), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown backend %q (known: calloc, knn, bayes, gpc, gbdt, dnn)", backend)
+	}
+}
+
+// buildCALLOC constructs a CALLOC model over the dataset: deserialising
+// weights when given (the /v1/swap path passes trainEpochs 0), quick-training
+// otherwise. Quick-training captures the final per-lesson checkpoint so the
+// fine-tune trainer continues from it with warm optimizer state.
+func buildCALLOC(ds *fingerprint.Dataset, weights []byte, trainEpochs int,
+	logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
+	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := model.SetMemory(ds.Train); err != nil {
+		return nil, nil, err
+	}
+	var ckpt *core.TrainCheckpoint
+	switch {
+	case weights != nil:
+		if err := model.UnmarshalWeights(weights); err != nil {
+			return nil, nil, err
+		}
+	default:
+		tc := core.DefaultTrainConfig()
+		tc.EpochsPerLesson = trainEpochs
+		tc.OnCheckpoint = func(c *core.TrainCheckpoint) { ckpt = c }
+		logf("node: no weights for %s, quick-training (%d epochs/lesson)...",
+			ds.BuildingName, trainEpochs)
+		if _, err := model.Train(ds.Train, tc); err != nil {
+			return nil, nil, err
+		}
+	}
+	return localizer.FromCore("CALLOC", model), ckpt, nil
+}
+
+// FitFloorClassifier trains the routing stage: a weighted Gaussian Naive
+// Bayes over the concatenated offline databases with floor indices as
+// labels. Bayes fits in one pass and is robust to the class imbalance of
+// unequal floor sizes, which is all the routing stage needs.
+//
+// floors assigns each dataset its GLOBAL floor index (nil means the
+// positional 0..len(datasets)-1). The classifier is always fitted on dense
+// positional classes; when the global indices differ from the positional
+// ones its predictions are remapped, so the returned localizer speaks global
+// floor indices — what serve.Engine.Route looks up in the registry, and what
+// a fleet router resolves shard owners with.
+func FitFloorClassifier(datasets []*fingerprint.Dataset, floors []int) (localizer.Localizer, error) {
+	if len(floors) != 0 && len(floors) != len(datasets) {
+		return nil, fmt.Errorf("node: %d floor indices for %d datasets", len(floors), len(datasets))
+	}
+	var all []fingerprint.Sample
+	var labels []int
+	for i, ds := range datasets {
+		for _, s := range ds.Train {
+			all = append(all, s)
+			labels = append(labels, i)
+		}
+	}
+	x := fingerprint.X(all)
+	c, err := bayes.Fit(x, labels, len(datasets))
+	if err != nil {
+		return nil, fmt.Errorf("floor classifier: %w", err)
+	}
+	inner := localizer.FromBayes(localizer.FloorBackend, c)
+	if floors == nil {
+		return inner, nil
+	}
+	identity := true
+	maxFloor := 0
+	for i, f := range floors {
+		if f != i {
+			identity = false
+		}
+		if f > maxFloor {
+			maxFloor = f
+		}
+	}
+	if identity {
+		return inner, nil
+	}
+	classToFloor := append([]int(nil), floors...)
+	return localizer.Wrap(localizer.FloorBackend, inner.InputDim(), maxFloor+1, inner,
+		func(dst []int, x *mat.Matrix) []int {
+			dst = inner.PredictInto(dst, x)
+			for i, c := range dst {
+				dst[i] = classToFloor[c]
+			}
+			return dst
+		}), nil
+}

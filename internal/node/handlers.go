@@ -1,0 +1,273 @@
+package node
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"calloc/internal/localizer"
+	"calloc/internal/serve"
+	"calloc/internal/train"
+)
+
+func (n *Node) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		RSS     []float64 `json:"rss"`
+		Backend string    `json:"backend"`
+		Floor   *int      `json:"floor"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = n.deflt
+	}
+	var res serve.Result
+	var err error
+	if req.Floor != nil {
+		key := localizer.Key{Building: n.building, Floor: *req.Floor, Backend: backend}
+		res, err = n.engine.Localize(r.Context(), key, req.RSS)
+	} else {
+		res, err = n.engine.Route(r.Context(), n.building, backend, req.RSS)
+	}
+	switch {
+	case errors.Is(err, serve.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, serve.ErrUnknownModel):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case errors.Is(err, serve.ErrMisroute):
+		// A classifier fault, not a client addressing error: 5xx so
+		// monitoring sees it and clients may retry.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"rp":      res.Class,
+		"floor":   res.Floor,
+		"backend": res.Backend,
+		"version": res.Version,
+	})
+}
+
+// handleFeedback accepts one labelled online fingerprint — a client that
+// learned its true reference point (map tap, QR checkpoint, fused dead
+// reckoning) reports it here — and queues it for the floor's background
+// fine-tune loop. Accumulation is O(1) on the request path; training,
+// validation, and the eventual hot-swap all happen on the trainer goroutine.
+func (n *Node) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		RSS   []float64 `json:"rss"`
+		RP    int       `json:"rp"`
+		Floor int       `json:"floor"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tr, ok := n.trainers[req.Floor]
+	if !ok {
+		http.Error(w, fmt.Sprintf("no trainer for floor %d (calloc backend with trainer enabled required)", req.Floor),
+			http.StatusNotFound)
+		return
+	}
+	if err := tr.AddFeedback(req.RSS, req.RP); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"pending": tr.Pending()})
+}
+
+func (n *Node) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Backend string `json:"backend"`
+		Floor   int    `json:"floor"`
+		Weights string `json:"weights"` // base64 of calloc-train output
+		// Stage pushes the weights into the A/B candidate lane instead of
+		// the live slot: the model shadows routed traffic until it is
+		// promoted (by the gate or POST /v1/ab/promote) or aborted.
+		Stage bool `json:"stage"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Backend != "" && req.Backend != "calloc" {
+		http.Error(w, "swap supports only the calloc backend (weight pushes)", http.StatusBadRequest)
+		return
+	}
+	ds, ok := n.datasets[req.Floor]
+	if !ok {
+		http.Error(w, fmt.Sprintf("floor %d not served by this node (floors %v)", req.Floor, n.Floors()),
+			http.StatusNotFound)
+		return
+	}
+	blob, err := base64.StdEncoding.DecodeString(req.Weights)
+	if err != nil {
+		http.Error(w, "weights must be base64: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	loc, _, err := buildCALLOC(ds, blob, 0, n.cfg.Logf)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := localizer.Key{Building: n.building, Floor: req.Floor, Backend: "calloc"}
+	if _, ok := n.reg.Get(key); !ok {
+		// Floor exists but the calloc backend is not served.
+		http.Error(w, fmt.Sprintf("%s not registered", key), http.StatusNotFound)
+		return
+	}
+	if req.Stage {
+		c, err := n.reg.Stage(key, loc)
+		if err != nil {
+			// The key exists, so a Stage failure is a bad payload (shape
+			// mismatch), not a missing resource.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n.cfg.Logf("node: staged candidate %d for %s (against live version %d)", c.Version, key, c.Base)
+		writeJSON(w, map[string]uint64{"candidate_version": c.Version, "base_version": c.Base})
+		return
+	}
+	version, err := n.reg.Swap(key, loc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.cfg.Logf("node: swapped %s to version %d", key, version)
+	writeJSON(w, map[string]uint64{"version": version})
+}
+
+// handleABStatus reports the A/B lane of every registered position
+// localizer: live and candidate versions, the serving engine's shadow
+// counters, and (for trainer-managed keys) the promotion-gate state.
+func (n *Node) handleABStatus(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		Key              localizer.Key  `json:"key"`
+		LiveVersion      uint64         `json:"live_version"`
+		CandidateVersion uint64         `json:"candidate_version,omitempty"`
+		CandidateName    string         `json:"candidate_name,omitempty"`
+		PreviousRetained bool           `json:"previous_retained"`
+		Shadow           *serve.ABStats `json:"shadow,omitempty"`
+		Gate             *train.Stats   `json:"gate,omitempty"`
+	}
+	out := make([]entry, 0, n.reg.Len())
+	for _, info := range n.reg.List() {
+		if info.Key.Floor == localizer.ClassifierFloor {
+			continue
+		}
+		e := entry{
+			Key:              info.Key,
+			LiveVersion:      info.Version,
+			CandidateVersion: info.CandidateVersion,
+			CandidateName:    info.CandidateName,
+		}
+		if _, ok := n.reg.Previous(info.Key); ok {
+			e.PreviousRetained = true
+		}
+		if st, ok := n.engine.ABStats(info.Key); ok {
+			e.Shadow = &st
+		}
+		if info.Key.Backend == "calloc" {
+			if tr, ok := n.trainers[info.Key.Floor]; ok {
+				st := tr.Stats()
+				e.Gate = &st
+			}
+		}
+		out = append(out, e)
+	}
+	writeJSON(w, out)
+}
+
+// abTarget resolves the {floor, backend} of a manual A/B override request.
+func (n *Node) abTarget(w http.ResponseWriter, r *http.Request) (localizer.Key, *train.Trainer, bool) {
+	var req struct {
+		Floor   int    `json:"floor"`
+		Backend string `json:"backend"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return localizer.Key{}, nil, false
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = "calloc"
+	}
+	key := localizer.Key{Building: n.building, Floor: req.Floor, Backend: backend}
+	if _, ok := n.reg.Get(key); !ok {
+		http.Error(w, fmt.Sprintf("%s not registered", key), http.StatusNotFound)
+		return localizer.Key{}, nil, false
+	}
+	if backend == "calloc" {
+		return key, n.trainers[req.Floor], true
+	}
+	return key, nil, true
+}
+
+// handleABPromote force-promotes the staged candidate, bypassing the shadow
+// evidence gate. Trainer-managed keys go through the trainer so the regret
+// window still guards the forced promotion; other keys promote directly in
+// the registry.
+func (n *Node) handleABPromote(w http.ResponseWriter, r *http.Request) {
+	key, tr, ok := n.abTarget(w, r)
+	if !ok {
+		return
+	}
+	var version uint64
+	var err error
+	if tr != nil {
+		version, err = tr.Promote()
+	} else {
+		version, err = n.reg.Promote(key)
+	}
+	switch {
+	case errors.Is(err, localizer.ErrNoCandidate):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case errors.Is(err, localizer.ErrVersionConflict), errors.Is(err, localizer.ErrCandidateConflict):
+		// Retryable races (live slot moved, lane restaged), not malformed
+		// requests.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.cfg.Logf("node: manually promoted the candidate for %s to version %d", key, version)
+	writeJSON(w, map[string]uint64{"version": version})
+}
+
+// handleABAbort withdraws the staged candidate (and, for trainer-managed
+// keys, resets the hysteresis streak).
+func (n *Node) handleABAbort(w http.ResponseWriter, r *http.Request) {
+	key, tr, ok := n.abTarget(w, r)
+	if !ok {
+		return
+	}
+	var aborted bool
+	if tr != nil {
+		aborted = tr.Abort()
+	} else {
+		aborted = n.reg.Abort(key)
+	}
+	if !aborted {
+		http.Error(w, fmt.Sprintf("no staged candidate for %s", key), http.StatusNotFound)
+		return
+	}
+	n.cfg.Logf("node: manually aborted the candidate for %s", key)
+	writeJSON(w, map[string]bool{"aborted": true})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

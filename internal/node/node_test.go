@@ -1,10 +1,9 @@
-package main
+package node_test
 
 import (
 	"bytes"
 	"encoding/base64"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -16,6 +15,7 @@ import (
 	"calloc/internal/fingerprint"
 	"calloc/internal/floorplan"
 	"calloc/internal/localizer"
+	"calloc/internal/node"
 	"calloc/internal/serve"
 	"calloc/internal/train"
 )
@@ -82,7 +82,7 @@ func postJSON(t testing.TB, client *http.Client, url string, body any) (int, map
 // hot-swapped version — all without a dropped or invalid response.
 func TestFeedbackFineTuneSwapOverHTTP(t *testing.T) {
 	datasets := testFloors(t)
-	a, err := newApp(datasets, appConfig{
+	n, err := node.New(datasets, node.Config{
 		Backends:        []string{"calloc"},
 		WeightBlobs:     [][]byte{untrainedWeights(t, datasets[0]), untrainedWeights(t, datasets[1])},
 		Engine:          serve.Options{MaxBatch: 8, MaxWait: 100 * time.Microsecond, Workers: 2},
@@ -95,13 +95,13 @@ func TestFeedbackFineTuneSwapOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.start()
-	ts := httptest.NewServer(a.handler())
+	n.Start()
+	ts := httptest.NewServer(n.Handler())
 	closed := false
 	defer func() {
 		if !closed {
 			ts.Close()
-			a.close()
+			n.Close()
 		}
 	}()
 	client := ts.Client()
@@ -213,7 +213,7 @@ func TestFeedbackFineTuneSwapOverHTTP(t *testing.T) {
 	close(stopTraffic)
 	wg.Wait()
 	ts.Close()
-	a.close()
+	n.Close()
 	closed = true
 }
 
@@ -221,7 +221,7 @@ func TestFeedbackFineTuneSwapOverHTTP(t *testing.T) {
 // useful statuses.
 func TestFeedbackValidationOverHTTP(t *testing.T) {
 	datasets := testFloors(t)[:1]
-	a, err := newApp(datasets, appConfig{
+	n, err := node.New(datasets, node.Config{
 		Backends:        []string{"calloc"},
 		WeightBlobs:     [][]byte{untrainedWeights(t, datasets[0])},
 		Engine:          serve.Options{MaxBatch: 4, Workers: 1},
@@ -231,8 +231,8 @@ func TestFeedbackValidationOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(a.handler())
-	defer func() { ts.Close(); a.close() }()
+	ts := httptest.NewServer(n.Handler())
+	defer func() { ts.Close(); n.Close() }()
 	client := ts.Client()
 	ds := datasets[0]
 	good := ds.Train[0]
@@ -253,8 +253,12 @@ func TestFeedbackValidationOverHTTP(t *testing.T) {
 		map[string]any{"rss": good.RSS, "rp": good.RP, "floor": 9}); status != http.StatusNotFound {
 		t.Fatalf("unknown floor accepted (%d)", status)
 	}
-	if fmt.Sprint(a.trainers[0].Pending()) != "1" {
-		t.Fatalf("pending %d after one valid sample", a.trainers[0].Pending())
+	tr, ok := n.Trainer(0)
+	if !ok {
+		t.Fatal("no trainer for floor 0")
+	}
+	if tr.Pending() != 1 {
+		t.Fatalf("pending %d after one valid sample", tr.Pending())
 	}
 }
 
@@ -314,7 +318,7 @@ func liveVersion(t testing.TB, client *http.Client, base string, key localizer.K
 func TestABPipelineOverHTTP(t *testing.T) {
 	datasets := testFloors(t)[:1]
 	ds := datasets[0]
-	a, err := newApp(datasets, appConfig{
+	n, err := node.New(datasets, node.Config{
 		Backends:    []string{"calloc"},
 		WeightBlobs: [][]byte{untrainedWeights(t, ds)},
 		Engine: serve.Options{
@@ -332,8 +336,8 @@ func TestABPipelineOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.start()
-	ts := httptest.NewServer(a.handler())
+	n.Start()
+	ts := httptest.NewServer(n.Handler())
 	client := ts.Client()
 	key := localizer.Key{Building: ds.BuildingID, Floor: 0, Backend: "calloc"}
 
@@ -349,7 +353,7 @@ func TestABPipelineOverHTTP(t *testing.T) {
 			stop()
 			trafficWg.Wait()
 			ts.Close()
-			a.close()
+			n.Close()
 		}
 	}()
 	for c := 0; c < 2; c++ {
@@ -520,6 +524,6 @@ func TestABPipelineOverHTTP(t *testing.T) {
 	stop()
 	trafficWg.Wait()
 	ts.Close()
-	a.close()
+	n.Close()
 	closed = true
 }

@@ -101,6 +101,13 @@ type Options struct {
 	ABFraction int
 }
 
+func (o *Options) validate() error {
+	if o.ABFraction < 0 {
+		return fmt.Errorf("serve: ABFraction must be >= 0 (0 disables shadowing), got %d", o.ABFraction)
+	}
+	return nil
+}
+
 func (o *Options) setDefaults() {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 32
@@ -186,6 +193,11 @@ type lane struct {
 	features int
 	reqs     chan *request
 
+	// requests counts accepted Localize calls for this key since the engine
+	// started — monotonic, never reset by swaps — so a fleet router can read
+	// per-shard, per-key load out of Stats.Keys.
+	requests atomic.Int64
+
 	// shadow marks the candidate lane of an A/B pair: dispatch pins the
 	// key's staged candidate instead of the live snapshot, records the
 	// prediction in ab, and answers nobody. sampleSeq drives this key's
@@ -242,6 +254,7 @@ type Engine struct {
 
 	workers sync.WaitGroup
 	reqPool sync.Pool
+	started time.Time
 
 	// Throughput and latency counters (atomic; see Stats).
 	requests  atomic.Int64
@@ -264,12 +277,16 @@ func New(reg *localizer.Registry, opts Options) (*Engine, error) {
 	if reg == nil {
 		return nil, errors.New("serve: nil registry")
 	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts.setDefaults()
 	e := &Engine{
 		reg:         reg,
 		opts:        opts,
 		lanes:       make(map[localizer.Key]*lane),
 		shadowLanes: make(map[localizer.Key]*lane),
+		started:     time.Now(),
 	}
 	e.cond = sync.NewCond(&e.runMu)
 	e.reqPool.New = func() any {
@@ -347,6 +364,7 @@ func (e *Engine) Localize(ctx context.Context, key localizer.Key, rss []float64)
 	e.schedule(l)
 	e.sendMu.RUnlock()
 	e.requests.Add(1)
+	l.requests.Add(1)
 
 	select {
 	case rp := <-r.result:
@@ -826,8 +844,18 @@ func (e *Engine) Close() {
 	e.workers.Wait()
 }
 
+// KeyStats is one lane's share of the engine's load: a monotonic count of
+// accepted requests for that key since the engine started. A fleet router
+// merges these across shards into the per-shard load view.
+type KeyStats struct {
+	Key      localizer.Key `json:"key"`
+	Requests int64         `json:"requests"`
+}
+
 // Stats is a point-in-time snapshot of the engine's counters.
 type Stats struct {
+	// Uptime is how long the engine has been running.
+	Uptime time.Duration `json:"uptime_ns"`
 	// Requests is the number of accepted Localize calls (both routing
 	// stages count).
 	Requests int64 `json:"requests"`
@@ -852,6 +880,9 @@ type Stats struct {
 	ShadowBatches int64     `json:"shadow_batches"`
 	ShadowRows    int64     `json:"shadow_rows"`
 	AB            []ABStats `json:"ab,omitempty"`
+	// Keys is the per-key monotonic request count of every lane, ordered by
+	// key — the per-shard load breakdown a fleet router aggregates.
+	Keys []KeyStats `json:"keys,omitempty"`
 }
 
 // Stats returns a snapshot of the engine's throughput and latency counters.
@@ -862,9 +893,15 @@ func (e *Engine) Stats() Stats {
 	for _, l := range e.shadowLanes {
 		ab = append(ab, l.abStats())
 	}
+	keys := make([]KeyStats, 0, len(e.lanes))
+	for _, l := range e.lanes {
+		keys = append(keys, KeyStats{Key: l.key, Requests: l.requests.Load()})
+	}
 	e.laneMu.RUnlock()
 	sort.Slice(ab, func(i, j int) bool { return ab[i].Key.Less(ab[j].Key) })
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Key.Less(keys[j].Key) })
 	s := Stats{
+		Uptime:         time.Since(e.started),
 		Requests:       e.requests.Load(),
 		Batches:        e.batches.Load(),
 		Rows:           e.rows.Load(),
@@ -874,6 +911,7 @@ func (e *Engine) Stats() Stats {
 		ShadowBatches:  e.shadowBatches.Load(),
 		ShadowRows:     e.shadowRows.Load(),
 		AB:             ab,
+		Keys:           keys,
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(s.Rows) / float64(s.Batches)
