@@ -535,8 +535,15 @@ func seriesMean(s []float64) float64 {
 // APs, 61 RPs, d_k=74) with a synthetic attention memory — serving cost
 // depends only on shapes, not on trained weights, so benches skip training.
 func paperShapeModel(b *testing.B, memory int) *core.Model {
+	return paperShapeModelPrec(b, memory, mat.PrecFloat64)
+}
+
+// paperShapeModelPrec is paperShapeModel with a serving precision — the
+// packed weight and memory snapshots quantize once, activations stay float64.
+func paperShapeModelPrec(b *testing.B, memory int, prec mat.Precision) *core.Model {
 	b.Helper()
 	cfg := core.PaperConfig()
+	cfg.Precision = prec
 	m, err := core.NewModel(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -569,42 +576,57 @@ func randQueries(n, features int) [][]float64 {
 	return qs
 }
 
+// servePrecisions are the packed-weight serving precisions the steady-state
+// benches sweep; float64 is the baseline the ≥1.5× float32 single-query
+// acceptance criterion is measured against.
+var servePrecisions = []mat.Precision{mat.PrecFloat64, mat.PrecFloat32, mat.PrecInt8}
+
 // BenchmarkSteadyStateSingleQuery is the tentpole acceptance bench: the
 // single-query Predictor path at paper shapes must report 0 allocs/op once
-// the workspace and packed weight views are warm.
+// the workspace and packed weight views are warm — at every serving
+// precision — and the float32 variant must beat float64 by ≥1.5×
+// (min-of-N interleaved via scripts/benchmin.sh).
 func BenchmarkSteadyStateSingleQuery(b *testing.B) {
-	m := paperShapeModel(b, 512)
-	q := randQueries(1, core.PaperConfig().NumAPs)
-	x := mat.FromSlice(1, len(q[0]), q[0])
-	p := m.Predictor()
-	dst := make([]int, 1)
-	p.PredictInto(dst, x) // warm workspace and packed views
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.PredictInto(dst, x)
+	for _, prec := range servePrecisions {
+		b.Run(prec.String(), func(b *testing.B) {
+			m := paperShapeModelPrec(b, 512, prec)
+			q := randQueries(1, core.PaperConfig().NumAPs)
+			x := mat.FromSlice(1, len(q[0]), q[0])
+			p := m.Predictor()
+			dst := make([]int, 1)
+			p.PredictInto(dst, x) // warm workspace, packed views, quant scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PredictInto(dst, x)
+			}
+		})
 	}
 }
 
 // BenchmarkSteadyStateBatch measures the workspace batch path (one handle,
-// reused buffers) at a serving-window batch size.
+// reused buffers) at a serving-window batch size, at every serving precision.
 func BenchmarkSteadyStateBatch(b *testing.B) {
-	m := paperShapeModel(b, 512)
-	features := core.PaperConfig().NumAPs
-	qs := randQueries(8, features)
-	x := mat.New(8, features)
-	for i, q := range qs {
-		copy(x.Row(i), q)
+	for _, prec := range servePrecisions {
+		b.Run(prec.String(), func(b *testing.B) {
+			m := paperShapeModelPrec(b, 512, prec)
+			features := core.PaperConfig().NumAPs
+			qs := randQueries(8, features)
+			x := mat.New(8, features)
+			for i, q := range qs {
+				copy(x.Row(i), q)
+			}
+			p := m.Predictor()
+			dst := make([]int, 8)
+			p.PredictInto(dst, x)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PredictInto(dst, x)
+			}
+			b.ReportMetric(8*float64(b.N)/b.Elapsed().Seconds(), "fingerprints/s")
+		})
 	}
-	p := m.Predictor()
-	dst := make([]int, 8)
-	p.PredictInto(dst, x)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.PredictInto(dst, x)
-	}
-	b.ReportMetric(8*float64(b.N)/b.Elapsed().Seconds(), "fingerprints/s")
 }
 
 // serveClients drives exactly `clients` concurrent goroutines through fn
@@ -781,13 +803,17 @@ func BenchmarkRoutingDispatch(b *testing.B) {
 }
 
 // BenchmarkMatMulPackedShapes compares the plain row-major product against
-// the packed-operand and fused-epilogue kernels at CALLOC shapes.
+// the packed-operand and fused-epilogue kernels at CALLOC shapes, at every
+// serving precision. The float32 and int8 variants stream 2×/8× fewer weight
+// bytes per product — the bandwidth cut behind the single-query speedup.
 func BenchmarkMatMulPackedShapes(b *testing.B) {
 	for _, sh := range matShapes {
 		rng := rand.New(rand.NewSource(2))
 		x := randDense(rng, sh.m, sh.k)
 		y := randDense(rng, sh.k, sh.n)
 		p := mat.Pack(y)
+		pf := mat.PackPrec(y, mat.PrecFloat32)
+		pq := mat.PackPrec(y, mat.PrecInt8)
 		bias := make([]float64, sh.n)
 		for i := range bias {
 			bias[i] = rng.NormFloat64()
@@ -799,7 +825,11 @@ func BenchmarkMatMulPackedShapes(b *testing.B) {
 		}{
 			{"plain", func() { mat.MulInto(dst, x, y) }},
 			{"packed", func() { mat.MulPackedInto(dst, x, p) }},
+			{"packed_f32", func() { mat.MulPackedInto(dst, x, pf) }},
+			{"packed_i8", func() { mat.MulPackedInto(dst, x, pq) }},
 			{"packed_bias_relu", func() { mat.MulPackedBiasActInto(dst, x, p, bias, mat.ActReLU) }},
+			{"packed_f32_bias_relu", func() { mat.MulPackedBiasActInto(dst, x, pf, bias, mat.ActReLU) }},
+			{"packed_i8_bias_relu", func() { mat.MulPackedBiasActInto(dst, x, pq, bias, mat.ActReLU) }},
 		} {
 			b.Run(sh.name+"/"+variant.name, func(b *testing.B) {
 				prev := mat.SetParallelism(1)

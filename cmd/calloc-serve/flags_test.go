@@ -65,6 +65,24 @@ func TestValidateRejectsMismatchedFloorCount(t *testing.T) {
 	}
 }
 
+// An unknown -precision must fail at flag validation, before any dataset
+// loads or quick-training starts; the known spellings (and the empty string,
+// which means the float64 default) must pass.
+func TestValidateRejectsUnknownPrecision(t *testing.T) {
+	f := baseFlags()
+	f.precision = "fp16"
+	err := f.validate()
+	if err == nil || !strings.Contains(err.Error(), "-precision") || !strings.Contains(err.Error(), `"fp16"`) {
+		t.Fatalf("want -precision error naming fp16, got %v", err)
+	}
+	for _, ok := range []string{"", "float64", "float32", "int8", " int8 "} {
+		f.precision = ok
+		if err := f.validate(); err != nil {
+			t.Fatalf("precision %q rejected: %v", ok, err)
+		}
+	}
+}
+
 func TestValidateRequiresData(t *testing.T) {
 	f := baseFlags()
 	f.data = ""

@@ -71,6 +71,7 @@ import (
 // rejects misconfigurations before any dataset loads or training starts.
 type serveFlags struct {
 	data, weights, backends, floors, addr, shards string
+	precision                                     string
 	trainEpochs, maxBatch, workers, queueCap      int
 	feedbackMin, abFraction, stageAfter           int
 	regretWindow, retries                         int
@@ -89,6 +90,7 @@ func main() {
 	flag.StringVar(&f.backends, "backends", "calloc,knn,bayes", "comma-separated backends to serve: calloc, knn, bayes, gpc, gbdt, dnn")
 	flag.StringVar(&f.floors, "floors", "", "comma-separated global floor index per -data file (default 0,1,...)")
 	flag.IntVar(&f.trainEpochs, "train-epochs", 10, "epochs per lesson when quick-training CALLOC without -weights")
+	flag.StringVar(&f.precision, "precision", "float64", "CALLOC packed-weight serving precision: float64 (default), float32, or int8 (quantized snapshots; training stays float64)")
 	flag.StringVar(&f.addr, "addr", ":8080", "HTTP listen address")
 	flag.IntVar(&f.maxBatch, "max-batch", 32, "max coalesced requests per model call")
 	flag.DurationVar(&f.maxWait, "max-wait", 500*time.Microsecond, "max time the first request of a window waits (negative: dispatch immediately)")

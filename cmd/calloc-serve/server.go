@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"calloc/internal/fingerprint"
+	"calloc/internal/mat"
 	"calloc/internal/node"
 	"calloc/internal/serve"
 )
@@ -32,6 +33,9 @@ func (f *serveFlags) validate() error {
 		if !node.ValidBackend(b) {
 			return fmt.Errorf("unknown backend %q in -backends (known: %s)", b, strings.Join(node.KnownBackends, ", "))
 		}
+	}
+	if _, err := mat.ParsePrecision(strings.TrimSpace(f.precision)); err != nil {
+		return fmt.Errorf("-precision: %w", err)
 	}
 	nData := len(splitList(f.data))
 	if f.weights != "" {
@@ -100,6 +104,7 @@ func runServe(f serveFlags) error {
 	cfg := node.Config{
 		Backends:    splitList(f.backends),
 		TrainEpochs: f.trainEpochs,
+		Precision:   strings.TrimSpace(f.precision),
 		Engine: serve.Options{
 			MaxBatch: f.maxBatch, MaxWait: f.maxWait, Workers: f.workers,
 			QueueCap: f.queueCap, ABFraction: f.abFraction,

@@ -10,7 +10,11 @@
 // the model itself at fixed ε.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"calloc/internal/mat"
+)
 
 // Config describes a CALLOC model instance.
 type Config struct {
@@ -34,6 +38,13 @@ type Config struct {
 	MemoryPerClass int
 	// Seed drives weight initialisation and all stochastic layers.
 	Seed int64
+	// Precision selects the packed-weight snapshot format of the serving
+	// path (mat.PrecFloat64, PrecFloat32, or PrecInt8). Training, gradients,
+	// and checkpoints always stay float64 — reduced precision only changes
+	// the immutable views the inference GEMMs stream, quantized once per
+	// weight update. The zero value is PrecFloat64, so existing configs and
+	// old gob checkpoints keep full precision.
+	Precision mat.Precision
 }
 
 // DefaultConfig returns the architecture of §V.A sized for a concrete
@@ -79,6 +90,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: NoiseSigma %g negative", c.NoiseSigma)
 	case c.HyperspaceLambda < 0:
 		return fmt.Errorf("core: HyperspaceLambda %g negative", c.HyperspaceLambda)
+	case !c.Precision.Valid():
+		return fmt.Errorf("core: invalid Precision %d", c.Precision)
 	}
 	return nil
 }

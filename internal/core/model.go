@@ -33,6 +33,13 @@ type Model struct {
 	memKeys *mat.Matrix // cached eval-mode EmbedO(memX), refreshed after training
 	memKpT  *mat.Matrix // cached key projection memKeys·Wk, transposed (dk×M) for the axpy-kernel scores GEMM
 
+	// Packed snapshots of memKpT and memV at Cfg.Precision, rebuilt by
+	// RefreshMemoryKeys. With these (plus the per-Param packed views) all
+	// three attention GEMMs of the serving path stream snapshot-precision
+	// panels; memV's one-hot labels quantize exactly at every precision.
+	memKpTP *mat.Packed
+	memVP   *mat.Packed
+
 	// predPool recycles Predictor handles (and their workspaces) for the
 	// pooled Predict/PredictBatch entry points and batch shard workers.
 	predPool sync.Pool
@@ -106,6 +113,13 @@ func (m *Model) MemorySize() int {
 func (m *Model) RefreshMemoryKeys() {
 	m.memKeys = m.embedO.Infer(m.memX)
 	m.memKpT = m.attn.ProjectKeys(m.memKeys).Transpose()
+	if m.memKpTP == nil {
+		m.memKpTP = mat.PackPrec(m.memKpT, m.Cfg.Precision)
+		m.memVP = mat.PackPrec(m.memV, m.Cfg.Precision)
+	} else {
+		m.memKpTP.Repack(m.memKpT)
+		m.memVP.Repack(m.memV)
+	}
 }
 
 // Params returns every trainable parameter of the model.
@@ -134,6 +148,24 @@ func (m *Model) ParamBreakdown() (embed, attn, fc int) {
 // ModelSizeKB returns the deployed model size in kilobytes assuming float32
 // weights, the figure the paper quotes as 254.84 kB.
 func (m *Model) ModelSizeKB() float64 { return float64(m.NumParams()) * 4 / 1024 }
+
+// Footprint reports the serving precision and the resident byte size of the
+// packed snapshots the inference path actually streams per query: the three
+// weight-side GEMM operands (embedC.W, attn.Wq, fc.W) plus the packed memory
+// key projection and value matrix. Biases and training-only tensors (embedO,
+// Wk, gradients) are excluded — this is the per-query bandwidth footprint
+// that decides how many {floor, backend} models stay hot in cache, surfaced
+// through /v1/models via localizer.FootprintReporter.
+func (m *Model) Footprint() (precision string, weightBytes int64) {
+	prec := m.Cfg.Precision
+	weightBytes = m.denseC.W.PackedPrec(prec).WeightBytes() +
+		m.attn.Wq.PackedPrec(prec).WeightBytes() +
+		m.denseF.W.PackedPrec(prec).WeightBytes()
+	if m.memKpTP != nil {
+		weightBytes += m.memKpTP.WeightBytes() + m.memVP.WeightBytes()
+	}
+	return prec.String(), weightBytes
+}
 
 // Logits runs the inference path of Fig 3's online phase: embed the unknown
 // fingerprint into H^C, attend over the cached database keys, and classify.

@@ -25,9 +25,13 @@ type Predictor struct {
 	ws *nn.Workspace
 }
 
-// Predictor returns a new inference handle for the model.
+// Predictor returns a new inference handle for the model. The handle's
+// workspace is pinned to the model's serving precision (Cfg.Precision), so
+// every fused product it issues draws packed views of that format.
 func (m *Model) Predictor() *Predictor {
-	return &Predictor{m: m, ws: nn.NewWorkspace()}
+	ws := nn.NewWorkspace()
+	ws.SetPrecision(m.Cfg.Precision)
+	return &Predictor{m: m, ws: ws}
 }
 
 // logits runs the workspace forward pass: embed the query fingerprints into
@@ -40,7 +44,7 @@ func (p *Predictor) logits(x *mat.Matrix) *mat.Matrix {
 	}
 	p.ws.Reset()
 	hc := m.embedC.InferInto(p.ws, x)
-	att := m.attn.InferProjectedTInto(p.ws, hc, m.memKpT, m.memV)
+	att := m.attn.InferPackedTInto(p.ws, hc, m.memKpTP, m.memVP)
 	return m.fc.InferInto(p.ws, att)
 }
 

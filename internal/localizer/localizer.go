@@ -56,3 +56,13 @@ func Unwrap(l Localizer) any {
 	}
 	return l
 }
+
+// FootprintReporter is optionally implemented by estimators that can report
+// their serving memory footprint: the packed-weight precision ("float64",
+// "float32", "int8") and the resident bytes of the snapshots the inference
+// path streams per query. Registry.List surfaces it (via Unwrap) in each
+// Info, so /v1/models shows the per-model footprint fleet-wide; backends
+// without packed snapshots simply omit the fields.
+type FootprintReporter interface {
+	Footprint() (precision string, weightBytes int64)
+}

@@ -451,6 +451,11 @@ type Info struct {
 	// nothing is staged. CandidateName labels it.
 	CandidateVersion uint64 `json:"candidate_version,omitempty"`
 	CandidateName    string `json:"candidate_name,omitempty"`
+	// Precision and WeightBytes report the packed-snapshot footprint for
+	// backends whose estimator implements FootprintReporter; both are empty
+	// for backends without packed weights.
+	Precision   string `json:"precision,omitempty"`
+	WeightBytes int64  `json:"weight_bytes,omitempty"`
 }
 
 // List returns every registered localizer ordered by building, floor,
@@ -470,6 +475,9 @@ func (r *Registry) List() []Info {
 		if c := e.cand.Load(); c != nil {
 			info.CandidateVersion = c.Version
 			info.CandidateName = c.Localizer.Name()
+		}
+		if fr, ok := Unwrap(s.Localizer).(FootprintReporter); ok {
+			info.Precision, info.WeightBytes = fr.Footprint()
 		}
 		out = append(out, info)
 	}

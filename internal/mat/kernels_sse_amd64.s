@@ -1,0 +1,122 @@
+#include "textflag.h"
+
+// func axpy4F32SSE(acc *float32, w *float32, stride int, x *[4]float32, n int)
+//
+// acc[j] += x[0]*w[j] + x[1]*w[stride+j] + x[2]*w[2*stride+j] + x[3]*w[3*stride+j]
+//
+// X4..X7 hold the four broadcast multipliers; the main loop retires eight
+// accumulator lanes per iteration (two XMM registers) so the four
+// multiply-add chains overlap, then a 4-wide and a scalar tail finish the
+// window. Plain SSE2 only — no AVX, no feature detection.
+TEXT ·axpy4F32SSE(SB), NOSPLIT, $0-40
+	MOVQ acc+0(FP), DI
+	MOVQ w+8(FP), SI
+	MOVQ stride+16(FP), R8
+	MOVQ x+24(FP), AX
+	MOVQ n+32(FP), CX
+
+	MOVSS  0(AX), X4
+	SHUFPS $0x00, X4, X4
+	MOVSS  4(AX), X5
+	SHUFPS $0x00, X5, X5
+	MOVSS  8(AX), X6
+	SHUFPS $0x00, X6, X6
+	MOVSS  12(AX), X7
+	SHUFPS $0x00, X7, X7
+
+	// Row base pointers: SI, R9, R10, R11 walk the four panel rows.
+	LEAQ (SI)(R8*4), R9
+	LEAQ (R9)(R8*4), R10
+	LEAQ (R10)(R8*4), R11
+
+loop8:
+	CMPQ CX, $8
+	JL   loop4
+	MOVUPS 0(DI), X0
+	MOVUPS 16(DI), X1
+	MOVUPS 0(SI), X2
+	MULPS  X4, X2
+	ADDPS  X2, X0
+	MOVUPS 16(SI), X3
+	MULPS  X4, X3
+	ADDPS  X3, X1
+	MOVUPS 0(R9), X2
+	MULPS  X5, X2
+	ADDPS  X2, X0
+	MOVUPS 16(R9), X3
+	MULPS  X5, X3
+	ADDPS  X3, X1
+	MOVUPS 0(R10), X2
+	MULPS  X6, X2
+	ADDPS  X2, X0
+	MOVUPS 16(R10), X3
+	MULPS  X6, X3
+	ADDPS  X3, X1
+	MOVUPS 0(R11), X2
+	MULPS  X7, X2
+	ADDPS  X2, X0
+	MOVUPS 16(R11), X3
+	MULPS  X7, X3
+	ADDPS  X3, X1
+	MOVUPS X0, 0(DI)
+	MOVUPS X1, 16(DI)
+	ADDQ   $32, DI
+	ADDQ   $32, SI
+	ADDQ   $32, R9
+	ADDQ   $32, R10
+	ADDQ   $32, R11
+	SUBQ   $8, CX
+	JMP    loop8
+
+loop4:
+	CMPQ CX, $4
+	JL   tail
+	MOVUPS 0(DI), X0
+	MOVUPS 0(SI), X2
+	MULPS  X4, X2
+	ADDPS  X2, X0
+	MOVUPS 0(R9), X2
+	MULPS  X5, X2
+	ADDPS  X2, X0
+	MOVUPS 0(R10), X2
+	MULPS  X6, X2
+	ADDPS  X2, X0
+	MOVUPS 0(R11), X2
+	MULPS  X7, X2
+	ADDPS  X2, X0
+	MOVUPS X0, 0(DI)
+	ADDQ   $16, DI
+	ADDQ   $16, SI
+	ADDQ   $16, R9
+	ADDQ   $16, R10
+	ADDQ   $16, R11
+	SUBQ   $4, CX
+	JMP    loop4
+
+tail:
+	TESTQ CX, CX
+	JLE   done
+	MOVSS 0(DI), X0
+	MOVSS 0(SI), X2
+	MULSS X4, X2
+	ADDSS X2, X0
+	MOVSS 0(R9), X2
+	MULSS X5, X2
+	ADDSS X2, X0
+	MOVSS 0(R10), X2
+	MULSS X6, X2
+	ADDSS X2, X0
+	MOVSS 0(R11), X2
+	MULSS X7, X2
+	ADDSS X2, X0
+	MOVSS X0, 0(DI)
+	ADDQ  $4, DI
+	ADDQ  $4, SI
+	ADDQ  $4, R9
+	ADDQ  $4, R10
+	ADDQ  $4, R11
+	DECQ  CX
+	JMP   tail
+
+done:
+	RET

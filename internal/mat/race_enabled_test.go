@@ -1,0 +1,7 @@
+//go:build race
+
+package mat
+
+// Under the race detector sync.Pool deliberately drops items to expose
+// lifetime bugs, so pooled-scratch paths cannot hold a 0 allocs/op bound.
+const raceEnabled = true

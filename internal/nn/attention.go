@@ -179,6 +179,31 @@ func (ca *CrossAttention) InferProjectedTInto(ws *Workspace, q, kpT, v *mat.Matr
 	return ca.attendInto(ws, scores, v)
 }
 
+// InferPackedTInto is InferProjectedTInto with the memory operands supplied
+// as Packed snapshots — kpT = ProjectKeys(k)ᵀ and the value matrix v, both
+// packed at the caller's serving precision (core.Model.RefreshMemoryKeys
+// rebuilds them per weight update). With Wq drawn at the workspace precision
+// too, all three GEMMs of the attention pass (query projection, scores,
+// value mix) stream reduced-precision panels; the softmax and every
+// activation row stay float64. Cache-free and safe for concurrent use as
+// long as each goroutine owns its workspace.
+func (ca *CrossAttention) InferPackedTInto(ws *Workspace, q *mat.Matrix, kpT, v *mat.Packed) *mat.Matrix {
+	if q.Cols != ca.Wq.W.Rows || kpT.Rows() != ca.DK {
+		panic(fmt.Sprintf("nn: CrossAttention dims q%dx%d kpT%dx%d vs W %dx%d",
+			q.Rows, q.Cols, kpT.Rows(), kpT.Cols(), ca.Wq.W.Rows, ca.Wq.W.Cols))
+	}
+	if kpT.Cols() != v.Rows() {
+		panic(fmt.Sprintf("nn: CrossAttention memory mismatch KpT cols %d vs V rows %d", kpT.Cols(), v.Rows()))
+	}
+	qp := mat.MulPackedInto(ws.Take(q.Rows, ca.DK), q, ca.Wq.PackedPrec(ws.Precision()))
+	scores := mat.MulPackedInto(ws.Take(q.Rows, kpT.Cols()), qp, kpT)
+	scores.ScaleInPlace(1 / math.Sqrt(float64(ca.DK)))
+	for i := 0; i < scores.Rows; i++ {
+		mat.SoftmaxRow(scores.Row(i), scores.Row(i))
+	}
+	return mat.MulPackedInto(ws.Take(scores.Rows, v.Cols()), scores, v)
+}
+
 // Backward takes dL/d(output) (B×C) and returns (dL/dq, dL/dk). Parameter
 // gradients accumulate into Wq.G and Wk.G. V is treated as constant.
 func (ca *CrossAttention) Backward(gradOut *mat.Matrix) (dq, dk *mat.Matrix) {

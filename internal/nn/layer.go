@@ -74,12 +74,13 @@ func (d *Dense) Infer(x *mat.Matrix) *mat.Matrix {
 }
 
 // InferActInto computes act(x·W + b) into a workspace buffer using the
-// layer's lazily-packed weights, with the bias add and activation fused into
-// the product pass. Zero steady-state allocations; the result is valid until
-// ws is Reset. Backward must not follow.
+// layer's lazily-packed weights at the workspace's precision, with the bias
+// add and activation fused into the product pass. Zero steady-state
+// allocations; the result is valid until ws is Reset. Backward must not
+// follow.
 func (d *Dense) InferActInto(ws *Workspace, x *mat.Matrix, act mat.Activation) *mat.Matrix {
 	y := ws.Take(x.Rows, d.W.W.Cols)
-	return mat.MulPackedBiasActInto(y, x, d.W.Packed(), d.B.W.Data, act)
+	return mat.MulPackedBiasActInto(y, x, d.W.PackedPrec(ws.Precision()), d.B.W.Data, act)
 }
 
 // Backward accumulates ∂L/∂W and ∂L/∂b and returns ∂L/∂x.

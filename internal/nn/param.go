@@ -18,18 +18,21 @@ import (
 // Param is one trainable tensor: its value W and accumulated gradient G.
 // Layers expose their Params so optimizers can update them in place.
 //
-// Param also maintains a lazily-packed snapshot view of W (mat.Packed) for
-// the hot inference GEMMs. The view is invalidated by a version counter: every
-// in-place mutation of W must call NoteUpdate, and Packed repacks on first
-// use after a bump. The optimizers, initialisers, Restore, and weight
-// deserialisation all do this; code that writes W.Data directly must too.
+// Param also maintains lazily-packed snapshot views of W (mat.Packed) for
+// the hot inference GEMMs — one cached slot per mat.Precision, so a float64
+// training path and a reduced-precision serving path can share the Param
+// without evicting each other's snapshot. The views are invalidated by a
+// version counter: every in-place mutation of W must call NoteUpdate, and
+// Packed/PackedPrec repack on first use after a bump. The optimizers,
+// initialisers, Restore, and weight deserialisation all do this; code that
+// writes W.Data directly must too.
 type Param struct {
 	Name string
 	W    *mat.Matrix
 	G    *mat.Matrix
 
 	version atomic.Uint64
-	packed  atomic.Pointer[packedView]
+	packed  [mat.NumPrecisions]atomic.Pointer[packedView]
 }
 
 // packedView snapshots a packed copy of W together with the weight version
@@ -45,17 +48,24 @@ type packedView struct {
 // serve.Engine.Refresh).
 func (p *Param) NoteUpdate() { p.version.Add(1) }
 
-// Packed returns the packed snapshot view of W, repacking at most once per
-// NoteUpdate. Concurrent callers may briefly pack twice; both results are
-// equivalent and one wins the cache. The returned view must be treated as
-// read-only and goes stale at the next weight update.
-func (p *Param) Packed() *mat.Packed {
+// Packed returns the full-precision (float64) packed snapshot view of W,
+// repacking at most once per NoteUpdate. Concurrent callers may briefly pack
+// twice; both results are equivalent and one wins the cache. The returned
+// view must be treated as read-only and goes stale at the next weight update.
+func (p *Param) Packed() *mat.Packed { return p.PackedPrec(mat.PrecFloat64) }
+
+// PackedPrec is Packed at an explicit snapshot precision: reduced-precision
+// views are quantized from the float64 weights at pack time and cached per
+// precision under the same version counter, so serving at float32/int8 costs
+// one quantization per weight update, not per query.
+func (p *Param) PackedPrec(prec mat.Precision) *mat.Packed {
 	v := p.version.Load()
-	if pv := p.packed.Load(); pv != nil && pv.version == v {
+	slot := &p.packed[prec]
+	if pv := slot.Load(); pv != nil && pv.version == v {
 		return pv.p
 	}
-	pk := mat.Pack(p.W)
-	p.packed.Store(&packedView{version: v, p: pk})
+	pk := mat.PackPrec(p.W, prec)
+	slot.Store(&packedView{version: v, p: pk})
 	return pk
 }
 

@@ -16,10 +16,21 @@ import "calloc/internal/mat"
 type Workspace struct {
 	bufs []*mat.Matrix
 	next int
+	prec mat.Precision
 }
 
 // NewWorkspace returns an empty workspace; buffers are grown on first use.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// SetPrecision selects the packed-weight precision that InferInto (and the
+// attention InferPacked* variants) use for every fused product through this
+// workspace. The default is float64 — identical to pre-precision behaviour.
+// Activations and workspace buffers stay float64 at every precision; only
+// the weight-side snapshots change representation.
+func (w *Workspace) SetPrecision(p mat.Precision) { w.prec = p }
+
+// Precision returns the workspace's packed-weight precision.
+func (w *Workspace) Precision() mat.Precision { return w.prec }
 
 // Reset recycles every buffer for the next inference pass. Outputs handed
 // out since the previous Reset are invalidated.

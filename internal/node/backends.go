@@ -18,12 +18,12 @@ import (
 // calloc backend it also returns the quick-train checkpoint (nil when
 // weights were loaded), which seeds the floor's fine-tune trainer.
 func buildBackend(backend string, ds *fingerprint.Dataset, callocWeights []byte, trainEpochs int,
-	logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
+	prec mat.Precision, logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
 	x := fingerprint.X(ds.Train)
 	labels := fingerprint.Labels(ds.Train)
 	switch backend {
 	case "calloc":
-		return buildCALLOC(ds, callocWeights, trainEpochs, logf)
+		return buildCALLOC(ds, callocWeights, trainEpochs, prec, logf)
 	case "knn":
 		c, err := knn.New(x, labels, 3)
 		if err != nil {
@@ -62,10 +62,13 @@ func buildBackend(backend string, ds *fingerprint.Dataset, callocWeights []byte,
 // buildCALLOC constructs a CALLOC model over the dataset: deserialising
 // weights when given (the /v1/swap path passes trainEpochs 0), quick-training
 // otherwise. Quick-training captures the final per-lesson checkpoint so the
-// fine-tune trainer continues from it with warm optimizer state.
+// fine-tune trainer continues from it with warm optimizer state. prec is the
+// packed-snapshot precision the model serves at; training stays float64.
 func buildCALLOC(ds *fingerprint.Dataset, weights []byte, trainEpochs int,
-	logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
-	model, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))
+	prec mat.Precision, logf func(string, ...any)) (localizer.Localizer, *core.TrainCheckpoint, error) {
+	cfg := core.DefaultConfig(ds.NumAPs, ds.NumRPs)
+	cfg.Precision = prec
+	model, err := core.NewModel(cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -24,8 +24,12 @@ func TestConfigValidate(t *testing.T) {
 		{"negative floor", node.Config{Floors: []int{0, -1}}, 2, "negative floor"},
 		{"duplicate floor", node.Config{Floors: []int{3, 3}}, 2, "duplicate floor"},
 		{"negative ab", node.Config{Engine: serve.Options{ABFraction: -1}}, 2, "ABFraction"},
+		{"unknown precision", node.Config{Precision: "fp16"}, 2, `"fp16"`},
 		{"valid defaults", node.Config{}, 2, ""},
 		{"valid fleet shard", node.Config{Backends: []string{"calloc"}, Floors: []int{2, 3}}, 2, ""},
+		{"valid float32 precision", node.Config{Precision: "float32"}, 2, ""},
+		{"valid int8 precision", node.Config{Precision: " int8 "}, 2, ""},
+		{"valid empty precision defaults float64", node.Config{Precision: ""}, 2, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -115,7 +115,7 @@ func (n *Node) handleSwap(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "weights must be base64: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	loc, _, err := buildCALLOC(ds, blob, 0, n.cfg.Logf)
+	loc, _, err := buildCALLOC(ds, blob, 0, n.prec, n.cfg.Logf)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -32,6 +32,7 @@ import (
 	"calloc/internal/curriculum"
 	"calloc/internal/fingerprint"
 	"calloc/internal/localizer"
+	"calloc/internal/mat"
 	"calloc/internal/serve"
 	"calloc/internal/train"
 )
@@ -62,6 +63,13 @@ type Config struct {
 	Floors      []int
 	WeightBlobs [][]byte // per-dataset CALLOC weights; nil quick-trains
 	TrainEpochs int      // epochs per lesson when quick-training
+
+	// Precision selects the packed-weight snapshot format of the CALLOC
+	// serving path: "float64" (the default; the empty string means the
+	// same), "float32", or "int8". It applies to every CALLOC model the
+	// node builds — initial fit, /v1/swap uploads, and fine-tune candidates
+	// — while training and checkpoints stay float64 throughout.
+	Precision string
 
 	Engine serve.Options
 
@@ -101,6 +109,9 @@ func (c *Config) Validate(numDatasets int) error {
 				strings.TrimSpace(b), strings.Join(KnownBackends, ", "))
 		}
 	}
+	if _, err := mat.ParsePrecision(strings.TrimSpace(c.Precision)); err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
 	if c.WeightBlobs != nil && len(c.WeightBlobs) != numDatasets {
 		return fmt.Errorf("node: %d weight blobs for %d floor datasets", len(c.WeightBlobs), numDatasets)
 	}
@@ -137,6 +148,7 @@ type Node struct {
 	engine   *serve.Engine
 	trainers map[int]*train.Trainer // global floor → trainer
 	deflt    string                 // default backend
+	prec     mat.Precision          // CALLOC packed-weight serving precision
 }
 
 // New builds the registry (fitting or loading every backend on every floor),
@@ -159,6 +171,10 @@ func New(datasets []*fingerprint.Dataset, cfg Config) (*Node, error) {
 			floors[i] = i
 		}
 	}
+	prec, err := mat.ParsePrecision(strings.TrimSpace(cfg.Precision))
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
 	n := &Node{
 		cfg:      cfg,
 		building: datasets[0].BuildingID,
@@ -167,6 +183,7 @@ func New(datasets []*fingerprint.Dataset, cfg Config) (*Node, error) {
 		reg:      localizer.NewRegistry(),
 		trainers: make(map[int]*train.Trainer),
 		deflt:    strings.TrimSpace(cfg.Backends[0]),
+		prec:     prec,
 	}
 	for i, ds := range datasets {
 		n.datasets[floors[i]] = ds
@@ -180,7 +197,7 @@ func New(datasets []*fingerprint.Dataset, cfg Config) (*Node, error) {
 			if backend == "calloc" && cfg.WeightBlobs != nil {
 				blob = cfg.WeightBlobs[i]
 			}
-			loc, ckpt, err := buildBackend(backend, ds, blob, cfg.TrainEpochs, cfg.Logf)
+			loc, ckpt, err := buildBackend(backend, ds, blob, cfg.TrainEpochs, prec, cfg.Logf)
 			if err != nil {
 				return nil, err
 			}
@@ -205,7 +222,6 @@ func New(datasets []*fingerprint.Dataset, cfg Config) (*Node, error) {
 		cfg.Logf("node: registered floor classifier over floors %v", floors)
 	}
 
-	var err error
 	n.engine, err = serve.New(n.reg, cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -215,9 +231,11 @@ func New(datasets []*fingerprint.Dataset, cfg Config) (*Node, error) {
 		for i, ds := range datasets {
 			floor := floors[i]
 			key := localizer.Key{Building: n.building, Floor: floor, Backend: "calloc"}
+			coreCfg := core.DefaultConfig(ds.NumAPs, ds.NumRPs)
+			coreCfg.Precision = prec
 			topts := train.Options{
 				Key:             key,
-				Config:          core.DefaultConfig(ds.NumAPs, ds.NumRPs),
+				Config:          coreCfg,
 				Base:            ds.Train,
 				Holdout:         holdoutOf(ds),
 				Checkpoint:      ckpts[floor],

@@ -527,3 +527,54 @@ func TestABPipelineOverHTTP(t *testing.T) {
 	n.Close()
 	closed = true
 }
+
+// /v1/models must report each CALLOC model's packed-weight precision and
+// resident snapshot bytes, and an int8 node's snapshots must be at least 4×
+// smaller than the float64 baseline — the footprint win the fleet observes
+// per node.
+func TestModelsReportPrecisionAndWeightBytes(t *testing.T) {
+	datasets := testFloors(t)[:1]
+	blob := untrainedWeights(t, datasets[0])
+	footprint := func(precision string) localizer.Info {
+		t.Helper()
+		n, err := node.New(datasets, node.Config{
+			Backends:       []string{"calloc"},
+			WeightBlobs:    [][]byte{blob},
+			Precision:      precision,
+			Engine:         serve.Options{MaxBatch: 4, Workers: 1},
+			DisableTrainer: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		ts := httptest.NewServer(n.Handler())
+		defer ts.Close()
+		resp, err := ts.Client().Get(ts.URL + "/v1/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var models []localizer.Info
+		if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+			t.Fatal(err)
+		}
+		if len(models) != 1 {
+			t.Fatalf("got %d models, want 1", len(models))
+		}
+		return models[0]
+	}
+
+	f64 := footprint("float64")
+	if f64.Precision != "float64" || f64.WeightBytes <= 0 {
+		t.Fatalf("float64 node reported precision %q, weight_bytes %d", f64.Precision, f64.WeightBytes)
+	}
+	i8 := footprint("int8")
+	if i8.Precision != "int8" || i8.WeightBytes <= 0 {
+		t.Fatalf("int8 node reported precision %q, weight_bytes %d", i8.Precision, i8.WeightBytes)
+	}
+	if ratio := float64(f64.WeightBytes) / float64(i8.WeightBytes); ratio < 4 {
+		t.Fatalf("int8 snapshots only %.2f× smaller than float64 (f64=%d, int8=%d), want ≥4×",
+			ratio, f64.WeightBytes, i8.WeightBytes)
+	}
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# benchmin.sh — min-of-N interleaved benchmark runner.
+#
+# Runs the selected benchmark matrix N complete times (round-robin, so CPU
+# frequency drift and background noise hit every variant about equally
+# instead of biasing whichever bench ran last) and reports the minimum ns/op
+# per benchmark — the standard low-noise estimator for single-process CPU
+# benches. Speedup claims in BENCH_*.json are min-of-N numbers from this
+# script, not single runs.
+#
+# Usage:
+#   scripts/benchmin.sh                         # default: SteadyState benches, 3 runs
+#   scripts/benchmin.sh -n 5 -b 'MatMulPackedShapes' -t 100x
+#   scripts/benchmin.sh -b 'SteadyStateSingleQuery' -p . -- -benchmem
+#
+#   -n N      complete interleaved runs (default 3)
+#   -b REGEX  -bench regex (default 'SteadyState')
+#   -t TIME   -benchtime per run (default 300x)
+#   -p PKG    package to bench (default .)
+# Arguments after -- are passed through to `go test`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs=3
+bench='SteadyState'
+benchtime='300x'
+pkg='.'
+while getopts "n:b:t:p:h" opt; do
+	case $opt in
+	n) runs=$OPTARG ;;
+	b) bench=$OPTARG ;;
+	t) benchtime=$OPTARG ;;
+	p) pkg=$OPTARG ;;
+	h | *)
+		grep '^#' "$0" | sed 's/^# \{0,1\}//'
+		exit 0
+		;;
+	esac
+done
+shift $((OPTIND - 1))
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+for i in $(seq 1 "$runs"); do
+	echo "== run $i/$runs ==" >&2
+	go test -run '^$' -bench "$bench" -benchtime "$benchtime" "$@" "$pkg" |
+		tee -a "$out" | grep '^Benchmark' >&2
+done
+
+echo
+echo "# min of $runs interleaved runs (ns/op)"
+awk '
+/^Benchmark/ {
+	name = $1
+	ns = $3
+	if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+	if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+	for (i = 1; i <= n; i++) printf "%-64s %12s ns/op\n", order[i], best[order[i]]
+}
+' "$out"
