@@ -10,10 +10,13 @@
 package calloc_test
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -1090,4 +1093,232 @@ func BenchmarkRouterHop(b *testing.B) {
 	}
 	run("direct", nodeSrv.URL+"/v1/localize")
 	run("proxied", frontSrv.URL+"/v1/localize")
+}
+
+// wireDataset builds the small building the wire benches serve: few enough
+// APs and reference points that any backend's per-row predict is noise next
+// to the HTTP exchange it rides in.
+var (
+	wireOnce sync.Once
+	wireDS   *fingerprint.Dataset
+)
+
+func wireDataset(b *testing.B) *fingerprint.Dataset {
+	b.Helper()
+	wireOnce.Do(func() {
+		spec := floorplan.Spec{
+			ID: 91, Name: "Wire", VisibleAPs: 12, PathLengthM: 4,
+			Characteristics: "bench", Model: floorplan.Registry()[2].Model,
+		}
+		bld := floorplan.Build(spec, 1)
+		ds, err := fingerprint.Collect(bld, device.Registry(), fingerprint.DefaultCollectConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wireDS = ds
+	})
+	return wireDS
+}
+
+// rawConn is a keep-alive HTTP/1.1 connection with hand-rolled framing: a
+// prebuilt request byte slice goes out, the status line and Content-Length
+// come back, the body lands in a reused buffer. http.Client costs ~50
+// allocations per request on its own, which would drown the server wire
+// numbers BenchmarkWirePath exists to measure; this client costs ~0.
+type rawConn struct {
+	c   net.Conn
+	br  *bufio.Reader
+	buf []byte
+}
+
+func dialWire(addr string) (*rawConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &rawConn{c: c, br: bufio.NewReaderSize(c, 4096), buf: make([]byte, 0, 4096)}, nil
+}
+
+// roundTrip writes one prebuilt request and parses the response in place.
+// The returned body aliases the connection's reuse buffer.
+func (rc *rawConn) roundTrip(req []byte) (status int, body []byte, err error) {
+	if _, err := rc.c.Write(req); err != nil {
+		return 0, nil, err
+	}
+	line, err := rc.br.ReadSlice('\n')
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(line) < 12 {
+		return 0, nil, fmt.Errorf("short status line %q", line)
+	}
+	status = int(line[9]-'0')*100 + int(line[10]-'0')*10 + int(line[11]-'0')
+	clen := -1
+	for {
+		line, err = rc.br.ReadSlice('\n')
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(line) <= 2 { // blank line: end of headers
+			break
+		}
+		const cl = "Content-Length:"
+		if len(line) > len(cl) && string(line[:len(cl)]) == cl {
+			n := 0
+			for _, ch := range line[len(cl):] {
+				if ch >= '0' && ch <= '9' {
+					n = n*10 + int(ch-'0')
+				}
+			}
+			clen = n
+		}
+	}
+	if clen < 0 {
+		return 0, nil, fmt.Errorf("response without Content-Length")
+	}
+	if cap(rc.buf) < clen {
+		rc.buf = make([]byte, clen)
+	}
+	body = rc.buf[:clen]
+	if _, err := io.ReadFull(rc.br, body); err != nil {
+		return 0, nil, err
+	}
+	return status, body, nil
+}
+
+// rawRequest prebuilds the full HTTP/1.1 request bytes for one POST.
+func rawRequest(path string, body []byte) []byte {
+	return []byte(fmt.Sprintf(
+		"POST %s HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		path, len(body), body))
+}
+
+// BenchmarkWirePath measures the serving wire itself — pooled handler decode
+// → engine round trip → append-style emit — with the raw keep-alive client
+// above, so allocs/op is the SERVER cost (plus a handful for net/http's own
+// per-request framing), not the client's. Arms:
+//
+//	direct_single       one fingerprint per request against the node
+//	direct_batch64      64 fingerprints per /v1/localize/batch request
+//	proxied_single      the same single request through the router hop
+//	proxied_par32       proxied singles at concurrency 32, no coalescing
+//	proxied_coalesced32 concurrency 32 with router-side coalescing into
+//	                    upstream batches (CoalesceBatch 32)
+func BenchmarkWirePath(b *testing.B) {
+	ds := wireDataset(b)
+	// The bayes backend predicts through the same pooled adapter scratch as
+	// the packed calloc path (zero allocations per call) but costs under a
+	// microsecond per row on the small wire building, so the arms measure
+	// the WIRE — decode, engine round trip, emit, proxy hop — rather than
+	// model compute, which batching cannot amortize.
+	n, err := node.New([]*fingerprint.Dataset{ds}, node.Config{
+		Backends:       []string{"bayes"},
+		Engine:         serve.Options{MaxBatch: 64, MaxWait: -1},
+		DisableTrainer: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	nodeSrv := httptest.NewServer(n.Handler())
+	defer nodeSrv.Close()
+	nodeAddr := nodeSrv.Listener.Addr().String()
+
+	mkRouter := func(coalesce int, wait time.Duration) (*cluster.Router, string) {
+		sm, err := cluster.NewStaticMap(
+			map[string]string{"n": nodeSrv.URL},
+			map[cluster.ShardKey]string{{Building: ds.BuildingID, Floor: 0}: "n"},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		router, err := cluster.NewRouter(sm, cluster.RouterOptions{
+			Building: ds.BuildingID, ProbeInterval: -1,
+			CoalesceBatch: coalesce, CoalesceWait: wait,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(router.Handler())
+		b.Cleanup(srv.Close)
+		b.Cleanup(router.Close)
+		return router, srv.Listener.Addr().String()
+	}
+	_, plainAddr := mkRouter(0, 0)
+	_, coAddr := mkRouter(32, 2*time.Millisecond)
+
+	qs := ds.Test["OP3"]
+	single, err := json.Marshal(map[string]any{"rss": qs[0].RSS, "floor": 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	singleReq := rawRequest("/v1/localize", single)
+	var batchBody bytes.Buffer
+	batchBody.WriteString(`{"queries":[`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			batchBody.WriteByte(',')
+		}
+		row, err := json.Marshal(map[string]any{"rss": qs[i%len(qs)].RSS, "floor": 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batchBody.Write(row)
+	}
+	batchBody.WriteString(`]}`)
+	batchReq := rawRequest("/v1/localize/batch", batchBody.Bytes())
+
+	runSeq := func(name, addr string, req []byte, rows int) {
+		b.Run(name, func(b *testing.B) {
+			rc, err := dialWire(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rc.c.Close()
+			if status, _, err := rc.roundTrip(req); err != nil || status != http.StatusOK {
+				b.Fatalf("warmup: status %d, err %v", status, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				status, _, err := rc.roundTrip(req)
+				if err != nil || status != http.StatusOK {
+					b.Fatalf("status %d, err %v", status, err)
+				}
+			}
+			b.ReportMetric(float64(b.N*rows)/b.Elapsed().Seconds(), "rows/s")
+			if rows > 1 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rows), "ns/row")
+			}
+		})
+	}
+	runPar := func(name, addr string, conc int) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetParallelism(conc) // conc goroutines per GOMAXPROCS
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rc, err := dialWire(addr)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer rc.c.Close()
+				for pb.Next() {
+					status, _, err := rc.roundTrip(singleReq)
+					if err != nil || status != http.StatusOK {
+						b.Errorf("status %d, err %v", status, err)
+						return
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+		})
+	}
+
+	runSeq("direct_single", nodeAddr, singleReq, 1)
+	runSeq("direct_batch64", nodeAddr, batchReq, 64)
+	runSeq("proxied_single", plainAddr, singleReq, 1)
+	runPar("proxied_par32", plainAddr, 32)
+	runPar("proxied_coalesced32", coAddr, 32)
 }

@@ -103,6 +103,34 @@ func TestValidateRouterRequiresShards(t *testing.T) {
 	}
 }
 
+// Coalescing knobs are router-mode-only; a stray -router-wait with no window
+// enabled would otherwise silently do nothing.
+func TestValidateRouterCoalesceFlags(t *testing.T) {
+	f := baseFlags()
+	f.router = true
+	f.shards = "shards.json"
+	f.routerBatch = 32
+	f.routerWait = time.Millisecond
+	if err := f.validate(); err != nil {
+		t.Fatalf("coalescing config rejected: %v", err)
+	}
+	f.routerBatch = -1
+	if err := f.validate(); err == nil || !strings.Contains(err.Error(), "-router-batch") {
+		t.Fatalf("want -router-batch error, got %v", err)
+	}
+	f.routerBatch = 0
+	if err := f.validate(); err == nil || !strings.Contains(err.Error(), "-router-wait") {
+		t.Fatalf("want -router-wait-without-batch error, got %v", err)
+	}
+
+	// Node mode must reject the router knobs outright.
+	n := baseFlags()
+	n.routerBatch = 8
+	if err := n.validate(); err == nil || !strings.Contains(err.Error(), "router mode only") {
+		t.Fatalf("want router-mode-only error, got %v", err)
+	}
+}
+
 func TestValidateAcceptsGoodConfig(t *testing.T) {
 	f := baseFlags()
 	f.weights = "f0.model,f1.model"

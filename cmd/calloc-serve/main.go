@@ -76,7 +76,9 @@ type serveFlags struct {
 	feedbackMin, abFraction, stageAfter           int
 	regretWindow, retries                         int
 	promoteAfter                                  int64
+	routerBatch                                   int
 	maxWait, trainerInterval, probeInterval       time.Duration
+	routerWait                                    time.Duration
 	fineTuneLR, minDelta, minAgreement            float64
 	regretDelta                                   float64
 	fineTuneEpochs                                int
@@ -112,6 +114,8 @@ func main() {
 	flag.StringVar(&f.shards, "shards", "", "shard-map JSON file: {building/floor} -> node assignments (router mode)")
 	flag.DurationVar(&f.probeInterval, "probe-interval", 2*time.Second, "router health-probe cadence (negative disables)")
 	flag.IntVar(&f.retries, "retries", 1, "router retry budget per proxied request on a failed shard")
+	flag.IntVar(&f.routerBatch, "router-batch", 0, "router-side coalescing: max concurrent /v1/localize proxies gathered into one upstream batch per shard (<= 1 disables)")
+	flag.DurationVar(&f.routerWait, "router-wait", 0, "router coalesce gather window (default 2ms when -router-batch > 1)")
 	flag.Parse()
 
 	if err := f.validate(); err != nil {

@@ -21,6 +21,8 @@ func runRouter(f serveFlags) error {
 	opts := cluster.RouterOptions{
 		Retries:       f.retries,
 		ProbeInterval: f.probeInterval,
+		CoalesceBatch: f.routerBatch,
+		CoalesceWait:  f.routerWait,
 		Logf:          func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	}
 	if f.data != "" {

@@ -21,7 +21,16 @@ func (f *serveFlags) validate() error {
 		if f.shards == "" {
 			return errors.New("-router requires -shards")
 		}
+		if f.routerBatch < 0 {
+			return fmt.Errorf("-router-batch must be >= 0 (<= 1 disables coalescing), got %d", f.routerBatch)
+		}
+		if f.routerWait != 0 && f.routerBatch <= 1 {
+			return errors.New("-router-wait requires -router-batch > 1 (nothing gathers without a coalesce window)")
+		}
 		return nil
+	}
+	if f.routerBatch != 0 || f.routerWait != 0 {
+		return errors.New("-router-batch/-router-wait apply to router mode only (use -max-batch/-max-wait for the node's engine)")
 	}
 	if f.data == "" {
 		return errors.New("-data is required")

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"calloc/internal/wire"
 )
 
 // ErrShardDown is returned (and surfaced as 502) when the owning shard of a
@@ -45,7 +47,21 @@ type RouterOptions struct {
 	// ProbeInterval is the membership/health probe cadence (default 2s;
 	// negative disables probing).
 	ProbeInterval time.Duration
-	Logf          func(format string, args ...any)
+
+	// CoalesceBatch enables cross-request coalescing on the localize hop:
+	// concurrent single-query proxies bound for the same shard gather into
+	// one upstream /v1/localize/batch call of at most this many rows. The
+	// knob mirrors serve.Options.MaxBatch one level up — the same
+	// amortisation applied to the proxy hop instead of the model call.
+	// Values <= 1 disable coalescing (the default): a mostly-idle router
+	// would otherwise tax every request CoalesceWait of gather latency for
+	// nothing.
+	CoalesceBatch int
+	// CoalesceWait is how long a non-full window gathers before flushing
+	// (mirrors serve.Options.MaxWait; default 2ms when coalescing is on).
+	CoalesceWait time.Duration
+
+	Logf func(format string, args ...any)
 }
 
 func (o *RouterOptions) setDefaults() {
@@ -63,6 +79,12 @@ func (o *RouterOptions) setDefaults() {
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 30 * time.Second
+	}
+	if o.CoalesceBatch > 256 {
+		o.CoalesceBatch = 256
+	}
+	if o.CoalesceBatch > 1 && o.CoalesceWait <= 0 {
+		o.CoalesceWait = 2 * time.Millisecond
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -93,12 +115,18 @@ type Router struct {
 	shardMu sync.Mutex
 	shards  map[string]*shardCounters
 
-	proxied   atomic.Int64
-	fanouts   atomic.Int64
-	retries   atomic.Int64
-	shardDown atomic.Int64
-	noOwner   atomic.Int64
-	resolved  atomic.Int64 // floor-less localizes resolved by opts.Resolve
+	coMu sync.Mutex
+	co   map[string]*coalescer // shard name → localize coalescer
+
+	proxied           atomic.Int64
+	fanouts           atomic.Int64
+	retries           atomic.Int64
+	shardDown         atomic.Int64
+	noOwner           atomic.Int64
+	resolved          atomic.Int64 // floor-less localizes resolved by opts.Resolve
+	coalesced         atomic.Int64 // localizes that entered a coalesce window
+	coalescedBatches  atomic.Int64 // upstream /v1/localize/batch calls
+	coalesceFallbacks atomic.Int64 // windows served as singles (no-batch shard)
 }
 
 // NewRouter builds a router over the shard map. Call Start to begin health
@@ -129,6 +157,7 @@ func NewRouter(m Assigner, opts RouterOptions) (*Router, error) {
 		},
 		start:  time.Now(),
 		shards: make(map[string]*shardCounters, len(nodes)),
+		co:     make(map[string]*coalescer, len(nodes)),
 	}
 	for name := range nodes {
 		r.shards[name] = &shardCounters{}
@@ -195,6 +224,41 @@ func (r *Router) owner(w http.ResponseWriter, building, floor int) (string, bool
 	return name, true
 }
 
+// proxyQ is the pooled decode target of the router's localize hop. Same
+// reset discipline as the node's pooled structs: json.Unmarshal leaves
+// absent fields untouched, so every field clears between uses.
+type proxyQ struct {
+	RSS      []float64   `json:"rss"`
+	Floor    wire.OptInt `json:"floor"`
+	Building wire.OptInt `json:"building"`
+}
+
+func (q *proxyQ) reset() {
+	q.RSS = q.RSS[:0]
+	q.Floor = wire.OptInt{}
+	q.Building = wire.OptInt{}
+}
+
+// proxyBuf carries one proxied request's body buffer and decode target.
+type proxyBuf struct {
+	body []byte
+	q    proxyQ
+}
+
+var proxyPool = sync.Pool{
+	New: func() any { return &proxyBuf{body: make([]byte, 0, 4096)} },
+}
+
+// putProxyBuf recycles a buffer, dropping outsized bodies (a swap can carry
+// tens of MB of base64 weights — pinning that in the pool would leak the
+// high-water mark forever).
+func putProxyBuf(b *proxyBuf) {
+	if cap(b.body) > 1<<20 {
+		b.body = nil
+	}
+	proxyPool.Put(b)
+}
+
 // handleLocalize proxies one localization to the owning shard. The original
 // body is forwarded untouched: a floor-carrying request stays a direct
 // lookup on the shard, a floor-less one re-routes through the shard's own
@@ -203,35 +267,40 @@ func (r *Router) owner(w http.ResponseWriter, building, floor int) (string, bool
 // deployment. The router only needs the floor to pick the shard: explicit
 // floor if given, the Resolve hook next, the building's only known floor
 // last.
+//
+// With CoalesceBatch > 1 the request joins the shard's coalesce window
+// instead of proxying alone; see coalescer.
 func (r *Router) handleLocalize(w http.ResponseWriter, req *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	b := proxyPool.Get().(*proxyBuf)
+	body, _, ok := wire.ReadBody(w, req, b.body, maxBodyBytes)
+	b.body = body
+	if !ok {
+		putProxyBuf(b)
 		return
 	}
-	var q struct {
-		RSS      []float64 `json:"rss"`
-		Floor    *int      `json:"floor"`
-		Building *int      `json:"building"`
-	}
-	if err := json.Unmarshal(body, &q); err != nil {
+	q := &b.q
+	q.reset()
+	if err := json.Unmarshal(body, q); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		putProxyBuf(b)
 		return
 	}
 	building := r.opts.Building
-	if q.Building != nil {
-		building = *q.Building
+	if q.Building.Set {
+		building = q.Building.V
 	}
 	var floor int
 	switch {
-	case q.Floor != nil:
-		floor = *q.Floor
+	case q.Floor.Set:
+		floor = q.Floor.V
 	case r.opts.Resolve != nil:
-		floor, err = r.opts.Resolve(q.RSS)
+		f, err := r.opts.Resolve(q.RSS)
 		if err != nil {
 			http.Error(w, fmt.Sprintf("floor resolution failed: %v", err), http.StatusBadRequest)
+			putProxyBuf(b)
 			return
 		}
+		floor = f
 		r.resolved.Add(1)
 	default:
 		floors := r.m.Floors(building)
@@ -239,43 +308,73 @@ func (r *Router) handleLocalize(w http.ResponseWriter, req *http.Request) {
 			http.Error(w, fmt.Sprintf(
 				"request has no floor and the router has no floor resolver (building %d has %d known floors)",
 				building, len(floors)), http.StatusBadRequest)
+			putProxyBuf(b)
 			return
 		}
 		floor = floors[0]
 	}
 	name, ok := r.owner(w, building, floor)
 	if !ok {
+		putProxyBuf(b)
 		return
 	}
+	if r.opts.CoalesceBatch > 1 {
+		if c := r.coalescerFor(name); !c.noBatch.Load() {
+			r.coalesced.Add(1)
+			rep, err := c.submit(req.Context(), body)
+			if err != nil {
+				// The coalescer still holds b.body for its in-flight window:
+				// abandon the buffer to the GC rather than recycle it.
+				status := statusClientClosedRequest
+				if errors.Is(err, context.DeadlineExceeded) {
+					status = http.StatusGatewayTimeout
+				}
+				http.Error(w, err.Error(), status)
+				return
+			}
+			if rep.ct != "" {
+				w.Header().Set("Content-Type", rep.ct)
+			}
+			w.WriteHeader(rep.status)
+			w.Write(rep.body)
+			putProxyBuf(b)
+			return
+		}
+	}
 	r.proxy(w, req.Context(), name, "/v1/localize", body)
+	putProxyBuf(b)
 }
+
+// statusClientClosedRequest mirrors the node's 499 for clients that
+// disconnect while parked in a coalesce window.
+const statusClientClosedRequest = 499
 
 // handleByFloor proxies one floor-addressed mutation (feedback, swap, A/B
 // override) to the owning shard.
 func (r *Router) handleByFloor(path string) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
-		body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes))
-		if err != nil {
+		b := proxyPool.Get().(*proxyBuf)
+		defer putProxyBuf(b)
+		body, _, ok := wire.ReadBody(w, req, b.body, maxBodyBytes)
+		b.body = body
+		if !ok {
+			return
+		}
+		q := &b.q
+		q.reset()
+		if err := json.Unmarshal(body, q); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		var q struct {
-			Floor    *int `json:"floor"`
-			Building *int `json:"building"`
-		}
-		if err := json.Unmarshal(body, &q); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if q.Floor == nil {
+		if !q.Floor.Set {
 			http.Error(w, path+" through the router requires an explicit floor", http.StatusBadRequest)
 			return
 		}
 		building := r.opts.Building
-		if q.Building != nil {
-			building = *q.Building
+		if q.Building.Set {
+			building = q.Building.V
 		}
-		name, ok := r.owner(w, building, *q.Floor)
+		name, ok := r.owner(w, building, q.Floor.V)
 		if !ok {
 			return
 		}
@@ -459,18 +558,29 @@ type RouterStats struct {
 	ShardDown int64         `json:"shard_down"`
 	NoOwner   int64         `json:"no_owner"`
 	Resolved  int64         `json:"resolved_floors"`
+	// Coalesced counts localizes that entered a coalesce window;
+	// CoalescedBatches the upstream batch calls those windows produced
+	// (Coalesced/CoalescedBatches is the realised hop amortisation);
+	// CoalesceFallbacks the windows served as singles against a shard with
+	// no batch endpoint.
+	Coalesced         int64 `json:"coalesced"`
+	CoalescedBatches  int64 `json:"coalesced_batches"`
+	CoalesceFallbacks int64 `json:"coalesce_fallbacks"`
 }
 
 // Stats snapshots the router's counters.
 func (r *Router) Stats() RouterStats {
 	return RouterStats{
-		Uptime:    time.Since(r.start),
-		Proxied:   r.proxied.Load(),
-		Fanouts:   r.fanouts.Load(),
-		Retries:   r.retries.Load(),
-		ShardDown: r.shardDown.Load(),
-		NoOwner:   r.noOwner.Load(),
-		Resolved:  r.resolved.Load(),
+		Uptime:            time.Since(r.start),
+		Proxied:           r.proxied.Load(),
+		Fanouts:           r.fanouts.Load(),
+		Retries:           r.retries.Load(),
+		ShardDown:         r.shardDown.Load(),
+		NoOwner:           r.noOwner.Load(),
+		Resolved:          r.resolved.Load(),
+		Coalesced:         r.coalesced.Load(),
+		CoalescedBatches:  r.coalescedBatches.Load(),
+		CoalesceFallbacks: r.coalesceFallbacks.Load(),
 	}
 }
 

@@ -1,0 +1,255 @@
+package node
+
+import (
+	"strconv"
+
+	"calloc/internal/wire"
+)
+
+// parseLocalizeFast decodes the /v1/localize request schema
+// {"rss":[numbers],"floor":int,"backend":string} without encoding/json.
+// Unmarshal burns four allocations per call on its own error-context
+// bookkeeping, which is a third of the handler's remaining budget once the
+// buffers are pooled. The parser covers the wire forms real clients send —
+// flat object, numeric array, plain strings, nulls, unknown scalar fields
+// (routers forward bodies carrying "building") — and reports false on
+// anything else so the caller can fall back to json.Unmarshal; it never
+// fails a body the fallback would accept. q must be reset by the caller
+// before the fallback runs: a failed fast parse can leave partial fields.
+func parseLocalizeFast(b []byte, q *localizeReq) bool {
+	p := fastParser{b: b}
+	p.space()
+	if !p.eat('{') {
+		return false
+	}
+	p.space()
+	if p.eat('}') {
+		return p.end()
+	}
+	for {
+		key, ok := p.key()
+		if !ok {
+			return false
+		}
+		switch string(key) { // compiler elides the conversion in a switch
+		case "rss":
+			// A repeated key replaces the slice, matching json.Unmarshal's
+			// last-wins semantics.
+			q.RSS, ok = p.floats(q.RSS[:0])
+		case "floor":
+			ok = p.optInt(&q.Floor)
+		case "backend":
+			var s []byte
+			if s, ok = p.str(); ok {
+				q.Backend = internBackend(s)
+			}
+		default:
+			ok = p.skipScalar()
+		}
+		if !ok {
+			return false
+		}
+		p.space()
+		if p.eat(',') {
+			p.space()
+			continue
+		}
+		if p.eat('}') {
+			return p.end()
+		}
+		return false
+	}
+}
+
+// internBackend returns the canonical spelling of a known backend name so
+// the hot path never allocates a string for a valid request; unknown names
+// take the one-time allocation and fail model lookup downstream with the
+// name intact for the error message.
+func internBackend(s []byte) string {
+	for _, name := range KnownBackends {
+		if string(s) == name { // alloc-free comparison
+			return name
+		}
+	}
+	return string(s)
+}
+
+// fastParser is a cursor over one request body. All methods advance i past
+// what they consume and report false on anything outside the fast grammar.
+type fastParser struct {
+	b []byte
+	i int
+}
+
+func (p *fastParser) space() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *fastParser) eat(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// end reports whether only trailing whitespace remains.
+func (p *fastParser) end() bool {
+	p.space()
+	return p.i == len(p.b)
+}
+
+// str parses a JSON string with no escape sequences, returning the raw
+// bytes between the quotes. A backslash punts to the fallback parser.
+func (p *fastParser) str() ([]byte, bool) {
+	if !p.eat('"') {
+		return nil, false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case '"':
+			s := p.b[start:p.i]
+			p.i++
+			return s, true
+		case '\\':
+			return nil, false
+		}
+		p.i++
+	}
+	return nil, false
+}
+
+// key parses `"name" :` and leaves the cursor at the value.
+func (p *fastParser) key() ([]byte, bool) {
+	k, ok := p.str()
+	if !ok {
+		return nil, false
+	}
+	p.space()
+	if !p.eat(':') {
+		return nil, false
+	}
+	p.space()
+	return k, true
+}
+
+// number consumes one numeric token and returns its value. The token bytes
+// go through strconv.ParseFloat via a non-escaping string conversion, which
+// the compiler keeps off the heap for short tokens.
+func (p *fastParser) number() (float64, bool) {
+	if p.i < len(p.b) && p.b[p.i] == '+' {
+		return 0, false // ParseFloat allows a leading +, JSON does not
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		switch c := p.b[p.i]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.i == start {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(string(p.b[start:p.i]), 64)
+	return v, err == nil
+}
+
+// floats parses `[n, n, ...]` appending into dst.
+func (p *fastParser) floats(dst []float64) ([]float64, bool) {
+	if !p.eat('[') {
+		return dst, false
+	}
+	p.space()
+	if p.eat(']') {
+		return dst, true
+	}
+	for {
+		v, ok := p.number()
+		if !ok {
+			return dst, false
+		}
+		dst = append(dst, v)
+		p.space()
+		if p.eat(',') {
+			p.space()
+			continue
+		}
+		return dst, p.eat(']')
+	}
+}
+
+// optInt parses an integer or null into o (json.Unmarshal leaves o alone on
+// null via OptInt.UnmarshalJSON; so does this).
+func (p *fastParser) optInt(o *wire.OptInt) bool {
+	if p.null() {
+		*o = wire.OptInt{}
+		return true
+	}
+	neg := p.eat('-')
+	start := p.i
+	v := 0
+	for p.i < len(p.b) && p.b[p.i] >= '0' && p.b[p.i] <= '9' {
+		v = v*10 + int(p.b[p.i]-'0')
+		if v < 0 {
+			return false // overflow
+		}
+		p.i++
+	}
+	if p.i == start {
+		return false
+	}
+	if neg {
+		v = -v
+	}
+	*o = wire.OptInt{Set: true, V: v}
+	return true
+}
+
+func (p *fastParser) null() bool {
+	if len(p.b)-p.i >= 4 && string(p.b[p.i:p.i+4]) == "null" {
+		p.i += 4
+		return true
+	}
+	return false
+}
+
+// skipScalar consumes one unknown field's value when it is a scalar
+// (string, number, boolean, null). Containers punt to the fallback.
+func (p *fastParser) skipScalar() bool {
+	if p.i >= len(p.b) {
+		return false
+	}
+	switch c := p.b[p.i]; {
+	case c == '"':
+		_, ok := p.str()
+		return ok
+	case c == 't':
+		return p.lit("true")
+	case c == 'f':
+		return p.lit("false")
+	case c == 'n':
+		return p.null()
+	case c == '-' || (c >= '0' && c <= '9'):
+		_, ok := p.number()
+		return ok
+	}
+	return false
+}
+
+func (p *fastParser) lit(s string) bool {
+	if len(p.b)-p.i >= len(s) && string(p.b[p.i:p.i+len(s)]) == s {
+		p.i += len(s)
+		return true
+	}
+	return false
+}

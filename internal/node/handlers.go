@@ -6,21 +6,37 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 
 	"calloc/internal/localizer"
 	"calloc/internal/serve"
 	"calloc/internal/train"
 )
 
+// handleLocalize is the single-fingerprint hot path. Everything it touches —
+// body buffer, decode target, response buffer — comes from one pooled
+// wireBuf, so the steady-state wire cost is the json.Unmarshal number
+// parsing and nothing else. The engine copies the RSS row into its own
+// request buffer before returning, so recycling the wireBuf on return is
+// safe.
 func (n *Node) handleLocalize(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		RSS     []float64 `json:"rss"`
-		Backend string    `json:"backend"`
-		Floor   *int      `json:"floor"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	b := bufPool.Get().(*wireBuf)
+	defer bufPool.Put(b)
+	if !n.readWireBody(w, r, b, maxLocalizeBody) {
 		return
+	}
+	req := &b.req
+	req.reset()
+	if !parseLocalizeFast(b.body, req) {
+		// The fast parse may have filled fields before punting (an escaped
+		// string, a nested unknown value) — reset before the full decoder.
+		req.reset()
+		if err := json.Unmarshal(b.body, req); err != nil {
+			n.wire.clientErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	backend := req.Backend
 	if backend == "" {
@@ -28,34 +44,128 @@ func (n *Node) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	}
 	var res serve.Result
 	var err error
-	if req.Floor != nil {
-		key := localizer.Key{Building: n.building, Floor: *req.Floor, Backend: backend}
+	if req.Floor.Set {
+		key := localizer.Key{Building: n.building, Floor: req.Floor.V, Backend: backend}
 		res, err = n.engine.Localize(r.Context(), key, req.RSS)
 	} else {
 		res, err = n.engine.Route(r.Context(), n.building, backend, req.RSS)
 	}
-	switch {
-	case errors.Is(err, serve.ErrClosed):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	if err != nil {
+		n.wireError(w, err)
 		return
-	case errors.Is(err, serve.ErrUnknownModel):
-		http.Error(w, err.Error(), http.StatusNotFound)
+	}
+	b.out = appendResult(b.out[:0], res)
+	n.writeWire(w, b.out)
+}
+
+// handleLocalizeBatch answers N fingerprints in one exchange. Rows are
+// grouped by their resolved {backend, floor-or-routed} target so each group
+// enters the engine as ONE pre-formed batch (one lane slot, one worker
+// wakeup, one model call when it fits MaxBatch); results come back in
+// request order with per-row errors, so one bad row never fails its batch.
+func (n *Node) handleLocalizeBatch(w http.ResponseWriter, r *http.Request) {
+	b := bufPool.Get().(*wireBuf)
+	defer bufPool.Put(b)
+	if !n.readWireBody(w, r, b, maxBatchBody) {
 		return
-	case errors.Is(err, serve.ErrMisroute):
-		// A classifier fault, not a client addressing error: 5xx so
-		// monitoring sees it and clients may retry.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	case err != nil:
+	}
+	req := &b.batch
+	req.reset()
+	if err := json.Unmarshal(b.body, req); err != nil {
+		n.wire.clientErrors.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, map[string]any{
-		"rp":      res.Class,
-		"floor":   res.Floor,
-		"backend": res.Backend,
-		"version": res.Version,
-	})
+	qs := req.Queries
+	if len(qs) == 0 {
+		b.out = append(b.out[:0], `{"results":[]}`...)
+		n.writeWire(w, b.out)
+		return
+	}
+	n.wire.batches.Add(1)
+	n.wire.batchRows.Add(int64(len(qs)))
+
+	// Resolve each row's target. Rows with an explicit floor dispatch via
+	// LocalizeBatch; floor-less rows go through the batched floor classifier
+	// in RouteBatch. The routed flag keeps {floor 0} distinct from
+	// {no floor}.
+	type gkey struct {
+		backend string
+		floor   int
+		routed  bool
+	}
+	groups := make(map[gkey][]int, 1)
+	for i := range qs {
+		backend := qs[i].Backend
+		if backend == "" {
+			backend = req.Backend
+		}
+		if backend == "" {
+			backend = n.deflt
+		}
+		k := gkey{backend: backend}
+		if qs[i].Floor.Set {
+			k.floor = qs[i].Floor.V
+		} else {
+			k.routed = true
+		}
+		groups[k] = append(groups[k], i)
+	}
+	results := make([]serve.Result, len(qs))
+	run := func(k gkey, idx []int) {
+		rows := make([][]float64, len(idx))
+		for j, i := range idx {
+			rows[j] = qs[i].RSS
+		}
+		var got []serve.Result
+		var err error
+		if k.routed {
+			got, err = n.engine.RouteBatch(r.Context(), n.building, k.backend, rows)
+		} else {
+			key := localizer.Key{Building: n.building, Floor: k.floor, Backend: k.backend}
+			got, err = n.engine.LocalizeBatch(r.Context(), key, rows)
+		}
+		if err != nil {
+			// A group-level failure (unknown key, engine closed, context
+			// done) fails only this group's rows.
+			for _, i := range idx {
+				results[i] = serve.Result{Err: err}
+			}
+			return
+		}
+		for j, i := range idx {
+			results[i] = got[j]
+		}
+	}
+	if len(groups) == 1 {
+		for k, idx := range groups {
+			run(k, idx)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for k, idx := range groups {
+			wg.Add(1)
+			go func(k gkey, idx []int) {
+				defer wg.Done()
+				run(k, idx)
+			}(k, idx)
+		}
+		wg.Wait()
+	}
+
+	out := append(b.out[:0], `{"results":[`...)
+	for i := range results {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		if err := results[i].Err; err != nil {
+			out = appendRowError(out, err)
+		} else {
+			out = appendResult(out, results[i])
+		}
+	}
+	b.out = append(out, ']', '}')
+	n.writeWire(w, b.out)
 }
 
 // handleFeedback accepts one labelled online fingerprint — a client that
@@ -63,27 +173,36 @@ func (n *Node) handleLocalize(w http.ResponseWriter, r *http.Request) {
 // reckoning) reports it here — and queues it for the floor's background
 // fine-tune loop. Accumulation is O(1) on the request path; training,
 // validation, and the eventual hot-swap all happen on the trainer goroutine.
+// The trainer copies the RSS row, so the pooled buffer is safe to recycle.
 func (n *Node) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		RSS   []float64 `json:"rss"`
-		RP    int       `json:"rp"`
-		Floor int       `json:"floor"`
+	b := bufPool.Get().(*wireBuf)
+	defer bufPool.Put(b)
+	if !n.readWireBody(w, r, b, maxLocalizeBody) {
+		return
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	req := &b.fb
+	req.reset()
+	if err := json.Unmarshal(b.body, req); err != nil {
+		n.wire.clientErrors.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	tr, ok := n.trainers[req.Floor]
 	if !ok {
+		n.wire.clientErrors.Add(1)
 		http.Error(w, fmt.Sprintf("no trainer for floor %d (calloc backend with trainer enabled required)", req.Floor),
 			http.StatusNotFound)
 		return
 	}
 	if err := tr.AddFeedback(req.RSS, req.RP); err != nil {
+		n.wire.clientErrors.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, map[string]any{"pending": tr.Pending()})
+	out := append(b.out[:0], `{"pending":`...)
+	out = strconv.AppendInt(out, int64(tr.Pending()), 10)
+	b.out = append(out, '}')
+	n.writeWire(w, b.out)
 }
 
 func (n *Node) handleSwap(w http.ResponseWriter, r *http.Request) {
@@ -96,8 +215,7 @@ func (n *Node) handleSwap(w http.ResponseWriter, r *http.Request) {
 		// promoted (by the gate or POST /v1/ab/promote) or aborted.
 		Stage bool `json:"stage"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if !n.decodeJSONBounded(w, r, maxSwapBody, &req) {
 		return
 	}
 	if req.Backend != "" && req.Backend != "calloc" {
@@ -135,7 +253,7 @@ func (n *Node) handleSwap(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		n.cfg.Logf("node: staged candidate %d for %s (against live version %d)", c.Version, key, c.Base)
-		writeJSON(w, map[string]uint64{"candidate_version": c.Version, "base_version": c.Base})
+		n.writeJSON(w, map[string]uint64{"candidate_version": c.Version, "base_version": c.Base})
 		return
 	}
 	version, err := n.reg.Swap(key, loc)
@@ -144,7 +262,7 @@ func (n *Node) handleSwap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.cfg.Logf("node: swapped %s to version %d", key, version)
-	writeJSON(w, map[string]uint64{"version": version})
+	n.writeJSON(w, map[string]uint64{"version": version})
 }
 
 // handleABStatus reports the A/B lane of every registered position
@@ -185,7 +303,7 @@ func (n *Node) handleABStatus(w http.ResponseWriter, _ *http.Request) {
 		}
 		out = append(out, e)
 	}
-	writeJSON(w, out)
+	n.writeJSON(w, out)
 }
 
 // abTarget resolves the {floor, backend} of a manual A/B override request.
@@ -194,8 +312,7 @@ func (n *Node) abTarget(w http.ResponseWriter, r *http.Request) (localizer.Key, 
 		Floor   int    `json:"floor"`
 		Backend string `json:"backend"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if !n.decodeJSONBounded(w, r, maxLocalizeBody, &req) {
 		return localizer.Key{}, nil, false
 	}
 	backend := req.Backend
@@ -243,7 +360,7 @@ func (n *Node) handleABPromote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.cfg.Logf("node: manually promoted the candidate for %s to version %d", key, version)
-	writeJSON(w, map[string]uint64{"version": version})
+	n.writeJSON(w, map[string]uint64{"version": version})
 }
 
 // handleABAbort withdraws the staged candidate (and, for trainer-managed
@@ -264,10 +381,34 @@ func (n *Node) handleABAbort(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.cfg.Logf("node: manually aborted the candidate for %s", key)
-	writeJSON(w, map[string]bool{"aborted": true})
+	n.writeJSON(w, map[string]bool{"aborted": true})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// decodeJSONBounded decodes a control-plane body behind http.MaxBytesReader:
+// 413 on overflow, 400 on malformed JSON. The generic decoder is fine here —
+// swap and A/B overrides are rare — but even rare endpoints must not buffer
+// an unbounded body.
+func (n *Node) decodeJSONBounded(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		n.wire.overflow.Add(1)
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return false
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+	return false
+}
+
+// writeJSON is the control-plane response writer. Encode can fail (client
+// gone, marshal error on a live struct); dropping that on the floor hides
+// wire problems from the operator, so it is logged.
+func (n *Node) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		n.cfg.Logf("node: response encode failed: %v", err)
+	}
 }

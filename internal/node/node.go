@@ -149,6 +149,7 @@ type Node struct {
 	trainers map[int]*train.Trainer // global floor → trainer
 	deflt    string                 // default backend
 	prec     mat.Precision          // CALLOC packed-weight serving precision
+	wire     wireCounters           // wire-level failure/volume counters
 }
 
 // New builds the registry (fitting or loading every backend on every floor),
@@ -344,23 +345,29 @@ func hasBackend(backends []string, want string) bool {
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/localize", n.handleLocalize)
+	mux.HandleFunc("POST /v1/localize/batch", n.handleLocalizeBatch)
 	mux.HandleFunc("POST /v1/feedback", n.handleFeedback)
 	mux.HandleFunc("POST /v1/swap", n.handleSwap)
 	mux.HandleFunc("GET /v1/ab", n.handleABStatus)
 	mux.HandleFunc("POST /v1/ab/promote", n.handleABPromote)
 	mux.HandleFunc("POST /v1/ab/abort", n.handleABAbort)
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, n.reg.List())
+		n.writeJSON(w, n.reg.List())
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, n.engine.Stats())
+		// Engine stats embedded so existing consumers keep their flat keys;
+		// wire-level counters ride alongside under "wire".
+		n.writeJSON(w, struct {
+			serve.Stats
+			Wire WireStats `json:"wire"`
+		}{n.engine.Stats(), n.wire.snapshot()})
 	})
 	mux.HandleFunc("GET /v1/trainer", func(w http.ResponseWriter, _ *http.Request) {
 		stats := make(map[string]train.Stats, len(n.trainers))
 		for floor, tr := range n.trainers {
 			stats[fmt.Sprintf("floor_%d", floor)] = tr.Stats()
 		}
-		writeJSON(w, stats)
+		n.writeJSON(w, stats)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")

@@ -1,0 +1,7 @@
+//go:build !race
+
+package node_test
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions are skipped under -race (instrumentation adds its own allocs).
+const raceEnabled = false

@@ -1,0 +1,119 @@
+package node
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"calloc/internal/serve"
+)
+
+// TestLocalizeStatusMapping: engine errors keep their PR-4 statuses; context
+// errors map to 499/504 instead of the generic 400 they used to fall into.
+func TestLocalizeStatusMapping(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{serve.ErrClosed, http.StatusServiceUnavailable},
+		{serve.ErrUnknownModel, http.StatusNotFound},
+		{serve.ErrMisroute, http.StatusInternalServerError},
+		{context.Canceled, statusClientClosedRequest},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{errors.New("fingerprint has 3 features"), http.StatusBadRequest},
+	} {
+		if got := localizeStatus(tc.err); got != tc.want {
+			t.Errorf("localizeStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestWireErrorAccounting: context failures stay OUT of the client-error
+// counter — a disconnect is not a malformed request.
+func TestWireErrorAccounting(t *testing.T) {
+	n := &Node{cfg: Config{Logf: func(string, ...any) {}}}
+	for _, err := range []error{context.Canceled, context.DeadlineExceeded, serve.ErrUnknownModel, serve.ErrMisroute} {
+		n.wireError(httptest.NewRecorder(), err)
+	}
+	st := n.WireStats()
+	if st.Canceled != 1 || st.DeadlineExceeded != 1 || st.ClientErrors != 1 {
+		t.Fatalf("wire stats = %+v, want canceled=1 deadline=1 client_errors=1", st)
+	}
+}
+
+// TestBatchReqResetNoAliasing: decoding a second, smaller batch into a
+// pooled batchReq must not inherit floors, backends, or RSS tails from the
+// slots the first batch left behind — the exact hazard reset() exists for.
+func TestBatchReqResetNoAliasing(t *testing.T) {
+	var b batchReq
+	first := `{"backend":"knn","queries":[
+		{"rss":[1,2,3],"floor":4,"backend":"gbdt"},
+		{"rss":[5,6,7],"floor":2},
+		{"rss":[8,9,10],"floor":1}]}`
+	b.reset()
+	if err := json.Unmarshal([]byte(first), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Queries) != 3 || !b.Queries[0].Floor.Set || b.Queries[0].Backend != "gbdt" {
+		t.Fatalf("first decode = %+v", b)
+	}
+
+	b.reset()
+	second := `{"queries":[{"rss":[40,50]},{"rss":[60]}]}`
+	if err := json.Unmarshal([]byte(second), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Backend != "" {
+		t.Fatalf("batch backend leaked: %q", b.Backend)
+	}
+	if len(b.Queries) != 2 {
+		t.Fatalf("second decode has %d queries", len(b.Queries))
+	}
+	for i, q := range b.Queries {
+		if q.Floor.Set {
+			t.Fatalf("row %d inherited floor %d from the previous batch", i, q.Floor.V)
+		}
+		if q.Backend != "" {
+			t.Fatalf("row %d inherited backend %q", i, q.Backend)
+		}
+	}
+	if got := b.Queries[0].RSS; len(got) != 2 || got[0] != 40 || got[1] != 50 {
+		t.Fatalf("row 0 rss = %v", got)
+	}
+	if got := b.Queries[1].RSS; len(got) != 1 || got[0] != 60 {
+		t.Fatalf("row 1 rss = %v (stale tail?)", got)
+	}
+}
+
+// TestAppendResultShape: the hand-built emit matches what a JSON decoder
+// (and therefore every existing client) expects from /v1/localize.
+func TestAppendResultShape(t *testing.T) {
+	out := appendResult(nil, serve.Result{Class: 17, Floor: 2, Backend: `we"ird`, Version: 9})
+	var got struct {
+		RP      int    `json:"rp"`
+		Floor   int    `json:"floor"`
+		Backend string `json:"backend"`
+		Version uint64 `json:"version"`
+	}
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatalf("emit produced invalid JSON %s: %v", out, err)
+	}
+	if got.RP != 17 || got.Floor != 2 || got.Backend != `we"ird` || got.Version != 9 {
+		t.Fatalf("round trip = %+v from %s", got, out)
+	}
+
+	rowErr := appendRowError(nil, serve.ErrMisroute)
+	var ge struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+	}
+	if err := json.Unmarshal(rowErr, &ge); err != nil {
+		t.Fatal(err)
+	}
+	if ge.Status != http.StatusInternalServerError || ge.Error == "" {
+		t.Fatalf("row error emit = %+v", ge)
+	}
+}

@@ -133,11 +133,17 @@ type response struct {
 	err     error
 }
 
-// request is one in-flight localization query. Shadow requests additionally
-// carry the live arm's answer for agreement accounting; nobody waits on their
-// result channel — the worker recycles them after scoring.
+// request is one in-flight unit of localization work: a single query (rn ==
+// 1) or a pre-formed batch of rn rows packed row-major into x
+// (LocalizeBatch). A batch occupies ONE lane-queue slot and one wakeup, which
+// is what amortises the gather protocol and MaxWait across its rows. Shadow
+// requests additionally carry the live arm's answer for agreement accounting;
+// nobody waits on their result channel — the worker recycles them after
+// scoring.
 type request struct {
-	x         []float64
+	x         []float64 // rn × features, row-major
+	rn        int       // rows carried by this request
+	out       []int     // batch only: per-row classes, written by the worker before the result send
 	enq       time.Time
 	liveClass int
 	result    chan response // buffered (cap 1) so an abandoned caller never blocks a worker
@@ -312,6 +318,12 @@ type Result struct {
 	// Version is the registry snapshot version that computed the result —
 	// how clients observe hot-swaps.
 	Version uint64
+	// Err is the per-row failure of a batch call (LocalizeBatch/RouteBatch):
+	// a wrong-width row, a per-row misroute, or the batch-level dispatch
+	// error. One bad row never fails its batch — it just carries its own
+	// error here. Always nil for the single-request entry points, which
+	// report errors through their error return instead.
+	Err error
 }
 
 // Localize coalesces one fingerprint into the micro-batch lane of the
@@ -339,32 +351,13 @@ func (e *Engine) Localize(ctx context.Context, key localizer.Key, rss []float64)
 	}
 	r.x = r.x[:l.features]
 	copy(r.x, rss)
+	r.rn = 1
+	r.out = r.out[:0] // non-empty out marks a batch request; singles answer through response.class
 	r.enq = time.Now()
 
-	e.sendMu.RLock()
-	if e.closed {
-		e.sendMu.RUnlock()
-		e.reqPool.Put(r)
-		return Result{}, ErrClosed
+	if err := e.enqueue(ctx, l, r, 1); err != nil {
+		return Result{}, err
 	}
-	select {
-	case l.reqs <- r:
-	default:
-		// Lane queue full: count the backpressure event, then wait for space.
-		e.fullWaits.Add(1)
-		select {
-		case l.reqs <- r:
-		case <-ctx.Done():
-			e.sendMu.RUnlock()
-			e.reqPool.Put(r) // never enqueued: safe to recycle
-			return Result{}, ctx.Err()
-		}
-	}
-	l.pending.Add(1)
-	e.schedule(l)
-	e.sendMu.RUnlock()
-	e.requests.Add(1)
-	l.requests.Add(1)
 
 	select {
 	case rp := <-r.result:
@@ -379,6 +372,259 @@ func (e *Engine) Localize(ctx context.Context, key localizer.Key, rss []float64)
 		// The worker may still deliver into r.result (cap 1); the request
 		// is abandoned to the GC rather than recycled.
 		return Result{}, ctx.Err()
+	}
+}
+
+// enqueue submits r into l under the close-ordering protocol shared by every
+// entry point: the closed flag is checked under the read side of sendMu held
+// across the whole enqueue, so a request either fully enqueues before Close
+// flips the flag (and will be answered) or fails with ErrClosed. rows is how
+// many fingerprints r carries, for the throughput counters. On failure the
+// request was never enqueued and has been recycled.
+func (e *Engine) enqueue(ctx context.Context, l *lane, r *request, rows int64) error {
+	e.sendMu.RLock()
+	if e.closed {
+		e.sendMu.RUnlock()
+		e.reqPool.Put(r)
+		return ErrClosed
+	}
+	select {
+	case l.reqs <- r:
+	default:
+		// Lane queue full: count the backpressure event, then wait for space.
+		e.fullWaits.Add(1)
+		select {
+		case l.reqs <- r:
+		case <-ctx.Done():
+			e.sendMu.RUnlock()
+			e.reqPool.Put(r) // never enqueued: safe to recycle
+			return ctx.Err()
+		}
+	}
+	l.pending.Add(1)
+	e.schedule(l)
+	e.sendMu.RUnlock()
+	e.requests.Add(rows)
+	l.requests.Add(rows)
+	return nil
+}
+
+// LocalizeBatch coalesces a pre-formed batch of fingerprints into the
+// micro-batch lane of the localizer registered under key. The whole batch
+// occupies one queue slot and pays one gather/wakeup and at most one MaxWait
+// window — the per-query protocol cost is amortised across the rows, which
+// is what makes a batched wire call cheap. A batch larger than MaxBatch
+// dispatches as one oversized model call.
+//
+// Errors are per row: results[i].Err carries row i's failure (wrong feature
+// width, or the batch-level dispatch error) and one bad row never fails the
+// batch. The error return is reserved for call-level failures: an
+// unregistered key, a closing engine (ErrClosed), or ctx expiring before the
+// batch was enqueued or answered.
+func (e *Engine) LocalizeBatch(ctx context.Context, key localizer.Key, rss [][]float64) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Result, len(rss))
+	if len(rss) == 0 {
+		return out, nil
+	}
+	l, err := e.lane(key)
+	if err != nil {
+		return nil, err
+	}
+	f := l.features
+	valid := 0
+	for _, row := range rss {
+		if len(row) == f {
+			valid++
+		}
+	}
+	r := e.reqPool.Get().(*request)
+	if cap(r.x) < valid*f {
+		r.x = make([]float64, valid*f)
+	}
+	r.x = r.x[:valid*f]
+	if cap(r.out) < valid {
+		r.out = make([]int, valid)
+	}
+	r.out = r.out[:valid]
+	vi := 0
+	for i, row := range rss {
+		if len(row) != f {
+			out[i].Err = fmt.Errorf("serve: batch row %d has %d features, %s expects %d",
+				i, len(row), key, f)
+			continue
+		}
+		copy(r.x[vi*f:(vi+1)*f], row)
+		vi++
+	}
+	if valid == 0 {
+		e.reqPool.Put(r)
+		return out, nil
+	}
+	r.rn = valid
+	r.enq = time.Now()
+	if err := e.enqueue(ctx, l, r, int64(valid)); err != nil {
+		return nil, err
+	}
+
+	select {
+	case rp := <-r.result:
+		wait := time.Since(r.enq).Nanoseconds()
+		e.latencyNs.Add(wait * int64(valid))
+		e.completed.Add(int64(valid))
+		vi = 0
+		for i := range out {
+			if out[i].Err != nil {
+				continue
+			}
+			if rp.err != nil {
+				out[i].Err = rp.err
+			} else {
+				out[i] = Result{Class: r.out[vi], Floor: key.Floor, Backend: key.Backend, Version: rp.version}
+			}
+			vi++
+		}
+		e.reqPool.Put(r)
+		return out, nil
+	case <-ctx.Done():
+		// The worker may still write r.out and deliver into r.result; the
+		// request (and its out buffer) is abandoned to the GC.
+		return nil, ctx.Err()
+	}
+}
+
+// RouteBatch localizes a pre-formed batch hierarchically: the building's
+// floor classifier scores every row in one batched call, rows are grouped by
+// predicted floor, and each floor group dispatches as one LocalizeBatch on
+// that floor's backend (groups run concurrently). Per-row misroutes — the
+// classifier predicting an unregistered floor — fail only their own row with
+// ErrMisroute in results[i].Err, exactly mirroring Route's semantics.
+//
+// When shadow A/B sampling is enabled, routed batch rows feed the candidate
+// lane on the same per-key every-Nth cadence as single routed requests, so
+// clients migrating to the batch API do not starve staged candidates of
+// evidence.
+func (e *Engine) RouteBatch(ctx context.Context, building int, backend string, rss [][]float64) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Result, len(rss))
+	if len(rss) == 0 {
+		return out, nil
+	}
+	floors := make([]int, len(rss))
+	if _, ok := e.reg.Get(localizer.FloorKey(building)); ok {
+		fres, err := e.LocalizeBatch(ctx, localizer.FloorKey(building), rss)
+		if err != nil {
+			return nil, err
+		}
+		for i, fr := range fres {
+			if fr.Err != nil {
+				out[i].Err = fr.Err
+				floors[i] = -1
+				continue
+			}
+			floors[i] = fr.Class
+		}
+	} else {
+		fl := e.reg.Floors(building, backend)
+		switch len(fl) {
+		case 0:
+			return nil, fmt.Errorf("%w: building %d backend %q", ErrUnknownModel, building, backend)
+		case 1:
+			for i := range floors {
+				floors[i] = fl[0]
+			}
+		default:
+			return nil, fmt.Errorf("serve: building %d has %d floors for backend %q and no floor classifier",
+				building, len(fl), backend)
+		}
+	}
+
+	// Group surviving rows by floor, validating each predicted floor against
+	// the registered keys (same misroute semantics as Route, counted per row).
+	groups := make(map[int][]int)
+	for i := range rss {
+		if out[i].Err != nil {
+			continue
+		}
+		key := localizer.Key{Building: building, Floor: floors[i], Backend: backend}
+		if _, ok := e.reg.Get(key); !ok {
+			e.misroutes.Add(1)
+			out[i].Err = fmt.Errorf("%w: building %d backend %q predicted floor %d (registered floors %v)",
+				ErrMisroute, building, backend, floors[i], e.reg.Floors(building, backend))
+			continue
+		}
+		groups[floors[i]] = append(groups[floors[i]], i)
+	}
+
+	dispatchGroup := func(floor int, idxs []int) {
+		key := localizer.Key{Building: building, Floor: floor, Backend: backend}
+		rows := rss
+		if len(idxs) != len(rss) {
+			rows = make([][]float64, len(idxs))
+			for j, i := range idxs {
+				rows[j] = rss[i]
+			}
+		}
+		start := time.Now()
+		res, err := e.LocalizeBatch(ctx, key, rows)
+		if err != nil {
+			for _, i := range idxs {
+				out[i].Err = err
+			}
+			return
+		}
+		for j, i := range idxs {
+			out[i] = res[j]
+		}
+		e.shadowRowsSample(key, rows, res, time.Since(start))
+	}
+	if len(groups) == 1 {
+		// The overwhelmingly common shape — a whole batch on one floor —
+		// dispatches inline without goroutines or row copies.
+		for floor, idxs := range groups {
+			dispatchGroup(floor, idxs)
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	for floor, idxs := range groups {
+		wg.Add(1)
+		go func(floor int, idxs []int) {
+			defer wg.Done()
+			dispatchGroup(floor, idxs)
+		}(floor, idxs)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// shadowRowsSample applies the per-key every-Nth shadow A/B cadence to the
+// successful rows of one routed batch group, enqueueing the sampled rows into
+// the key's candidate lane. Never blocks, never fails the caller.
+func (e *Engine) shadowRowsSample(key localizer.Key, rows [][]float64, res []Result, liveLatency time.Duration) {
+	if e.opts.ABFraction <= 0 {
+		return
+	}
+	cand, staged := e.reg.Candidate(key)
+	if !staged {
+		return
+	}
+	l, err := e.shadowLane(key)
+	if err != nil {
+		return
+	}
+	for i, row := range rows {
+		if res[i].Err != nil {
+			continue
+		}
+		if l.sampleSeq.Add(1)%int64(e.opts.ABFraction) != 0 {
+			continue
+		}
+		e.shadow(l, row, res[i].Class, liveLatency, cand.Version)
 	}
 }
 
@@ -468,6 +714,8 @@ func (e *Engine) shadow(l *lane, rss []float64, liveClass int, liveLatency time.
 	}
 	r.x = r.x[:l.features]
 	copy(r.x, rss)
+	r.rn = 1
+	r.out = r.out[:0]
 	r.enq = time.Now()
 	r.liveClass = liveClass
 
@@ -569,6 +817,9 @@ func (e *Engine) run() {
 	batch := make([]*request, 0, maxB)
 	dst := make([]int, maxB)
 	var xbuf []float64
+	// Worker-owned matrix header, refilled per dispatch: mat.FromSlice would
+	// heap-allocate one per batch (one per request at batch size 1).
+	xm := new(mat.Matrix)
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -585,20 +836,34 @@ func (e *Engine) run() {
 			e.runMu.Unlock()
 			return
 		}
+		// Pop by shifting rather than re-slicing: runq[1:] would bleed the
+		// backing array's capacity away, making every schedule() append
+		// allocate. The shift is O(len) but runq holds at most one entry
+		// per lane with pending work — single digits in practice.
 		l := e.runq[0]
-		e.runq = e.runq[1:]
+		copy(e.runq, e.runq[1:])
+		e.runq = e.runq[:len(e.runq)-1]
 		draining := e.draining
 		e.runMu.Unlock()
 
 		batch = e.gather(l, batch[:0], timer, draining)
 		if len(batch) > 0 {
-			if cap(xbuf) < len(batch)*l.features {
-				xbuf = make([]float64, maxB*l.features)
+			// A window is maxB ROWS, but one oversized batch request can
+			// carry more — size the scratch to what was actually gathered.
+			rows := 0
+			for _, r := range batch {
+				rows += r.rn
+			}
+			if cap(xbuf) < rows*l.features {
+				xbuf = make([]float64, max(rows, maxB)*l.features)
+			}
+			if cap(dst) < rows {
+				dst = make([]int, rows)
 			}
 			if l.shadow {
-				e.dispatchShadow(l, batch, dst, xbuf)
+				e.dispatchShadow(l, batch, rows, dst, xbuf, xm)
 			} else {
-				e.dispatch(l, batch, dst, xbuf)
+				e.dispatch(l, batch, rows, dst, xbuf, xm)
 			}
 		}
 
@@ -613,28 +878,33 @@ func (e *Engine) run() {
 	}
 }
 
-// gather collects one batching window from l. The first receive must not
-// block: a worker can consume a request from the lane channel before the
-// sender's pending increment lands, in which case the sender's subsequent
-// schedule re-queues an already-drained lane — such a spurious pop returns
-// an empty batch and the caller just releases the lane. While draining, the
-// window never waits — Close should not pay MaxWait per residual batch.
+// gather collects one batching window from l, counting ROWS (a pre-formed
+// batch request contributes all its rows at once, so a full batch skips the
+// MaxWait timer entirely). The first receive must not block: a worker can
+// consume a request from the lane channel before the sender's pending
+// increment lands, in which case the sender's subsequent schedule re-queues
+// an already-drained lane — such a spurious pop returns an empty batch and
+// the caller just releases the lane. While draining, the window never waits —
+// Close should not pay MaxWait per residual batch.
 func (e *Engine) gather(l *lane, batch []*request, timer *time.Timer, draining bool) []*request {
 	maxB := e.opts.MaxBatch
+	rows := 0
 	select {
 	case r := <-l.reqs:
 		batch = append(batch, r)
+		rows += r.rn
 	default:
 		return batch
 	}
 	switch {
-	case maxB > 1 && e.opts.MaxWait > 0 && !draining:
+	case rows < maxB && e.opts.MaxWait > 0 && !draining:
 		timer.Reset(e.opts.MaxWait)
 	gather:
-		for len(batch) < maxB {
+		for rows < maxB {
 			select {
 			case r := <-l.reqs:
 				batch = append(batch, r)
+				rows += r.rn
 			case <-timer.C:
 				break gather // window expired (timer drained)
 			}
@@ -645,14 +915,15 @@ func (e *Engine) gather(l *lane, batch []*request, timer *time.Timer, draining b
 			default:
 			}
 		}
-	case maxB > 1:
+	case rows < maxB:
 		// Negative MaxWait (or draining): dispatch immediately with
 		// whatever is already queued.
 	greedy:
-		for len(batch) < maxB {
+		for rows < maxB {
 			select {
 			case r := <-l.reqs:
 				batch = append(batch, r)
+				rows += r.rn
 			default:
 				break greedy
 			}
@@ -663,14 +934,19 @@ func (e *Engine) gather(l *lane, batch []*request, timer *time.Timer, draining b
 
 // dispatch assembles the window into one matrix, pins the lane's current
 // registry snapshot, runs the model under the read-lock, and delivers
-// per-request results stamped with the snapshot version.
-func (e *Engine) dispatch(l *lane, batch []*request, dst []int, xbuf []float64) {
-	n := len(batch)
+// per-request results stamped with the snapshot version. Batch requests get
+// their rows copied into their own out buffer before the result send (the
+// channel send is the happens-before edge the waiting caller reads across).
+func (e *Engine) dispatch(l *lane, batch []*request, rows int, dst []int, xbuf []float64, x *mat.Matrix) {
 	f := l.features
-	for i, r := range batch {
-		copy(xbuf[i*f:(i+1)*f], r.x)
+	off := 0
+	for _, r := range batch {
+		copy(xbuf[off:off+r.rn*f], r.x[:r.rn*f])
+		off += r.rn * f
 	}
-	x := mat.FromSlice(n, f, xbuf[:n*f])
+	// x is the worker's reusable header over its scratch; the localizer only
+	// reads it during PredictInto, so refilling it next window is safe.
+	x.Rows, x.Cols, x.Data = rows, f, xbuf[:rows*f]
 
 	snap, ok := e.reg.Get(l.key)
 	if !ok {
@@ -693,14 +969,24 @@ func (e *Engine) dispatch(l *lane, batch []*request, dst []int, xbuf []float64) 
 		return
 	}
 	e.modelMu.RLock()
-	snap.Localizer.PredictInto(dst[:n], x)
+	snap.Localizer.PredictInto(dst[:rows], x)
 	e.modelMu.RUnlock()
 
-	for i, r := range batch {
-		r.result <- response{class: dst[i], version: snap.Version}
+	off = 0
+	for _, r := range batch {
+		// The result send releases the request back to its caller (which may
+		// recycle it immediately) — nothing on r may be touched after it.
+		rn := r.rn
+		if len(r.out) > 0 {
+			copy(r.out, dst[off:off+rn])
+			r.result <- response{version: snap.Version}
+		} else {
+			r.result <- response{class: dst[off], version: snap.Version}
+		}
+		off += rn
 	}
 	e.batches.Add(1)
-	e.rows.Add(int64(n))
+	e.rows.Add(int64(rows))
 }
 
 // dispatchShadow runs one shadow window through the key's staged candidate:
@@ -709,7 +995,7 @@ func (e *Engine) dispatch(l *lane, batch []*request, dst []int, xbuf []float64) 
 // have no waiting caller and are recycled here. A candidate that was aborted
 // (or restaged with a different shape) while the window sat queued just
 // drops the rows.
-func (e *Engine) dispatchShadow(l *lane, batch []*request, dst []int, xbuf []float64) {
+func (e *Engine) dispatchShadow(l *lane, batch []*request, rows int, dst []int, xbuf []float64, x *mat.Matrix) {
 	recycle := func() {
 		for _, r := range batch {
 			e.reqPool.Put(r)
@@ -726,12 +1012,12 @@ func (e *Engine) dispatchShadow(l *lane, batch []*request, dst []int, xbuf []flo
 	// to) the candidate pinned here.
 	l.ab.resetIfStale(cand.Version)
 
-	n := len(batch)
+	n := rows // shadow requests are always single-row, so rows == len(batch)
 	f := l.features
 	for i, r := range batch {
 		copy(xbuf[i*f:(i+1)*f], r.x)
 	}
-	x := mat.FromSlice(n, f, xbuf[:n*f])
+	x.Rows, x.Cols, x.Data = n, f, xbuf[:n*f]
 
 	e.modelMu.RLock()
 	cand.Localizer.PredictInto(dst[:n], x)
@@ -856,8 +1142,8 @@ type KeyStats struct {
 type Stats struct {
 	// Uptime is how long the engine has been running.
 	Uptime time.Duration `json:"uptime_ns"`
-	// Requests is the number of accepted Localize calls (both routing
-	// stages count).
+	// Requests is the number of accepted fingerprints (both routing stages
+	// count; a batch call counts each of its rows).
 	Requests int64 `json:"requests"`
 	// Batches is the number of model calls dispatched.
 	Batches int64 `json:"batches"`
