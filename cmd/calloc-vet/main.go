@@ -1,0 +1,25 @@
+// Command calloc-vet is the repo's vet suite: project-specific analyzers
+// that turn the serving stack's hand-maintained invariants — pool Get/Put
+// ownership, the //calloc:noalloc zero-allocation set, atomics discipline —
+// into build failures.
+//
+// Run it through the go command:
+//
+//	go build -o bin/calloc-vet ./cmd/calloc-vet
+//	go vet -vettool=bin/calloc-vet ./...
+//
+// scripts/escapecheck.sh additionally uses `calloc-vet -ranges` to gate the
+// annotated set on the compiler's escape analysis. See DESIGN.md "Enforced
+// invariants" for the rule each analyzer guards.
+package main
+
+import (
+	"calloc/internal/analysis/atomiccheck"
+	"calloc/internal/analysis/noalloc"
+	"calloc/internal/analysis/poolcheck"
+	"calloc/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(poolcheck.Analyzer, noalloc.Analyzer, atomiccheck.Analyzer)
+}

@@ -1,0 +1,233 @@
+// Package atomiccheck flags mixed atomic and plain access to the same
+// struct field. If any code in the package reads or writes a field through
+// sync/atomic (atomic.LoadInt64(&s.n), atomic.AddUint64(&s.hits, 1), ...),
+// then every other access to that field must also be atomic: a single plain
+// read of an atomically-written counter is a data race the race detector
+// only catches when the schedule cooperates, and a plain read of an
+// atomically-published snapshot pointer can observe a torn or stale value.
+//
+// The modern fix — which the repo's own code uses throughout — is the typed
+// atomics (atomic.Int64, atomic.Uint64, atomic.Bool, atomic.Pointer[T]),
+// which make plain access a compile error. This analyzer guards the legacy
+// pattern so it cannot be reintroduced: the old-style counters removed in
+// PR 4's metrics work are exactly the shape it reports.
+//
+// A deliberate plain access (pre-publication initialisation before any
+// goroutine can see the struct, or access under the mutex that also orders
+// the writers) is suppressed with `//calloc:nonatomic <reason>` on or
+// directly above the line.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"calloc/internal/analysis"
+	"calloc/internal/analysis/directive"
+)
+
+// Analyzer is the atomiccheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc:  "flag struct fields accessed both atomically and non-atomically",
+	Run:  run,
+}
+
+// atomicFns are the sync/atomic package-level functions whose first
+// argument is the address of the guarded word.
+var atomicFns = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true,
+	"AddUintptr": true, "LoadInt32": true, "LoadInt64": true,
+	"LoadUint32": true, "LoadUint64": true, "LoadUintptr": true,
+	"LoadPointer": true, "StoreInt32": true, "StoreInt64": true,
+	"StoreUint32": true, "StoreUint64": true, "StoreUintptr": true,
+	"StorePointer": true, "SwapInt32": true, "SwapInt64": true,
+	"SwapUint32": true, "SwapUint64": true, "SwapUintptr": true,
+	"SwapPointer": true, "CompareAndSwapInt32": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true,
+	"CompareAndSwapPointer": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: collect fields accessed atomically anywhere in the package,
+	// remembering one atomic site per field for the diagnostic.
+	atomicFields := make(map[*types.Var]token.Pos)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomicFns[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if f := addressedField(pass.TypesInfo, call.Args[0]); f != nil {
+				if _, seen := atomicFields[f]; !seen {
+					atomicFields[f] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+	// Pass 2: every other access to those fields must be atomic too.
+	for _, file := range pass.Files {
+		ix := directive.Index(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Skip the atomic calls themselves: their &s.f argument is the
+			// sanctioned access. Descend into the remaining args normally —
+			// atomic.StoreInt64(&s.a, s.b) still checks s.b.
+			if call, ok := n.(*ast.CallExpr); ok && isAtomicCall(pass.TypesInfo, call) {
+				for _, arg := range call.Args[1:] {
+					checkExpr(pass, ix, atomicFields, arg)
+				}
+				if len(call.Args) > 0 {
+					// The guarded address may itself be reached through
+					// another guarded field (&s.a.b): check the inner path.
+					if inner := innerSelector(call.Args[0]); inner != nil {
+						checkExpr(pass, ix, atomicFields, inner)
+					}
+				}
+				return false
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				reportPlain(pass, ix, atomicFields, sel)
+				// Still descend: x.f.g nests selectors.
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicFns[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedField unwraps &x.f (possibly parenthesised or converted through
+// unsafe.Pointer) to the field variable, or nil.
+func addressedField(info *types.Info, x ast.Expr) *types.Var {
+	x = ast.Unparen(x)
+	if conv, ok := x.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		// (*unsafe.Pointer)(unsafe.Pointer(&s.p)) chains for LoadPointer.
+		if tv, ok := info.Types[conv.Fun]; ok && tv.IsType() {
+			return addressedField(info, conv.Args[0])
+		}
+	}
+	if star, ok := x.(*ast.StarExpr); ok {
+		return addressedField(info, star.X)
+	}
+	un, ok := x.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldOf(info, sel)
+}
+
+// fieldOf resolves sel to a struct field object, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+		if v, ok := selection.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// innerSelector returns the selector nested under &x.f — i.e. x when x is
+// itself a selector — so &s.counters.n checks the s.counters access.
+func innerSelector(x ast.Expr) ast.Expr {
+	x = ast.Unparen(x)
+	un, ok := x.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel.X
+}
+
+func checkExpr(pass *analysis.Pass, ix *directive.FileIndex, atomicFields map[*types.Var]token.Pos, x ast.Expr) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isAtomicCall(pass.TypesInfo, call) {
+			for _, arg := range call.Args[1:] {
+				checkExpr(pass, ix, atomicFields, arg)
+			}
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			reportPlain(pass, ix, atomicFields, sel)
+		}
+		return true
+	})
+}
+
+func reportPlain(pass *analysis.Pass, ix *directive.FileIndex, atomicFields map[*types.Var]token.Pos, sel *ast.SelectorExpr) {
+	f := fieldOf(pass.TypesInfo, sel)
+	if f == nil {
+		return
+	}
+	atomicPos, guarded := atomicFields[f]
+	if !guarded {
+		return
+	}
+	if _, ok := ix.At(directive.NonAtomic, sel.Pos()); ok {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"field %s is accessed atomically elsewhere in this package (e.g. line %d) but plainly here: mixed atomic/plain access races — use the atomic API everywhere, migrate to atomic.%s, or annotate //calloc:nonatomic <reason>",
+		f.Name(), pass.Position(atomicPos).Line, suggestTyped(f.Type()))
+}
+
+// suggestTyped names the typed-atomic replacement for the field's type.
+func suggestTyped(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return "Pointer[T]"
+		}
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	case types.Bool:
+		return "Bool"
+	case types.UnsafePointer:
+		return "Pointer[T]"
+	}
+	// Old-style atomic functions only accept the kinds above, so this is
+	// effectively unreachable; atomic.Value is the safe generic suggestion.
+	return "Value"
+}

@@ -1,0 +1,12 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"calloc/internal/analysis/analysistest"
+	"calloc/internal/analysis/atomiccheck"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiccheck.Analyzer, "atomicmix")
+}

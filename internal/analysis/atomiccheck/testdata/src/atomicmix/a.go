@@ -1,0 +1,71 @@
+// Package atomicmix is the atomiccheck fixture: the mixed plain/atomic
+// counter reads and snapshot-pointer peeks that the typed-atomics migration
+// in PR 4 removed from the real tree, kept here so the analyzer proves the
+// shape stays gone.
+package atomicmix
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read is the bug: a plain load of a counter other goroutines AddInt64.
+func (c *counters) read() int64 {
+	return c.hits // want `accessed atomically elsewhere`
+}
+
+// readOK is the fix.
+func (c *counters) readOK() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// plainTotal touches a field nothing accesses atomically: no finding.
+func (c *counters) plainTotal() int64 {
+	return c.total
+}
+
+// newCounters initialises before publication, declared with the directive.
+func newCounters() *counters {
+	c := &counters{}
+	//calloc:nonatomic pre-publication: no other goroutine sees c yet
+	c.hits = 42
+	return c
+}
+
+type snapshot struct {
+	version int64
+}
+
+type registry struct {
+	p unsafe.Pointer
+}
+
+func (r *registry) publish(s *snapshot) {
+	atomic.StorePointer(&r.p, unsafe.Pointer(s))
+}
+
+// peek is the snapshot-pointer bug: a plain read of an atomically-published
+// pointer can observe a stale or torn value.
+func (r *registry) peek() *snapshot {
+	return (*snapshot)(r.p) // want `accessed atomically elsewhere`
+}
+
+// load is the fix.
+func (r *registry) load() *snapshot {
+	return (*snapshot)(atomic.LoadPointer(&r.p))
+}
+
+// storeFromPlain mixes within one call: the value operand reads a guarded
+// field plainly even though the destination is accessed atomically.
+func crossStore(a, b *counters) {
+	atomic.StoreInt64(&a.hits, b.hits) // want `accessed atomically elsewhere`
+}

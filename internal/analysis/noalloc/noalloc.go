@@ -1,0 +1,662 @@
+// Package noalloc rejects allocating constructs inside functions annotated
+// `//calloc:noalloc` — the packed kernels, the PredictInto paths, the wire
+// handlers, and the lane scheduler whose 0 allocs/op contract the serving
+// benchmarks depend on.
+//
+// The analyzer is the syntactic half of a two-part gate. It catches the
+// construct classes that have actually regressed the hot path in past PRs:
+//
+//   - calls into functions that are not themselves part of the noalloc set
+//     (the PR 8 per-dispatch mat.FromSlice matrix header was exactly this);
+//   - append through a locally-declared nil or uncapped slice (the PR 8
+//     runq capacity bleed re-grew a pooled queue every batch);
+//   - make/new, map and slice composite literals, &T{} allocations;
+//   - escaping closures (a func literal that captures locals);
+//   - interface boxing of non-pointer values at calls, assigns, returns;
+//   - string concatenation and string<->[]byte conversions outside the
+//     positions the compiler is guaranteed to elide;
+//   - fmt.* calls (every fmt call boxes through ...any);
+//   - go statements and defers inside loops.
+//
+// The other half, scripts/escapecheck.sh, asks the compiler itself: it runs
+// `go build -gcflags=-m` and fails CI if escape analysis reports a heap
+// allocation inside any annotated function. The analyzer gives precise,
+// immediate diagnostics; the escape check is the ground truth backstop.
+//
+// A deliberately-cold line inside a noalloc function (one-time buffer
+// growth, error paths) is suppressed with `//calloc:allow <reason>` on or
+// directly above the line.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"calloc/internal/analysis"
+	"calloc/internal/analysis/directive"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "reject allocating constructs in //calloc:noalloc functions",
+	Run:  run,
+}
+
+// safeCallees are imported functions known not to allocate (or to allocate
+// only on cold paths the runtime owns), permitted inside noalloc bodies
+// without an //calloc:allow. Methods are listed by (*T).Name full name,
+// package functions by pkgpath.Name.
+var safeCallees = map[string]bool{
+	// strconv append-style formatters write into the caller's buffer.
+	"strconv.AppendInt":   true,
+	"strconv.AppendUint":  true,
+	"strconv.AppendFloat": true,
+	"strconv.AppendQuote": true,
+	"strconv.ParseInt":    true,
+	"strconv.ParseUint":   true,
+	"strconv.ParseFloat":  true,
+	// math scalar helpers.
+	"math.Sqrt": true, "math.Abs": true, "math.Exp": true, "math.Log": true,
+	"math.Max": true, "math.Min": true, "math.Inf": true, "math.IsNaN": true,
+	"math.IsInf": true, "math.Float64bits": true, "math.Float64frombits": true,
+	"math.Float32bits": true, "math.Float32frombits": true, "math.Ceil": true,
+	"math.Floor": true, "math.Log2": true, "math.Log1p": true, "math.Round": true,
+	// time reads.
+	"time.Now": true, "time.Since": true, "(time.Time).Sub": true,
+	"(time.Time).UnixNano": true, "(time.Duration).Seconds": true,
+	"(time.Duration).Nanoseconds": true, "(time.Duration).Milliseconds": true,
+	// sync primitives.
+	"(*sync.Mutex).Lock": true, "(*sync.Mutex).Unlock": true,
+	"(*sync.RWMutex).Lock": true, "(*sync.RWMutex).Unlock": true,
+	"(*sync.RWMutex).RLock": true, "(*sync.RWMutex).RUnlock": true,
+	"(*sync.Cond).Signal": true, "(*sync.Cond).Broadcast": true,
+	"(*sync.Cond).Wait": true, "(*sync.WaitGroup).Add": true,
+	"(*sync.WaitGroup).Done": true,
+	// math scalar transcendentals used by the activations.
+	"math.Tanh": true,
+	// error classification (no allocation; the errors were made elsewhere).
+	"errors.Is": true,
+	// timer reuse in the batching window.
+	"(*time.Timer).Reset": true, "(*time.Timer).Stop": true,
+	// reading into a caller-owned buffer; the callee's own behaviour is
+	// outside this package's noalloc contract.
+	"(io.Reader).Read": true,
+	// sorting in place.
+	"sort.Search": true,
+	// Cross-package members of the audited set. The analyzer is
+	// package-local (go vet units see only export data for imports), so
+	// trust across packages goes through this list; each entry is
+	// annotated //calloc:noalloc in its own package.
+	"calloc/internal/wire.AppendString": true,
+}
+
+// safeCalleePrefixes whitelists whole families: every method of the typed
+// atomics, and sync.Pool Get/Put themselves (pool traffic is the point).
+var safeCalleePrefixes = []string{
+	"(*sync/atomic.",
+	"(*sync.Pool).",
+	"sync/atomic.",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// The intra-package noalloc set: calls between annotated functions are
+	// fine — the contract is transitive by construction.
+	noallocFns := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := directive.FuncDirective(fd, directive.NoAlloc); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					noallocFns[obj] = true
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ix := directive.Index(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := directive.FuncDirective(fd, directive.NoAlloc); !ok {
+				continue
+			}
+			w := &walker{pass: pass, ix: ix, noallocFns: noallocFns, fn: fd,
+				elided: elisionSafeConversions(fd.Body)}
+			w.walk(fd.Body, 0)
+		}
+	}
+	return nil, nil
+}
+
+// Ranges returns, for escapecheck.sh, the file/line ranges of every
+// //calloc:noalloc function body in the pass plus the lines blessed by
+// //calloc:allow. Used by calloc-vet -ranges; not an analyzer.
+func Ranges(fset *token.FileSet, files []*ast.File, report func(kind, file string, start, end int)) {
+	for _, f := range files {
+		ix := directive.Index(fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := directive.FuncDirective(fd, directive.NoAlloc); !ok {
+				continue
+			}
+			start := fset.Position(fd.Body.Pos())
+			end := fset.Position(fd.Body.End())
+			report("range", start.Filename, start.Line, end.Line)
+		}
+		for _, line := range ix.Lines(directive.Allow) {
+			report("allow", fset.Position(f.Pos()).Filename, line, line)
+		}
+	}
+}
+
+type walker struct {
+	pass       *analysis.Pass
+	ix         *directive.FileIndex
+	noallocFns map[types.Object]bool
+	fn         *ast.FuncDecl
+	// elided holds positions of string conversions in positions the
+	// compiler is guaranteed to elide (map index, ==/!= operand, switch
+	// tag), which therefore do not allocate.
+	elided map[token.Pos]bool
+}
+
+// elisionSafeConversions records the positions of conversion expressions in
+// the positions gc elides the copy: m[string(b)], string(b) == s (either
+// operand), and switch string(b) tags.
+func elisionSafeConversions(body *ast.BlockStmt) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	mark := func(x ast.Expr) {
+		if call, ok := ast.Unparen(x).(*ast.CallExpr); ok {
+			out[call.Pos()] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			mark(e.Index)
+		case *ast.BinaryExpr:
+			if e.Op == token.EQL || e.Op == token.NEQ {
+				mark(e.X)
+				mark(e.Y)
+			}
+		case *ast.SwitchStmt:
+			if e.Tag != nil {
+				mark(e.Tag)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// allowed reports an //calloc:allow governing pos.
+func (w *walker) allowed(pos token.Pos) bool {
+	_, ok := w.ix.At(directive.Allow, pos)
+	return ok
+}
+
+func (w *walker) reportf(pos token.Pos, format string, args ...any) {
+	if w.allowed(pos) {
+		return
+	}
+	w.pass.Reportf(pos, format, args...)
+}
+
+// walk inspects node; loopDepth tracks enclosing for/range statements for
+// the defer-in-loop rule.
+func (w *walker) walk(node ast.Node, loopDepth int) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			w.walkLoop(x.Init, x.Cond, x.Post, x.Body, loopDepth)
+			return false
+		case *ast.RangeStmt:
+			if x.Key != nil {
+				w.walk(x.Key, loopDepth)
+			}
+			if x.Value != nil {
+				w.walk(x.Value, loopDepth)
+			}
+			w.walk(x.X, loopDepth)
+			w.walk(x.Body, loopDepth+1)
+			return false
+		case *ast.GoStmt:
+			w.reportf(x.Pos(), "go statement in noalloc function %s: spawning a goroutine allocates its stack", w.fn.Name.Name)
+			return true
+		case *ast.DeferStmt:
+			if loopDepth > 0 {
+				w.reportf(x.Pos(), "defer inside a loop in noalloc function %s allocates a defer record per iteration", w.fn.Name.Name)
+			}
+			return true
+		case *ast.FuncLit:
+			if captures(w.pass.TypesInfo, x) {
+				w.reportf(x.Pos(), "closure in noalloc function %s captures local variables and escapes to the heap", w.fn.Name.Name)
+			}
+			// Do not descend: the literal runs under its own contract.
+			return false
+		case *ast.CompositeLit:
+			w.checkCompositeLit(x)
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					w.reportf(x.Pos(), "&T{} literal in noalloc function %s allocates", w.fn.Name.Name)
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			w.checkConcat(x)
+			return true
+		case *ast.CallExpr:
+			w.checkCall(x)
+			return true
+		case *ast.AssignStmt:
+			w.checkAppendTargets(x)
+			return true
+		}
+		return true
+	})
+}
+
+func (w *walker) walkLoop(init ast.Stmt, cond ast.Expr, post ast.Stmt, body *ast.BlockStmt, loopDepth int) {
+	if init != nil {
+		w.walk(init, loopDepth)
+	}
+	if cond != nil {
+		w.walk(cond, loopDepth)
+	}
+	if post != nil {
+		w.walk(post, loopDepth)
+	}
+	w.walk(body, loopDepth+1)
+}
+
+// captures reports whether the literal references any object declared
+// outside its own body (other than package-level objects) — the condition
+// under which the closure needs a heap-allocated environment.
+func captures(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		// Declared inside the literal itself?
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+func (w *walker) checkCompositeLit(x *ast.CompositeLit) {
+	tv, ok := w.pass.TypesInfo.Types[x]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		w.reportf(x.Pos(), "map literal in noalloc function %s allocates", w.fn.Name.Name)
+	case *types.Slice:
+		w.reportf(x.Pos(), "slice literal in noalloc function %s allocates backing storage", w.fn.Name.Name)
+	}
+	// Plain struct value literals (T{} assigned by value, *o = OptInt{})
+	// do not allocate and are permitted; &T{} is caught at the UnaryExpr.
+}
+
+func (w *walker) checkConcat(x *ast.BinaryExpr) {
+	if x.Op != token.ADD {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[x]
+	if !ok {
+		return
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	if tv.Value != nil {
+		return // constant-folded
+	}
+	w.reportf(x.Pos(), "string concatenation in noalloc function %s allocates; append into a reused []byte instead", w.fn.Name.Name)
+}
+
+// checkAppendTargets flags `v = append(v, ...)` when v is a local declared
+// with no capacity (nil or uncapped literal) in this function — growth is
+// then guaranteed on the hot path. Appends into parameters, struct fields,
+// named results, and pooled buffers are the intended idiom and pass.
+func (w *walker) checkAppendTargets(as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || i >= len(as.Lhs) {
+			continue
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			continue
+		}
+		if b, ok := w.pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if len(call.Args) == 0 {
+			continue
+		}
+		target, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pass.TypesInfo.Uses[target]
+		if obj == nil {
+			continue
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			continue
+		}
+		if w.declaredUncapped(v) {
+			w.reportf(call.Pos(),
+				"append to %s in noalloc function %s: the slice is declared in this function with no capacity, so growth allocates on the hot path — pre-size it or append into a pooled/reused buffer",
+				target.Name, w.fn.Name.Name)
+		}
+	}
+}
+
+// declaredUncapped reports whether v is declared inside the current function
+// as nil or via a literal/make with no meaningful capacity.
+func (w *walker) declaredUncapped(v *types.Var) bool {
+	if v.Pos() < w.fn.Body.Pos() || v.Pos() >= w.fn.Body.End() {
+		return false // parameter, result, or outer declaration
+	}
+	uncapped := false
+	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.AssignStmt:
+			if d.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range d.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || w.pass.TypesInfo.Defs[id] != v || i >= len(d.Rhs) {
+					continue
+				}
+				uncapped = rhsUncapped(w.pass.TypesInfo, d.Rhs[i])
+			}
+		case *ast.DeclStmt:
+			gd, ok := d.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if w.pass.TypesInfo.Defs[name] != v {
+						continue
+					}
+					if len(vs.Values) == 0 {
+						uncapped = true // var s []T — nil slice
+					} else if i < len(vs.Values) {
+						uncapped = rhsUncapped(w.pass.TypesInfo, vs.Values[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return uncapped
+}
+
+// rhsUncapped reports whether the initialiser produces a slice with no
+// useful capacity: nil, an empty literal, or make with constant-zero cap.
+func rhsUncapped(info *types.Info, x ast.Expr) bool {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		_, isSlice := tv.Type.Underlying().(*types.Slice)
+		return isSlice && len(e.Elts) == 0
+	case *ast.CallExpr:
+		fn, ok := e.Fun.(*ast.Ident)
+		if !ok || fn.Name != "make" {
+			return false
+		}
+		capArg := ""
+		if len(e.Args) == 3 {
+			if lit, ok := e.Args[2].(*ast.BasicLit); ok {
+				capArg = lit.Value
+			}
+		} else if len(e.Args) == 2 {
+			if lit, ok := e.Args[1].(*ast.BasicLit); ok {
+				capArg = lit.Value
+			}
+		}
+		return capArg == "0"
+	}
+	return false
+}
+
+func (w *walker) checkCall(call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				w.reportf(call.Pos(), "make in noalloc function %s allocates; acquire the buffer outside the hot path", w.fn.Name.Name)
+			case "new":
+				w.reportf(call.Pos(), "new in noalloc function %s allocates", w.fn.Name.Name)
+			}
+			return
+		}
+	}
+	// Conversions: string(b) / []byte(s) copy unless in an elision-safe
+	// position, which the walk handles by not reaching here (see below).
+	if w.checkConversion(call) {
+		return
+	}
+	callee := calleeOf(w.pass.TypesInfo, call)
+	if callee == nil {
+		// Calling a function value (field, param): allocation behaviour is
+		// unknowable here; escapecheck.sh still covers the body itself.
+		return
+	}
+	if callee.Pkg() == nil {
+		return // builtin-ish (error.Error on universe scope etc.)
+	}
+	if callee.Pkg() == w.pass.Pkg {
+		if w.noallocFns[callee] {
+			// The callee keeps its own body clean, but boxing happens at
+			// this call site.
+			w.checkBoxing(call)
+			return
+		}
+		// Method on a package type, or plain function, without the
+		// annotation: direct it to be annotated or allowed.
+		w.reportf(call.Pos(),
+			"call to %s in noalloc function %s: the callee is not annotated //calloc:noalloc, so its allocation behaviour is unchecked",
+			callee.Name(), w.fn.Name.Name)
+		w.checkBoxing(call)
+		return
+	}
+	full := calleeFullName(callee)
+	if full == "fmt.Sprintf" || full == "fmt.Errorf" || strings.HasPrefix(full, "fmt.") {
+		w.reportf(call.Pos(), "fmt call in noalloc function %s allocates (every argument boxes through ...any)", w.fn.Name.Name)
+		return
+	}
+	if safeCallees[full] {
+		w.checkBoxing(call)
+		return
+	}
+	for _, p := range safeCalleePrefixes {
+		if strings.HasPrefix(full, p) {
+			return
+		}
+	}
+	w.reportf(call.Pos(),
+		"call to %s in noalloc function %s: the callee is outside the audited no-allocation set (add //calloc:allow <reason> if it is provably allocation-free)",
+		full, w.fn.Name.Name)
+	w.checkBoxing(call)
+}
+
+// checkConversion flags string(x)/[]byte(x) conversions. Returns true if
+// call was a conversion (flagged or not).
+func (w *walker) checkConversion(call *ast.CallExpr) bool {
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	if w.elided[call.Pos()] {
+		return true
+	}
+	dst, _ := tv.Type.Underlying().(*types.Basic)
+	argTV, ok := w.pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return true
+	}
+	// string([]byte) and []byte(string) copy.
+	if dst != nil && dst.Info()&types.IsString != 0 {
+		if _, fromSlice := argTV.Type.Underlying().(*types.Slice); fromSlice {
+			w.reportf(call.Pos(),
+				"string(b) conversion in noalloc function %s copies b to the heap unless the compiler can elide it; add //calloc:allow <reason> only if the elision is verified",
+				w.fn.Name.Name)
+		}
+		return true
+	}
+	if sl, ok := tv.Type.Underlying().(*types.Slice); ok {
+		if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+			if ab, ok := argTV.Type.Underlying().(*types.Basic); ok && ab.Info()&types.IsString != 0 {
+				w.reportf(call.Pos(), "[]byte(s) conversion in noalloc function %s copies s to the heap", w.fn.Name.Name)
+			}
+		}
+	}
+	return true
+}
+
+// checkBoxing flags arguments whose assignment to an interface parameter
+// boxes a non-pointer concrete value.
+func (w *walker) checkBoxing(call *ast.CallExpr) {
+	sig := signatureOf(w.pass.TypesInfo, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := w.pass.TypesInfo.Types[arg]
+		if !ok || atv.Type == nil {
+			continue
+		}
+		at := atv.Type
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue
+		}
+		if isPointerShaped(at) {
+			continue
+		}
+		if atv.Value != nil {
+			continue // constants may be boxed via static data
+		}
+		w.reportf(arg.Pos(),
+			"argument boxes %s into an interface in noalloc function %s: non-pointer values escape to the heap when boxed",
+			at.String(), w.fn.Name.Name)
+	}
+}
+
+// isPointerShaped reports types whose interface representation needs no
+// allocation: pointers, channels, maps, funcs, unsafe pointers.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func signatureOf(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// calleeFullName renders obj as pkgpath.Name or (recv).Name matching the
+// safeCallees table.
+func calleeFullName(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			return "(*" + typePath(p.Elem()) + ")." + f.Name()
+		}
+		return "(" + typePath(rt) + ")." + f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Path() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+func typePath(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return t.String()
+	}
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}

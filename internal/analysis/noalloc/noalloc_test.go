@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"calloc/internal/analysis/analysistest"
+	"calloc/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "noallocfix")
+}

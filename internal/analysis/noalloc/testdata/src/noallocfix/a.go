@@ -1,0 +1,190 @@
+// Package noallocfix is the noalloc fixture. The two headline cases are
+// modeled on the real allocation regressions PR 8 shipped and then had to
+// chase with profiles: the per-dispatch matrix-header construction
+// (dispatchHeader) and the run-queue capacity bleed (runqBleed).
+package noallocfix
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// fromSlice wraps data in a fresh header — allocation-free it is not.
+func fromSlice(r, c int, data []float64) *matrix {
+	return &matrix{rows: r, cols: c, data: data}
+}
+
+// dispatchHeader is the PR 8 matrix-header bug: the dispatch loop called a
+// convenience constructor per batch, allocating a header on every dispatch.
+//
+//calloc:noalloc
+func dispatchHeader(rows int, data []float64) float64 {
+	m := fromSlice(rows, len(data)/rows, data) // want `not annotated //calloc:noalloc`
+	return m.data[0]
+}
+
+// dispatchHeaderFixed is the shipped fix: a worker-owned header rewritten
+// in place.
+//
+//calloc:noalloc
+func dispatchHeaderFixed(m *matrix, rows int, data []float64) float64 {
+	m.rows = rows
+	m.cols = len(data) / rows
+	m.data = data
+	return m.data[0]
+}
+
+// runqBleed is the PR 8 run-queue bug shape: the queue was redeclared with
+// no capacity, so the append re-grew it every batch.
+//
+//calloc:noalloc
+func runqBleed(items []int) int {
+	var q []int
+	for _, it := range items {
+		q = append(q, it) // want `declared in this function with no capacity`
+	}
+	return len(q)
+}
+
+// runqReuse is the fixed shape: append into a caller-owned queue that keeps
+// its capacity across batches.
+//
+//calloc:noalloc
+func runqReuse(q []int, items []int) []int {
+	for _, it := range items {
+		q = append(q, it)
+	}
+	return q
+}
+
+//calloc:noalloc
+func makesSlice(n int) []float64 {
+	return make([]float64, n) // want `make in noalloc function`
+}
+
+//calloc:noalloc
+func newsValue() *matrix {
+	return new(matrix) // want `new in noalloc function`
+}
+
+//calloc:noalloc
+func ptrLit() *matrix {
+	return &matrix{} // want `literal in noalloc function ptrLit allocates`
+}
+
+//calloc:noalloc
+func sliceLit() []int {
+	return []int{1, 2} // want `slice literal`
+}
+
+//calloc:noalloc
+func mapLit() int {
+	m := map[string]int{"a": 1} // want `map literal`
+	return m["a"]
+}
+
+// valueLit writes a zero struct by value — no allocation, no finding.
+//
+//calloc:noalloc
+func valueLit(dst *matrix) {
+	*dst = matrix{}
+}
+
+//calloc:noalloc
+func usesFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt call`
+}
+
+//calloc:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//calloc:noalloc
+func convCopy(s string) []byte {
+	return []byte(s) // want `copies s to the heap`
+}
+
+// internLookup converts in map-index position, which the compiler elides.
+//
+//calloc:noalloc
+func internLookup(m map[string]int, b []byte) int {
+	return m[string(b)]
+}
+
+// compareNoCopy converts in comparison position, also elided.
+//
+//calloc:noalloc
+func compareNoCopy(b []byte, s string) bool {
+	return string(b) == s
+}
+
+//calloc:noalloc
+func closureCapture() float64 {
+	sum := 0.0
+	f := func() { sum++ } // want `captures local variables`
+	f()
+	return sum
+}
+
+// closureClean captures nothing: a static func value, no environment.
+//
+//calloc:noalloc
+func closureClean() int {
+	f := func(a int) int { return a + 1 }
+	return f(2)
+}
+
+//calloc:noalloc
+func doNothing() {}
+
+//calloc:noalloc
+func spawns() {
+	go doNothing() // want `go statement`
+}
+
+//calloc:noalloc
+func deferLoop(n int) {
+	for i := 0; i < n; i++ {
+		defer doNothing() // want `defer inside a loop`
+	}
+}
+
+//calloc:noalloc
+func sinkAny(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}
+
+//calloc:noalloc
+func boxesInt(x int) int {
+	return sinkAny(x) // want `boxes int into an interface`
+}
+
+//calloc:noalloc
+func passesPointer(m *matrix) int {
+	return sinkAny(m)
+}
+
+// appendInt builds on the strconv append family, the sanctioned formatter.
+//
+//calloc:noalloc
+func appendInt(dst []byte, v int64) []byte {
+	return strconv.AppendInt(dst, v, 10)
+}
+
+// coldGrowth is blessed line by line: the allow directive requires a reason
+// and keeps the rest of the function strict.
+//
+//calloc:noalloc
+func coldGrowth(n int) []byte {
+	//calloc:allow one-time growth on the cold path
+	return make([]byte, n)
+}

@@ -1,0 +1,879 @@
+// Package poolcheck enforces the repo's sync.Pool ownership discipline at
+// compile time. The serving hot path (internal/node wireBuf, internal/serve
+// request pool, internal/cluster proxy/batch buffers, internal/mat scratch)
+// leans on pooled objects for its 0 allocs/op numbers, and every pool
+// carries hand-maintained invariants that used to live only in comments:
+//
+//   - A value obtained with Get must reach a Put on every path out of the
+//     function, unless ownership deliberately leaves the function — which
+//     must be declared with a `//calloc:handoff <reason>` directive on the
+//     Get (the coalescer's abandoned-waiter buffers, the serve engine's
+//     enqueued requests, mat.GetScratch's caller-owned matrices).
+//   - Nothing may touch a pooled value after its Put: the pool may already
+//     have handed it to another goroutine.
+//   - A pooled value (or an alias derived from it) must not escape into a
+//     return value or a longer-lived location; that aliasing class is why
+//     wire.OptInt exists.
+//   - Slice-typed pool values must go back length-reset (Put(buf[:0])), so
+//     a future Get cannot observe — or re-serve — a previous request's rows.
+//   - If a pooled type declares a reset method, it must be called before
+//     the Put (types without one reset at the acquire site instead, which
+//     the analyzer does not police).
+//   - Pooled structs must not carry pointer-to-scalar fields (*int and
+//     friends): absent JSON fields leave stale pointers from the previous
+//     request in place. wire.OptInt is the sanctioned replacement.
+//
+// Put calls routed through a same-package helper (mat.PutScratch,
+// cluster.putProxyBuf) are recognised: any function that Puts one of its
+// parameters counts as a releaser for that argument position.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"calloc/internal/analysis"
+	"calloc/internal/analysis/directive"
+)
+
+// Analyzer is the poolcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc:  "check sync.Pool Get/Put pairing, reset discipline, and pooled-value escapes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	releasers := findReleasers(pass)
+	for _, file := range pass.Files {
+		ix := directive.Index(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkFunc(pass, ix, releasers, body)
+			// Nested function literals are visited again by the inspection;
+			// checkFunc itself does not descend into them for Get tracking.
+			return true
+		})
+		checkPutSites(pass, file)
+	}
+	checkPooledStructFields(pass)
+	return nil, nil
+}
+
+// isPoolMethod reports whether the call invokes (*sync.Pool).<name>.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.FullName() == "(*sync.Pool)."+name
+}
+
+// rootIdent walks x through selectors, index, and slice expressions to the
+// identifier the expression is derived from: buf[:0] -> buf, b.body -> b.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.SliceExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.TypeAssertExpr:
+			x = e.X
+		case *ast.CallExpr:
+			// append(buf[:0], ...) and friends: treat the first argument's
+			// root as the derivation root.
+			if len(e.Args) > 0 {
+				x = e.Args[0]
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// findReleasers scans the package for functions that Put one of their
+// parameters into a sync.Pool (release helpers like putProxyBuf or
+// PutScratch) and returns the set keyed by function object with the
+// released parameter index.
+func findReleasers(pass *analysis.Pass) map[*types.Func]int {
+	out := make(map[*types.Func]int)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			params := make(map[types.Object]int)
+			i := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if po := pass.TypesInfo.Defs[name]; po != nil {
+						params[po] = i
+					}
+					i++
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isPoolMethod(pass.TypesInfo, call, "Put") || len(call.Args) != 1 {
+					return true
+				}
+				if root := rootIdent(call.Args[0]); root != nil {
+					if idx, ok := params[pass.TypesInfo.Uses[root]]; ok {
+						out[obj] = idx
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// tracked is one Get result being path-checked through its function.
+type tracked struct {
+	obj     types.Object // the variable holding the Get result
+	aliases map[types.Object]bool
+	getPos  token.Pos
+	handoff bool
+
+	reported     bool // one missing-Put diagnostic per Get is enough
+	firstBadExit token.Pos
+}
+
+// state is the per-path abstract state of one tracked value.
+type state struct {
+	liveUnreleased bool // some path reaches here holding an un-Put value
+	liveReleased   bool // some path reaches here after the Put
+	putPos         token.Pos
+}
+
+func merge(a, b state) state {
+	s := state{
+		liveUnreleased: a.liveUnreleased || b.liveUnreleased,
+		liveReleased:   a.liveReleased || b.liveReleased,
+		putPos:         a.putPos,
+	}
+	if s.putPos == token.NoPos {
+		s.putPos = b.putPos
+	}
+	return s
+}
+
+// checker walks one function body for one tracked Get.
+type checker struct {
+	pass      *analysis.Pass
+	releasers map[*types.Func]int
+	t         *tracked
+	deferPut  bool
+}
+
+func checkFunc(pass *analysis.Pass, ix *directive.FileIndex, releasers map[*types.Func]int, body *ast.BlockStmt) {
+	// Find the Gets whose result is bound to a variable in THIS function
+	// (not in a nested literal — those are checked when the inspection
+	// visits the literal itself).
+	var gets []*tracked
+	forEachStmt(body, func(stmt ast.Stmt) {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		rhs := as.Rhs[0]
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ta.X
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isPoolMethod(pass.TypesInfo, call, "Get") {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		_, handoff := ix.At(directive.Handoff, call.Pos())
+		gets = append(gets, &tracked{
+			obj:     obj,
+			aliases: map[types.Object]bool{obj: true},
+			getPos:  call.Pos(),
+			handoff: handoff,
+		})
+	})
+	for _, t := range gets {
+		if t.handoff {
+			// Ownership is declared to leave this function; the path
+			// analysis has nothing to enforce here.
+			continue
+		}
+		c := &checker{pass: pass, releasers: releasers, t: t}
+		out := c.stmts(body.List, state{})
+		if out.liveUnreleased && !c.deferPut && !t.handoff && !t.reported {
+			t.firstBadExit = body.End()
+			c.reportMissing(t)
+		}
+	}
+}
+
+// forEachStmt visits every statement in the function body except those
+// inside nested function literals.
+func forEachStmt(body *ast.BlockStmt, fn func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			fn(s)
+		}
+		return true
+	})
+}
+
+func (c *checker) reportMissing(t *tracked) {
+	if t.reported {
+		return
+	}
+	t.reported = true
+	c.pass.Reportf(t.getPos,
+		"sync.Pool value %q may not be returned to the pool on every path (exit at line %d); Put it on all paths or annotate the Get with //calloc:handoff <reason>",
+		objName(t.obj), c.pass.Position(t.firstBadExit).Line)
+}
+
+func objName(o types.Object) string { return o.Name() }
+
+// stmts walks a statement list, threading the path state.
+func (c *checker) stmts(list []ast.Stmt, s state) state {
+	for _, stmt := range list {
+		s = c.stmt(stmt, s)
+	}
+	return s
+}
+
+func (c *checker) stmt(stmt ast.Stmt, s state) state {
+	t := c.t
+	switch st := stmt.(type) {
+	case *ast.AssignStmt:
+		// The Get itself?
+		if pos := c.getAssignPos(st); pos == t.getPos {
+			return state{liveUnreleased: true}
+		}
+		c.checkAliasCreation(st, s)
+		c.checkEscape(stmt, s)
+		s = c.flowThrough(stmt, s)
+		return s
+	case *ast.DeferStmt:
+		if c.callReleases(st.Call) {
+			c.deferPut = true
+			return s
+		}
+		c.useCheck(stmt, s)
+		return s
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			if c.aliasesValue(res) && !t.handoff {
+				c.pass.Reportf(res.Pos(),
+					"pooled value %q (or an alias of it) escapes into a return value; copy it out or annotate the Get with //calloc:handoff <reason>",
+					objName(t.obj))
+				break
+			}
+		}
+		if s.liveUnreleased && !c.deferPut && !t.handoff {
+			t.firstBadExit = st.Pos()
+			c.reportMissing(t)
+		}
+		return state{} // path ends
+	case *ast.ExprStmt:
+		c.checkEscape(stmt, s)
+		return c.flowThrough(stmt, s)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s = c.stmt(st.Init, s)
+		}
+		c.useCheck(st.Cond, s)
+		a := c.stmts(st.Body.List, s)
+		b := s
+		if st.Else != nil {
+			b = c.stmt(st.Else, s)
+		}
+		return merge(a, b)
+	case *ast.BlockStmt:
+		return c.stmts(st.List, s)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s = c.stmt(st.Init, s)
+		}
+		if st.Cond != nil {
+			c.useCheck(st.Cond, s)
+		}
+		body := c.stmts(st.Body.List, s)
+		if st.Post != nil {
+			body = c.stmt(st.Post, body)
+		}
+		if !s.liveUnreleased && body.liveUnreleased && !t.handoff && !c.deferPut {
+			// The Get happens inside the loop body and the value is still
+			// live when the iteration ends: the next Get overwrites it.
+			t.firstBadExit = st.Body.End()
+			c.reportMissing(t)
+		}
+		return merge(s, body)
+	case *ast.RangeStmt:
+		c.useCheck(st.X, s)
+		body := c.stmts(st.Body.List, s)
+		if !s.liveUnreleased && body.liveUnreleased && !t.handoff && !c.deferPut {
+			t.firstBadExit = st.Body.End()
+			c.reportMissing(t)
+		}
+		return merge(s, body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s = c.stmt(st.Init, s)
+		}
+		if st.Tag != nil {
+			c.useCheck(st.Tag, s)
+		}
+		return c.caseClauses(st.Body, s, !hasDefault(st.Body))
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s = c.stmt(st.Init, s)
+		}
+		c.useCheck(st.Assign, s)
+		return c.caseClauses(st.Body, s, !hasDefault(st.Body))
+	case *ast.SelectStmt:
+		return c.caseClauses(st.Body, s, false)
+	case *ast.LabeledStmt:
+		return c.stmt(st.Stmt, s)
+	case *ast.GoStmt:
+		if c.callReleases(st.Call) || releasesInside(c, st.Call) {
+			if s.liveUnreleased {
+				return state{liveReleased: true, putPos: st.Pos()}
+			}
+		}
+		c.useCheck(stmt, s)
+		return s
+	case *ast.SendStmt:
+		if c.aliasesValue(st.Value) && !t.handoff {
+			c.pass.Reportf(st.Value.Pos(),
+				"pooled value %q (or an alias of it) is sent on a channel; the receiver outlives this function — annotate the Get with //calloc:handoff <reason> if intended",
+				objName(t.obj))
+			// A send transfers ownership; do not also demand a Put here.
+			if s.liveUnreleased {
+				return state{liveReleased: s.liveReleased}
+			}
+		}
+		c.useCheck(stmt, s)
+		return s
+	case *ast.BranchStmt:
+		return s // break/continue/goto: approximate by falling through
+	default:
+		c.checkEscape(stmt, s)
+		return c.flowThrough(stmt, s)
+	}
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// caseClauses merges the per-case walks; passThrough additionally merges the
+// incoming state (a switch with no default may execute no case).
+func (c *checker) caseClauses(body *ast.BlockStmt, s state, passThrough bool) state {
+	var out state
+	first := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				s2 := c.stmt(cc.Comm, s)
+				s2 = c.stmts(cc.Body, s2)
+				if first {
+					out, first = s2, false
+				} else {
+					out = merge(out, s2)
+				}
+				continue
+			}
+			stmts = cc.Body
+		}
+		s2 := c.stmts(stmts, s)
+		if first {
+			out, first = s2, false
+		} else {
+			out = merge(out, s2)
+		}
+	}
+	if first {
+		return s
+	}
+	if passThrough {
+		out = merge(out, s)
+	}
+	return out
+}
+
+// flowThrough handles release and use-after-put for a generic statement.
+func (c *checker) flowThrough(stmt ast.Stmt, s state) state {
+	if put := c.releaseIn(stmt); put != token.NoPos {
+		if s.liveUnreleased {
+			return state{liveReleased: true, putPos: put}
+		}
+		return s
+	}
+	c.useCheck(stmt, s)
+	return s
+}
+
+// releaseIn returns the position of a Put (or releaser-helper call) of the
+// tracked value inside stmt, or NoPos.
+func (c *checker) releaseIn(stmt ast.Stmt) token.Pos {
+	found := token.NoPos
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.callReleases(call) {
+			found = call.Pos()
+		}
+		return true
+	})
+	return found
+}
+
+func releasesInside(c *checker, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok && c.callReleases(inner) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// callReleases reports whether call is Put(v) or releaser(v...) for the
+// tracked value.
+func (c *checker) callReleases(call *ast.CallExpr) bool {
+	if isPoolMethod(c.pass.TypesInfo, call, "Put") && len(call.Args) == 1 {
+		if root := rootIdent(call.Args[0]); root != nil {
+			return c.t.aliases[c.pass.TypesInfo.Uses[root]]
+		}
+		return false
+	}
+	// Releaser helper?
+	var callee *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = c.pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if callee == nil {
+		return false
+	}
+	idx, ok := c.releasers[callee]
+	if !ok || idx >= len(call.Args) {
+		return false
+	}
+	if root := rootIdent(call.Args[idx]); root != nil {
+		return c.t.aliases[c.pass.TypesInfo.Uses[root]]
+	}
+	return false
+}
+
+// aliasesValue reports whether expr IS the tracked value or a memory alias
+// of it (a pure selector/index/slice derivation). A copy computed from the
+// value — len(v.buf), string(v.body), append(dst, v.out...) — is safe and
+// not flagged.
+func (c *checker) aliasesValue(x ast.Expr) bool {
+	if x == nil || !pureDerivation(x) {
+		return false
+	}
+	root := rootIdent(x)
+	return root != nil && c.t.aliases[c.pass.TypesInfo.Uses[root]]
+}
+
+// mentions reports whether expr references the tracked value or an alias.
+func (c *checker) mentions(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if id, ok := nn.(*ast.Ident); ok {
+			if c.t.aliases[c.pass.TypesInfo.Uses[id]] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// useCheck reports a use of the tracked value after its Put.
+func (c *checker) useCheck(n ast.Node, s state) {
+	if !s.liveReleased || s.liveUnreleased || n == nil {
+		return
+	}
+	if c.mentions(n) {
+		c.pass.Reportf(n.Pos(),
+			"pooled value %q is used after it was returned to the pool (Put at line %d); the pool may already have handed it to another goroutine",
+			objName(c.t.obj), c.pass.Position(s.putPos).Line)
+	}
+}
+
+// getAssignPos returns the position of a pool.Get call on the RHS of as, or
+// NoPos.
+func (c *checker) getAssignPos(as *ast.AssignStmt) token.Pos {
+	if len(as.Rhs) != 1 {
+		return token.NoPos
+	}
+	rhs := as.Rhs[0]
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ta.X
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok && isPoolMethod(c.pass.TypesInfo, call, "Get") {
+		return call.Pos()
+	}
+	return token.NoPos
+}
+
+// checkAliasCreation records simple aliases: x := v, x := v.f, x := v[i:j].
+func (c *checker) checkAliasCreation(as *ast.AssignStmt, s state) {
+	if !s.liveUnreleased && !s.liveReleased {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		root := rootIdent(rhs)
+		if root == nil || !c.t.aliases[c.pass.TypesInfo.Uses[root]] {
+			continue
+		}
+		// Only pure derivations alias (selector/index/slice chains); a call
+		// result computed FROM the value is a copy the function made.
+		if !pureDerivation(rhs) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.t.aliases[obj] = true
+			} else if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+				c.t.aliases[obj] = true
+			}
+		}
+	}
+}
+
+// pureDerivation reports whether x is built only from selectors, indexing,
+// slicing, and parens over an identifier — i.e. it aliases that identifier's
+// memory rather than copying from it.
+func pureDerivation(x ast.Expr) bool {
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return true
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.SliceExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.TypeAssertExpr:
+			x = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return false
+			}
+			x = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// checkEscape reports the tracked value (or an alias) being stored somewhere
+// that outlives the function: a field of another object, a map/slice element,
+// a package-level variable.
+func (c *checker) checkEscape(stmt ast.Stmt, s state) {
+	if (!s.liveUnreleased && !s.liveReleased) || c.t.handoff {
+		return
+	}
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !c.mentions(rhs) || !pureDerivation(rhs) {
+			continue
+		}
+		lhs := as.Lhs[i]
+		root := rootIdent(lhs)
+		if root == nil {
+			continue
+		}
+		rootObj := c.pass.TypesInfo.Uses[root]
+		if rootObj == nil {
+			rootObj = c.pass.TypesInfo.Defs[root]
+		}
+		// Writing into the pooled object itself (b.body = ...) is fine;
+		// binding to a fresh local is alias creation, handled above.
+		if c.t.aliases[rootObj] {
+			continue
+		}
+		if _, isLocalDef := c.pass.TypesInfo.Defs[root]; isLocalDef && as.Tok == token.DEFINE {
+			continue
+		}
+		switch lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			c.pass.Reportf(lhs.Pos(),
+				"pooled value %q (or an alias of it) is stored into %s, which may outlive the Put; copy the data or annotate the Get with //calloc:handoff <reason>",
+				objName(c.t.obj), types.ExprString(lhs))
+		case *ast.Ident:
+			if v, ok := rootObj.(*types.Var); ok && v.Parent() == c.pass.Pkg.Scope() {
+				c.pass.Reportf(lhs.Pos(),
+					"pooled value %q (or an alias of it) is stored into package-level variable %s; annotate the Get with //calloc:handoff <reason> if intended",
+					objName(c.t.obj), root.Name)
+			}
+		}
+	}
+}
+
+// checkPutSites enforces the per-Put rules that need no path analysis:
+// slice-typed arguments must be length-reset, and pooled types with a reset
+// method must have it called before the Put.
+func checkPutSites(pass *analysis.Pass, file *ast.File) {
+	// Map from enclosing function body, for the reset-before-put scan.
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolMethod(pass.TypesInfo, call, "Put") || len(call.Args) != 1 {
+			return true
+		}
+		arg := call.Args[0]
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok {
+			return true
+		}
+		if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+			if !isLenZeroExpr(arg) {
+				pass.Reportf(arg.Pos(),
+					"slice returned to a sync.Pool must have zero length (Put(buf[:0])): a stale length re-serves the previous user's bytes")
+			}
+			return true
+		}
+		checkResetBeforePut(pass, stack, call, arg, tv.Type)
+		return true
+	})
+}
+
+// isLenZeroExpr recognises buf[:0] / buf[:0:n] / nil / fresh zero-length
+// makes.
+func isLenZeroExpr(x ast.Expr) bool {
+	switch e := x.(type) {
+	case *ast.SliceExpr:
+		if e.High == nil {
+			return false
+		}
+		lit, ok := e.High.(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr:
+		if fn, ok := e.Fun.(*ast.Ident); ok && fn.Name == "make" && len(e.Args) >= 2 {
+			lit, ok := e.Args[1].(*ast.BasicLit)
+			return ok && lit.Value == "0"
+		}
+	}
+	return false
+}
+
+// checkResetBeforePut requires v.reset()/v.Reset() earlier in the enclosing
+// function when v's type declares one.
+func checkResetBeforePut(pass *analysis.Pass, stack []ast.Node, put *ast.CallExpr, arg ast.Expr, typ types.Type) {
+	named := namedOf(typ)
+	if named == nil || !hasResetMethod(named) {
+		return
+	}
+	root := rootIdent(arg)
+	if root == nil {
+		return
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		return
+	}
+	// Innermost enclosing function body.
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= put.Pos() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "reset" && sel.Sel.Name != "Reset") {
+			return true
+		}
+		if r := rootIdent(sel.X); r != nil && pass.TypesInfo.Uses[r] == obj {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		pass.Reportf(put.Pos(),
+			"pooled %s has a %s method that was not called before Put: stale fields leak into the next request",
+			named.Obj().Name(), resetName(named))
+	}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	} else if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func hasResetMethod(n *types.Named) bool { return resetName(n) != "" }
+
+func resetName(n *types.Named) string {
+	for i := 0; i < n.NumMethods(); i++ {
+		if name := n.Method(i).Name(); name == "reset" || name == "Reset" {
+			return name
+		}
+	}
+	return ""
+}
+
+// checkPooledStructFields flags pointer-to-scalar fields on types that are
+// pooled anywhere in the package — the aliasing hazard wire.OptInt exists to
+// prevent: json.Unmarshal leaves absent fields untouched, so a *int field on
+// a pooled decode target silently carries the previous request's pointer.
+func checkPooledStructFields(pass *analysis.Pass) {
+	pooled := make(map[*types.Named]token.Pos)
+	record := func(t types.Type, pos token.Pos) {
+		if n := namedOf(t); n != nil && n.Obj().Pkg() == pass.Pkg {
+			if _, ok := pooled[n]; !ok {
+				pooled[n] = pos
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPoolMethod(pass.TypesInfo, call, "Put") && len(call.Args) == 1 {
+				if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+					record(tv.Type, call.Args[0].Pos())
+				}
+			}
+			return true
+		})
+	}
+	for named := range pooled {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		flagPointerScalarFields(pass, named, st, named.Obj().Pos(), pass.Pkg)
+	}
+}
+
+// flagPointerScalarFields reports *scalar fields reachable through the
+// pooled struct (including its same-package struct-typed fields).
+func flagPointerScalarFields(pass *analysis.Pass, root *types.Named, st *types.Struct, pos token.Pos, pkg *types.Package) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch ft := f.Type().Underlying().(type) {
+		case *types.Pointer:
+			if b, ok := ft.Elem().Underlying().(*types.Basic); ok && b.Info()&(types.IsNumeric|types.IsString|types.IsBoolean) != 0 {
+				pass.Reportf(f.Pos(),
+					"pooled struct %s carries pointer-to-scalar field %s %s: absent JSON fields leave the previous request's pointer in place — use a value type like wire.OptInt",
+					root.Obj().Name(), f.Name(), f.Type().String())
+			}
+		case *types.Struct:
+			if fn := namedOf(f.Type()); fn != nil && fn.Obj().Pkg() == pkg {
+				flagPointerScalarFields(pass, root, ft, f.Pos(), pkg)
+			}
+		}
+	}
+}

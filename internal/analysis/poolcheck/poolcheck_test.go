@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"calloc/internal/analysis/analysistest"
+	"calloc/internal/analysis/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", poolcheck.Analyzer, "pool")
+}

@@ -1,0 +1,205 @@
+// Package pool is the poolcheck fixture: each function reproduces a pool
+// ownership shape from the real serving tree. The bad shapes are the bug
+// classes PRs 4–8 hit (or nearly hit) in the pooled wire path.
+package pool
+
+import "sync"
+
+type wireBuf struct {
+	body []byte
+	out  []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return new(wireBuf) }}
+
+// leakOnError is the wire-handler bug shape: an early error return skips
+// the Put, draining the pool under malformed-input load.
+func leakOnError(bad bool) int {
+	b := bufPool.Get().(*wireBuf) // want `may not be returned to the pool on every path`
+	if bad {
+		return -1
+	}
+	n := len(b.body)
+	bufPool.Put(b)
+	return n
+}
+
+// cleanDefer is the sanctioned handler shape: Put deferred right at the Get.
+func cleanDefer() int {
+	b := bufPool.Get().(*wireBuf)
+	defer bufPool.Put(b)
+	b.out = b.out[:0]
+	return len(b.out)
+}
+
+// handoffEnqueue hands ownership to a lane worker, declared with the
+// directive — the serve.Localize / coalescer abandoned-waiter shape.
+func handoffEnqueue(q chan *wireBuf) {
+	//calloc:handoff enqueued into the lane; the worker returns it
+	b := bufPool.Get().(*wireBuf)
+	q <- b
+}
+
+// escapeSend is handoffEnqueue without the declaration.
+func escapeSend(q chan *wireBuf) {
+	b := bufPool.Get().(*wireBuf)
+	q <- b // want `sent on a channel`
+}
+
+// useAfterPut touches the buffer once the pool may have re-issued it.
+func useAfterPut() {
+	b := bufPool.Get().(*wireBuf)
+	b.body = append(b.body[:0], 1)
+	bufPool.Put(b)
+	_ = b.body[0] // want `used after it was returned to the pool`
+}
+
+// escapeReturn leaks pooled memory into the caller's hands.
+func escapeReturn() []byte {
+	b := bufPool.Get().(*wireBuf)
+	defer bufPool.Put(b)
+	return b.out // want `escapes into a return value`
+}
+
+type server struct {
+	last []byte
+}
+
+// stash parks an alias of pooled memory in a longer-lived struct.
+func (s *server) stash() {
+	b := bufPool.Get().(*wireBuf)
+	defer bufPool.Put(b)
+	s.last = b.out // want `stored into s.last`
+}
+
+var slicePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return b
+}}
+
+// sliceLenBleed returns a slice to the pool with its length intact: the
+// next Get would observe — and could re-serve — this request's bytes.
+func sliceLenBleed(n int) {
+	buf := slicePool.Get().([]byte)
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i))
+	}
+	slicePool.Put(buf) // want `must have zero length`
+}
+
+// sliceLenReset is the sanctioned form.
+func sliceLenReset(n int) {
+	buf := slicePool.Get().([]byte)
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i))
+	}
+	slicePool.Put(buf[:0])
+}
+
+type req struct {
+	floor int
+}
+
+func (r *req) reset() { r.floor = 0 }
+
+var reqPool = sync.Pool{New: func() any { return new(req) }}
+
+// missingReset returns a dirty request object to the pool.
+func missingReset() {
+	r := reqPool.Get().(*req)
+	r.floor = 3
+	reqPool.Put(r) // want `reset method that was not called before Put`
+}
+
+// withReset is the sanctioned form.
+func withReset() {
+	r := reqPool.Get().(*req)
+	r.floor = 3
+	r.reset()
+	reqPool.Put(r)
+}
+
+type decodeTarget struct {
+	Floor *int // want `pointer-to-scalar field`
+	Tag   string
+}
+
+var decodePool = sync.Pool{New: func() any { return new(decodeTarget) }}
+
+// putDecode pools decodeTarget, which makes its *int field the OptInt
+// aliasing hazard: an absent JSON field keeps the previous request's
+// pointer.
+func putDecode(d *decodeTarget) {
+	decodePool.Put(d)
+}
+
+// loopLeak gets a fresh buffer every iteration and never returns one.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		b := bufPool.Get().(*wireBuf) // want `may not be returned to the pool`
+		b.out = b.out[:0]
+	}
+}
+
+// putWire is a releaser helper, like the router's putProxyBuf.
+func putWire(b *wireBuf) {
+	if b == nil {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// usesHelper releases through the helper; poolcheck must recognise it.
+func usesHelper() {
+	b := bufPool.Get().(*wireBuf)
+	defer putWire(b)
+	b.body = b.body[:0]
+}
+
+// predictScratch is the bayes/gbdt PredictInto shape that first tripped a
+// false positive: the Get sits in an if-init and the Put releases the
+// type-asserted alias, not the Get variable itself.
+func predictScratch(pool *sync.Pool, n int) int {
+	var pp *[]float64
+	if v := pool.Get(); v != nil {
+		pp = v.(*[]float64)
+	} else {
+		s := make([]float64, n)
+		pp = &s
+	}
+	post := *pp
+	sum := 0
+	for i := range post {
+		sum += int(post[i])
+	}
+	pool.Put(pp)
+	return sum
+}
+
+// enqueue Puts its request on the failure path only; on success the worker
+// owns it. Any function Putting a parameter registers as a releaser, so the
+// serve.Localize shape below must declare the handoff explicitly.
+func enqueue(q chan *wireBuf, b *wireBuf) bool {
+	select {
+	case q <- b:
+		return true
+	default:
+		bufPool.Put(b)
+		return false
+	}
+}
+
+// localizeRoundTrip is the serve.Localize shape: ownership moves through
+// enqueue to a worker and comes back via the done channel, after which this
+// function Puts. Only the directive makes that contract checkable.
+func localizeRoundTrip(q chan *wireBuf, done chan int) int {
+	//calloc:handoff ownership moves through enqueue to the worker; reclaimed after done
+	b := bufPool.Get().(*wireBuf)
+	if !enqueue(q, b) {
+		return -1
+	}
+	v := <-done
+	_ = b.out
+	bufPool.Put(b)
+	return v
+}

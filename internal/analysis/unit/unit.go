@@ -1,0 +1,327 @@
+// Package unit implements the `go vet -vettool` protocol for the calloc
+// analyzers — a dependency-free miniature of
+// golang.org/x/tools/go/analysis/unitchecker.
+//
+// The go command drives a vettool in three modes:
+//
+//	vettool -V=full        print a version fingerprint for build caching
+//	vettool -flags         print supported flags as JSON
+//	vettool [flags] x.cfg  check one package unit described by the JSON cfg
+//
+// In unit mode the cfg names the package's Go files and maps every import
+// to the export data the go command already compiled, so the tool
+// type-checks the single package without loading anything itself.
+// Diagnostics go to stderr as file:line:col: message (or grouped JSON under
+// -json) and the process exits 2 when there are findings, which is how
+// `go vet` learns to fail.
+//
+// The tool also has one mode of its own, outside the go vet protocol:
+//
+//	vettool -ranges [dir...]
+//
+// parses the tree (no type-checking) and prints the file:line ranges of
+// every //calloc:noalloc function plus the //calloc:allow lines, the input
+// scripts/escapecheck.sh intersects with `go build -gcflags=-m` output.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"calloc/internal/analysis"
+	"calloc/internal/analysis/noalloc"
+)
+
+// config mirrors the JSON the go command writes for each vet unit.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredGoFiles            []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/calloc-vet.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	if len(os.Args) > 1 && os.Args[1] == "-V=full" {
+		printVersion(progname)
+		return
+	}
+
+	enabled := make(map[string]*bool)
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	jsonFlag := flag.Bool("json", false, "emit JSON diagnostics")
+	flagsFlag := flag.Bool("flags", false, "print flags in JSON (go vet protocol)")
+	rangesFlag := flag.Bool("ranges", false, "print //calloc:noalloc function ranges for escapecheck.sh")
+	vFlag := flag.String("V", "", "print version and exit (-V=full)")
+	flag.Parse()
+
+	switch {
+	case *vFlag == "full":
+		printVersion(progname)
+	case *flagsFlag:
+		printFlags()
+	case *rangesFlag:
+		if err := printRanges(flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		args := flag.Args()
+		if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+			log.Fatalf(`invoke via the go command: go vet -vettool=%s ./...`, progname)
+		}
+		var live []*analysis.Analyzer
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				live = append(live, a)
+			}
+		}
+		os.Exit(runUnit(args[0], live, *jsonFlag))
+	}
+}
+
+// printVersion fingerprints the executable so `go vet` can cache results
+// against the tool build.
+func printVersion(progname string) {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}
+
+// printFlags describes the flag set in the JSON shape the go command reads.
+func printFlags() {
+	type jsonFlagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var descs []jsonFlagDesc
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		descs = append(descs, jsonFlagDesc{
+			Name:  f.Name,
+			Bool:  ok && b.IsBoolFlag(),
+			Usage: f.Usage,
+		})
+	})
+	data, err := json.MarshalIndent(descs, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// runUnit checks one package unit; returns the process exit code.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer, asJSON bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	// The go command expects the facts output file regardless; the calloc
+	// analyzers keep no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not a source import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	type finding struct {
+		analyzer string
+		diag     analysis.Diagnostic
+	}
+	var findings []finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, finding{a.Name, d})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			log.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	if len(findings) == 0 {
+		return 0
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		return findings[i].diag.Pos < findings[j].diag.Pos
+	})
+	if asJSON {
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := make(map[string][]jsonDiag)
+		for _, f := range findings {
+			byAnalyzer[f.analyzer] = append(byAnalyzer[f.analyzer], jsonDiag{
+				Posn:    fset.Position(f.diag.Pos).String(),
+				Message: f.diag.Message,
+			})
+		}
+		out := map[string]map[string][]jsonDiag{cfg.ImportPath: byAnalyzer}
+		data, err := json.MarshalIndent(out, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(f.diag.Pos), f.diag.Message)
+	}
+	return 2
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// printRanges parses the named directories (default ".") without
+// type-checking and emits, for escapecheck.sh:
+//
+//	range <file> <startline> <endline>   one //calloc:noalloc function body
+//	allow <file> <line>                  one //calloc:allow-blessed line
+func printRanges(roots []string) error {
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "/...")
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || strings.HasPrefix(name, ".") && name != "." && name != ".." {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			noalloc.Ranges(fset, []*ast.File{f}, func(kind, file string, start, end int) {
+				switch kind {
+				case "range":
+					fmt.Printf("range %s %d %d\n", file, start, end)
+				case "allow":
+					fmt.Printf("allow %s %d\n", file, start)
+				}
+			})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

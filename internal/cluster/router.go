@@ -271,6 +271,7 @@ func putProxyBuf(b *proxyBuf) {
 // With CoalesceBatch > 1 the request joins the shard's coalesce window
 // instead of proxying alone; see coalescer.
 func (r *Router) handleLocalize(w http.ResponseWriter, req *http.Request) {
+	//calloc:handoff on a coalesce ctx error the batch owns b.body and this handler abandons b to the GC
 	b := proxyPool.Get().(*proxyBuf)
 	body, _, ok := wire.ReadBody(w, req, b.body, maxBodyBytes)
 	b.body = body

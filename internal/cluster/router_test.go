@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"calloc/internal/leakcheck"
 )
 
 // fakeShard is a minimal node-shaped HTTP server: it answers /healthz and
@@ -85,6 +87,7 @@ func postLocalize(t *testing.T, h http.Handler, body string) *httptest.ResponseR
 }
 
 func TestRouterProxiesToOwner(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	a, b := fakeShard(t, "a"), fakeShard(t, "b")
 	r := newTestRouter(t, staticTwoShards(t, a.URL, b.URL), RouterOptions{})
 	h := r.Handler()
@@ -239,6 +242,7 @@ func TestRouterFanoutMergesAndReportsFailures(t *testing.T) {
 }
 
 func TestProberHealthTransitions(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	var healthy atomic.Bool
 	healthy.Store(true)
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -293,6 +297,7 @@ func TestProberHealthTransitions(t *testing.T) {
 // may fail 502 during the outage but the router must stay data-race-free and
 // recover once the shard is back.
 func TestRouterHammerDuringShardRestart(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	a := fakeShard(t, "a")
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -212,13 +212,17 @@ func (m *Model) PredictBatchInto(dst []int, x *mat.Matrix) []int {
 }
 
 // getPredictor draws a pooled inference handle; return it with putPredictor.
+//
+//calloc:noalloc
 func (m *Model) getPredictor() *Predictor {
+	//calloc:handoff the handle is caller-owned until putPredictor
 	if v := m.predPool.Get(); v != nil {
 		return v.(*Predictor)
 	}
-	return m.Predictor()
+	return m.Predictor() //calloc:allow pool-miss cold path; steady state hits the pool
 }
 
+//calloc:noalloc
 func (m *Model) putPredictor(p *Predictor) { m.predPool.Put(p) }
 
 // InputGradient exposes ∂CE/∂x for white-box attacks against CALLOC itself.

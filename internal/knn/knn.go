@@ -120,6 +120,7 @@ type scratch struct {
 }
 
 func (c *Classifier) getScratch() *scratch {
+	//calloc:handoff the scratch is caller-owned until putScratch
 	if v := c.pool.Get(); v != nil {
 		return v.(*scratch)
 	}

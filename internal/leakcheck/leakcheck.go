@@ -1,0 +1,116 @@
+// Package leakcheck asserts that a test leaves no goroutines behind — a
+// dependency-free miniature of goleak for the lifecycle tests.
+//
+// Close is the serving stack's central contract: Engine.Close, Trainer.Close,
+// Prober.Close and Router.Close all promise "no goroutine of mine survives my
+// return". A test that only checks observable behaviour can pass while a
+// worker, prober tick loop, or batching lane keeps running; under -race and
+// in long CI runs those stragglers become the flaky-test tail. Check turns
+// the promise into an assertion.
+//
+// Usage, first line of the test:
+//
+//	defer leakcheck.Check(t)()
+//
+// Check snapshots the live goroutines; the returned func re-snapshots and
+// fails the test if goroutines created since are still running. Because
+// runtime shutdown is asynchronous (a closed worker may not have reached its
+// final return when Close comes back from Wait), the check polls with a
+// grace period before declaring a leak rather than failing on first sight.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB leakcheck needs; taking the interface keeps
+// the package importable from helpers without a *testing.T at hand.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// grace is how long stragglers get to finish before they count as leaked.
+// Close implementations wait for their goroutines, so anything still alive
+// this long after the deferred check runs is parked for good.
+const grace = 2 * time.Second
+
+// Check snapshots current goroutines and returns the assertion to defer.
+func Check(t TB) func() {
+	before := snapshot()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(grace)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range snapshot() {
+				if _, ok := before[id]; !ok && !ignored(stack) {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) started by this test are still running:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// snapshot returns the stacks of all live goroutines keyed by goroutine id.
+// The id only identifies a snapshot entry; ids are never reused within a
+// process, so "id absent from the before set" means "started since".
+func snapshot() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stacks := make(map[string]string)
+	for _, s := range strings.Split(string(buf), "\n\n") {
+		var id int
+		var state string
+		if _, err := fmt.Sscanf(s, "goroutine %d [%s", &id, &state); err != nil {
+			continue
+		}
+		stacks[fmt.Sprintf("%d", id)] = s
+	}
+	return stacks
+}
+
+// ignored reports whether a goroutine is runtime/tooling machinery that can
+// legitimately appear mid-test: anything else new is the tested code's.
+func ignored(stack string) bool {
+	for _, frame := range []string{
+		// The goroutine running the deferred check itself.
+		"calloc/internal/leakcheck.Check",
+		// Parallel test siblings and the test runner.
+		"testing.(*T).Run",
+		"testing.tRunner",
+		"testing.runTests",
+		// Runtime helpers that start lazily (GC, timers, profiling).
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime/pprof.",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+	} {
+		if strings.Contains(stack, frame) {
+			return true
+		}
+	}
+	return false
+}

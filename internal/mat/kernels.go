@@ -31,6 +31,8 @@ const (
 )
 
 // mulRows computes rows [lo, hi) of dst = a·b.
+//
+//calloc:noalloc
 func mulRows(dst, a, b *Matrix, lo, hi int) {
 	fusedMulRows(dst, a, b, nil, ActIdentity, lo, hi)
 }
@@ -40,6 +42,8 @@ func mulRows(dst, a, b *Matrix, lo, hi int) {
 // block, while the tile is still cache-hot — fusing the bias add and
 // activation into the product instead of separate full passes over dst.
 // bias may be nil; ActIdentity skips the activation.
+//
+//calloc:noalloc
 func fusedMulRows(dst, a, b *Matrix, bias []float64, act Activation, lo, hi int) {
 	n, kDim := dst.Cols, a.Cols
 	for i := lo; i < hi; i++ {
@@ -83,6 +87,8 @@ func fusedMulRows(dst, a, b *Matrix, bias []float64, act Activation, lo, hi int)
 
 // axpy4 folds rows [k0, k1) of the n-column panel starting at column j0 into
 // orow: orow[j] += Σ_k arow[k]·panel[k][j0+j], four k terms per pass.
+//
+//calloc:noalloc
 func axpy4(orow, arow, bdata []float64, n, k0, k1, j0 int) {
 	w := len(orow)
 	k := k0
@@ -114,6 +120,8 @@ func axpy4(orow, arow, bdata []float64, n, k0, k1, j0 int) {
 // mulTRows computes rows [lo, hi) of dst = a·bᵀ: pure dot products between
 // rows of a and rows of b, tiled so a blockJ-row panel of b is reused across
 // the whole shard.
+//
+//calloc:noalloc
 func mulTRows(dst, a, b *Matrix, lo, hi int) {
 	n, kDim := dst.Cols, a.Cols
 	for j0 := 0; j0 < n; j0 += blockJ {
@@ -129,6 +137,8 @@ func mulTRows(dst, a, b *Matrix, lo, hi int) {
 }
 
 // dot4 is the 4-wide unrolled inner product with independent accumulators.
+//
+//calloc:noalloc
 func dot4(x, y []float64) float64 {
 	y = y[:len(x)]
 	var s0, s1, s2, s3 float64
@@ -149,6 +159,8 @@ func dot4(x, y []float64) float64 {
 // tMulRows computes rows [lo, hi) of dst = aᵀ·b — output row i is the i-th
 // column of a. The k loop stays outermost so b is streamed row-contiguously;
 // four b rows are folded into each pass over a destination row.
+//
+//calloc:noalloc
 func tMulRows(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
 	for i := lo; i < hi; i++ {

@@ -59,6 +59,8 @@ func growI32(buf []int32, n int) []int32 {
 // fusedMulRowsF32 computes rows [lo, hi) of dst = act(a·P + bias) for a
 // float32 snapshot P: activations converted to float32 once, products
 // accumulated in float32, widened to float64 in the fused epilogue.
+//
+//calloc:noalloc
 func fusedMulRowsF32(dst, a *Matrix, p *Packed, bias []float64, act Activation, lo, hi int) {
 	n, kDim := dst.Cols, a.Cols
 	if n == 0 {
@@ -66,8 +68,8 @@ func fusedMulRowsF32(dst, a *Matrix, p *Packed, bias []float64, act Activation, 
 	}
 	rows := hi - lo
 	s := quantScratchPool.Get().(*quantScratch)
-	s.af32 = growF32(s.af32, rows*kDim)
-	s.acc32 = growF32(s.acc32, rows*n)
+	s.af32 = growF32(s.af32, rows*kDim) //calloc:allow pool-backed scratch; grows only on the first oversized batch
+	s.acc32 = growF32(s.acc32, rows*n)  //calloc:allow pool-backed scratch; grows only on the first oversized batch
 	aw, acc := s.af32, s.acc32
 	for r := 0; r < rows; r++ {
 		arow := a.Data[(lo+r)*kDim : (lo+r+1)*kDim]
@@ -109,6 +111,8 @@ func fusedMulRowsF32(dst, a *Matrix, p *Packed, bias []float64, act Activation, 
 // for k in [k0, k1), four terms per pass, float32 accumulation throughout.
 // On amd64 the quad passes run through the SSE kernel (4 lanes per
 // instruction); elsewhere the scalar unroll below is the whole story.
+//
+//calloc:noalloc
 func axpy4F32(orow, arow []float32, bdata []float32, n, k0, k1, j0 int) {
 	w := len(orow)
 	if w == 0 {
@@ -157,6 +161,8 @@ func axpy4F32(orow, arow []float32, bdata []float32, n, k0, k1, j0 int) {
 // and activation. int32 cannot overflow for any realistic inner dimension:
 // |q| ≤ 127 on both sides, so kDim up to 2³¹/127² ≈ 133k is safe — orders of
 // magnitude above CALLOC layer widths.
+//
+//calloc:noalloc
 func fusedMulRowsI8(dst, a *Matrix, p *Packed, bias []float64, act Activation, lo, hi int) {
 	n, kDim := dst.Cols, a.Cols
 	if n == 0 {
@@ -164,9 +170,9 @@ func fusedMulRowsI8(dst, a *Matrix, p *Packed, bias []float64, act Activation, l
 	}
 	rows := hi - lo
 	s := quantScratchPool.Get().(*quantScratch)
-	s.aq8 = growI8(s.aq8, rows*kDim)
-	s.rowScale = growF32(s.rowScale, rows)
-	s.acc64i = growI32(s.acc64i, rows*n)
+	s.aq8 = growI8(s.aq8, rows*kDim)       //calloc:allow pool-backed scratch; grows only on the first oversized batch
+	s.rowScale = growF32(s.rowScale, rows) //calloc:allow pool-backed scratch; grows only on the first oversized batch
+	s.acc64i = growI32(s.acc64i, rows*n)   //calloc:allow pool-backed scratch; grows only on the first oversized batch
 	aq, rs, acc := s.aq8, s.rowScale, s.acc64i
 	for r := 0; r < rows; r++ {
 		arow := a.Data[(lo+r)*kDim : (lo+r+1)*kDim]
@@ -206,6 +212,8 @@ func fusedMulRowsI8(dst, a *Matrix, p *Packed, bias []float64, act Activation, l
 // quantizeRowI8 symmetrically quantizes one float64 activation row into q and
 // returns the scale (maxabs/127); q[k] = round(row[k]/scale). An all-zero row
 // returns scale 0 with q zeroed.
+//
+//calloc:noalloc
 func quantizeRowI8(q []int8, row []float64) float32 {
 	maxAbs := 0.0
 	for _, v := range row {
@@ -230,6 +238,8 @@ func quantizeRowI8(q []int8, row []float64) float32 {
 // axpy4I8 folds rows [k0, k1) of the n-column int8 panel into the int32
 // accumulator row: orow[j] += Σ_k arow[k]·panel[k][j0+j], widened to int32,
 // four k terms per pass.
+//
+//calloc:noalloc
 func axpy4I8(orow []int32, arow []int8, bdata []int8, n, k0, k1, j0 int) {
 	w := len(orow)
 	k := k0

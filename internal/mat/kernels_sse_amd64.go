@@ -16,4 +16,5 @@ const haveAxpy4F32SSE = true
 // halved weight stream into halved single-query latency (see BENCH_pr7).
 //
 //go:noescape
+//calloc:noalloc
 func axpy4F32SSE(acc *float32, w *float32, stride int, x *[4]float32, n int)

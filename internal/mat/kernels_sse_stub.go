@@ -5,6 +5,7 @@ package mat
 // Non-amd64 builds fall back to the portable scalar loop in axpy4F32.
 const haveAxpy4F32SSE = false
 
+//calloc:noalloc
 func axpy4F32SSE(acc *float32, w *float32, stride int, x *[4]float32, n int) {
 	panic("mat: axpy4F32SSE called without SSE support")
 }

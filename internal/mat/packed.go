@@ -161,6 +161,8 @@ const (
 )
 
 // activate applies the selected activation to one value.
+//
+//calloc:noalloc
 func activate(v float64, act Activation) float64 {
 	switch act {
 	case ActReLU:
@@ -181,6 +183,8 @@ func activate(v float64, act Activation) float64 {
 // two-branch form never exponentiates a positive argument, so it cannot
 // overflow to ∞ (and then NaN) for large |v| the way the naive 1/(1+exp(−v))
 // does for very negative v.
+//
+//calloc:noalloc
 func Sigmoid(v float64) float64 {
 	if v >= 0 {
 		return 1 / (1 + math.Exp(-v))

@@ -22,6 +22,7 @@ var scratchPool = sync.Pool{
 // The element values are unspecified; call Zero to clear them. Release the
 // matrix with PutScratch once it is no longer referenced.
 func GetScratch(r, c int) *Matrix {
+	//calloc:handoff the matrix is caller-owned until PutScratch
 	m := scratchPool.Get().(*Matrix)
 	n := r * c
 	if cap(m.Data) < n {

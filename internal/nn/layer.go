@@ -20,6 +20,8 @@ type Layer interface {
 
 // Package-level activation functions, shared by the Forward/Infer paths and
 // the workspace inference fallbacks.
+//
+//calloc:noalloc
 func relu(v float64) float64 {
 	if v > 0 {
 		return v
@@ -27,6 +29,7 @@ func relu(v float64) float64 {
 	return 0
 }
 
+//calloc:noalloc
 func tanh(v float64) float64 { return math.Tanh(v) }
 
 // Dense is a fully connected layer: y = x·W + b, with W of shape in×out.

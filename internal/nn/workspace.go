@@ -34,22 +34,26 @@ func (w *Workspace) Precision() mat.Precision { return w.prec }
 
 // Reset recycles every buffer for the next inference pass. Outputs handed
 // out since the previous Reset are invalidated.
+//
+//calloc:noalloc
 func (w *Workspace) Reset() { w.next = 0 }
 
 // Take returns an r×c scratch matrix backed by the workspace. Contents are
 // unspecified; Into-style kernels overwrite their destination fully.
+//
+//calloc:noalloc
 func (w *Workspace) Take(r, c int) *mat.Matrix {
 	if w.next < len(w.bufs) {
 		m := w.bufs[w.next]
 		w.next++
 		n := r * c
 		if cap(m.Data) < n {
-			m.Data = make([]float64, n)
+			m.Data = make([]float64, n) //calloc:allow workspace cold growth; steady state reuses the buffer
 		}
 		m.Rows, m.Cols, m.Data = r, c, m.Data[:n]
 		return m
 	}
-	m := mat.New(r, c)
+	m := mat.New(r, c) //calloc:allow workspace cold growth; steady state reuses the buffer
 	w.bufs = append(w.bufs, m)
 	w.next++
 	return m

@@ -16,6 +16,8 @@ import (
 // anything else so the caller can fall back to json.Unmarshal; it never
 // fails a body the fallback would accept. q must be reset by the caller
 // before the fallback runs: a failed fast parse can leave partial fields.
+//
+//calloc:noalloc
 func parseLocalizeFast(b []byte, q *localizeReq) bool {
 	p := fastParser{b: b}
 	p.space()
@@ -41,7 +43,7 @@ func parseLocalizeFast(b []byte, q *localizeReq) bool {
 		case "backend":
 			var s []byte
 			if s, ok = p.str(); ok {
-				q.Backend = internBackend(s)
+				q.Backend = internBackend(s) //calloc:allow internBackend's unknown-name copy, re-attributed here by inlining
 			}
 		default:
 			ok = p.skipScalar()
@@ -65,13 +67,15 @@ func parseLocalizeFast(b []byte, q *localizeReq) bool {
 // the hot path never allocates a string for a valid request; unknown names
 // take the one-time allocation and fail model lookup downstream with the
 // name intact for the error message.
+//
+//calloc:noalloc
 func internBackend(s []byte) string {
 	for _, name := range KnownBackends {
 		if string(s) == name { // alloc-free comparison
 			return name
 		}
 	}
-	return string(s)
+	return string(s) //calloc:allow unknown backend names are rare; one copy beats holding the request buffer
 }
 
 // fastParser is a cursor over one request body. All methods advance i past
@@ -81,6 +85,7 @@ type fastParser struct {
 	i int
 }
 
+//calloc:noalloc
 func (p *fastParser) space() {
 	for p.i < len(p.b) {
 		switch p.b[p.i] {
@@ -92,6 +97,7 @@ func (p *fastParser) space() {
 	}
 }
 
+//calloc:noalloc
 func (p *fastParser) eat(c byte) bool {
 	if p.i < len(p.b) && p.b[p.i] == c {
 		p.i++
@@ -101,6 +107,8 @@ func (p *fastParser) eat(c byte) bool {
 }
 
 // end reports whether only trailing whitespace remains.
+//
+//calloc:noalloc
 func (p *fastParser) end() bool {
 	p.space()
 	return p.i == len(p.b)
@@ -108,6 +116,8 @@ func (p *fastParser) end() bool {
 
 // str parses a JSON string with no escape sequences, returning the raw
 // bytes between the quotes. A backslash punts to the fallback parser.
+//
+//calloc:noalloc
 func (p *fastParser) str() ([]byte, bool) {
 	if !p.eat('"') {
 		return nil, false
@@ -128,6 +138,8 @@ func (p *fastParser) str() ([]byte, bool) {
 }
 
 // key parses `"name" :` and leaves the cursor at the value.
+//
+//calloc:noalloc
 func (p *fastParser) key() ([]byte, bool) {
 	k, ok := p.str()
 	if !ok {
@@ -144,6 +156,8 @@ func (p *fastParser) key() ([]byte, bool) {
 // number consumes one numeric token and returns its value. The token bytes
 // go through strconv.ParseFloat via a non-escaping string conversion, which
 // the compiler keeps off the heap for short tokens.
+//
+//calloc:noalloc
 func (p *fastParser) number() (float64, bool) {
 	if p.i < len(p.b) && p.b[p.i] == '+' {
 		return 0, false // ParseFloat allows a leading +, JSON does not
@@ -160,11 +174,13 @@ func (p *fastParser) number() (float64, bool) {
 	if p.i == start {
 		return 0, false
 	}
-	v, err := strconv.ParseFloat(string(p.b[start:p.i]), 64)
+	v, err := strconv.ParseFloat(string(p.b[start:p.i]), 64) //calloc:allow the compiler elides this non-escaping conversion (escapecheck-verified)
 	return v, err == nil
 }
 
 // floats parses `[n, n, ...]` appending into dst.
+//
+//calloc:noalloc
 func (p *fastParser) floats(dst []float64) ([]float64, bool) {
 	if !p.eat('[') {
 		return dst, false
@@ -190,6 +206,8 @@ func (p *fastParser) floats(dst []float64) ([]float64, bool) {
 
 // optInt parses an integer or null into o (json.Unmarshal leaves o alone on
 // null via OptInt.UnmarshalJSON; so does this).
+//
+//calloc:noalloc
 func (p *fastParser) optInt(o *wire.OptInt) bool {
 	if p.null() {
 		*o = wire.OptInt{}
@@ -215,6 +233,7 @@ func (p *fastParser) optInt(o *wire.OptInt) bool {
 	return true
 }
 
+//calloc:noalloc
 func (p *fastParser) null() bool {
 	if len(p.b)-p.i >= 4 && string(p.b[p.i:p.i+4]) == "null" {
 		p.i += 4
@@ -225,6 +244,8 @@ func (p *fastParser) null() bool {
 
 // skipScalar consumes one unknown field's value when it is a scalar
 // (string, number, boolean, null). Containers punt to the fallback.
+//
+//calloc:noalloc
 func (p *fastParser) skipScalar() bool {
 	if p.i >= len(p.b) {
 		return false
@@ -246,6 +267,7 @@ func (p *fastParser) skipScalar() bool {
 	return false
 }
 
+//calloc:noalloc
 func (p *fastParser) lit(s string) bool {
 	if len(p.b)-p.i >= len(s) && string(p.b[p.i:p.i+len(s)]) == s {
 		p.i += len(s)

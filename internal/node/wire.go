@@ -38,6 +38,7 @@ type localizeReq struct {
 	Floor   wire.OptInt `json:"floor"`
 }
 
+//calloc:noalloc
 func (q *localizeReq) reset() {
 	q.RSS = q.RSS[:0]
 	q.Backend = ""
@@ -62,6 +63,8 @@ type batchReq struct {
 // array into a reused slice re-fills old slots without zeroing fields the new
 // element omits, so a row that skips "floor" would otherwise inherit the
 // floor of whatever row sat in that slot last request.
+//
+//calloc:noalloc
 func (b *batchReq) reset() {
 	b.Backend = ""
 	qs := b.Queries[:cap(b.Queries)]
@@ -80,6 +83,7 @@ type feedbackReq struct {
 	Floor int       `json:"floor"`
 }
 
+//calloc:noalloc
 func (q *feedbackReq) reset() {
 	q.RSS = q.RSS[:0]
 	q.RP = 0
@@ -156,6 +160,8 @@ func (n *Node) WireStats() WireStats { return n.wire.snapshot() }
 // Context errors are the caller's lifecycle, not a malformed request: a
 // disconnect maps to 499 and a deadline to 504, and wireError keeps both out
 // of the client-error counter.
+//
+//calloc:noalloc
 func localizeStatus(err error) int {
 	switch {
 	case errors.Is(err, serve.ErrClosed):
@@ -232,6 +238,8 @@ func (n *Node) writeWire(w http.ResponseWriter, body []byte) {
 
 // appendResult emits one localize result as the wire object
 // {"rp":..,"floor":..,"backend":..,"version":..}.
+//
+//calloc:noalloc
 func appendResult(dst []byte, res serve.Result) []byte {
 	dst = append(dst, `{"rp":`...)
 	dst = strconv.AppendInt(dst, int64(res.Class), 10)
@@ -246,6 +254,8 @@ func appendResult(dst []byte, res serve.Result) []byte {
 
 // appendRowError emits a failed batch row as {"error":..,"status":..} —
 // the status the row would have carried had it been a single request.
+//
+//calloc:noalloc
 func appendRowError(dst []byte, err error) []byte {
 	dst = append(dst, `{"error":`...)
 	dst = wire.AppendString(dst, err.Error())

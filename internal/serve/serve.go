@@ -345,6 +345,7 @@ func (e *Engine) Localize(ctx context.Context, key localizer.Key, rss []float64)
 		return Result{}, fmt.Errorf("serve: fingerprint has %d features, %s expects %d",
 			len(rss), key, l.features)
 	}
+	//calloc:handoff ownership moves through enqueue to the lane worker; reclaimed from r.result
 	r := e.reqPool.Get().(*request)
 	if cap(r.x) < l.features {
 		r.x = make([]float64, l.features)
@@ -440,6 +441,7 @@ func (e *Engine) LocalizeBatch(ctx context.Context, key localizer.Key, rss [][]f
 			valid++
 		}
 	}
+	//calloc:handoff ownership moves through enqueue to the lane worker; reclaimed from r.result
 	r := e.reqPool.Get().(*request)
 	if cap(r.x) < valid*f {
 		r.x = make([]float64, valid*f)
@@ -708,6 +710,7 @@ func (e *Engine) shadow(l *lane, rss []float64, liveClass int, liveLatency time.
 	l.ab.liveNs.Add(liveLatency.Nanoseconds())
 	l.ab.liveRows.Add(1)
 
+	//calloc:handoff enqueued into the shadow lane; the worker recycles it (or the closed/full paths Put here)
 	r := e.reqPool.Get().(*request)
 	if cap(r.x) < l.features {
 		r.x = make([]float64, l.features)
@@ -799,6 +802,8 @@ func (e *Engine) shadowLane(key localizer.Key) (*lane, error) {
 // worker. The scheduled flag serialises gathering per lane; the worker
 // re-checks pending after clearing it, so a request enqueued concurrently
 // with a dispatch is never stranded.
+//
+//calloc:noalloc
 func (e *Engine) schedule(l *lane) {
 	if !l.scheduled.CompareAndSwap(false, true) {
 		return
@@ -886,6 +891,8 @@ func (e *Engine) run() {
 // an already-drained lane — such a spurious pop returns an empty batch and
 // the caller just releases the lane. While draining, the window never waits —
 // Close should not pay MaxWait per residual batch.
+//
+//calloc:noalloc
 func (e *Engine) gather(l *lane, batch []*request, timer *time.Timer, draining bool) []*request {
 	maxB := e.opts.MaxBatch
 	rows := 0
@@ -909,7 +916,7 @@ func (e *Engine) gather(l *lane, batch []*request, timer *time.Timer, draining b
 				break gather // window expired (timer drained)
 			}
 		}
-		if !timer.Stop() {
+		if !timer.Stop() { //calloc:allow inlined Stop's panic-path message; never reached on an armed timer
 			select {
 			case <-timer.C:
 			default:

@@ -13,6 +13,7 @@ import (
 	"calloc/internal/core"
 	"calloc/internal/fingerprint"
 	"calloc/internal/knn"
+	"calloc/internal/leakcheck"
 	"calloc/internal/localizer"
 	"calloc/internal/mat"
 )
@@ -388,6 +389,7 @@ func TestBackpressure(t *testing.T) {
 // TestCloseGraceful: queued requests are answered after Close begins, Close
 // waits for the drain, and later calls fail fast with ErrClosed.
 func TestCloseGraceful(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	s := &scripted{name: "echo", features: 1, classes: 64, gate: make(chan struct{}, 64)}
 	reg, key := reg1(s)
 	e, err := New(reg, Options{MaxBatch: 4, MaxWait: time.Millisecond, Workers: 1, QueueCap: 32})
@@ -434,6 +436,7 @@ func TestCloseGraceful(t *testing.T) {
 // ErrClosed — no hangs, no lost requests, no other error — and the engine
 // must answer exactly the accepted ones.
 func TestCloseOrderingDeterministic(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	for round := 0; round < 20; round++ {
 		s := &scripted{name: "echo", features: 1, classes: 1024}
 		reg, key := reg1(s)

@@ -11,6 +11,7 @@ import (
 	"calloc/internal/device"
 	"calloc/internal/fingerprint"
 	"calloc/internal/floorplan"
+	"calloc/internal/leakcheck"
 	"calloc/internal/localizer"
 	"calloc/internal/mat"
 	"calloc/internal/serve"
@@ -322,6 +323,7 @@ func TestBackgroundLoopFineTunes(t *testing.T) {
 // The pre-fix code read an unsynchronized started flag, so Close could
 // return without waiting and the 1ns ticker could fire a round afterwards.
 func TestCloseStartRaceLeaksNoRound(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	ds := testDataset(t)
 	for i := 0; i < 300; i++ {
 		reg := localizer.NewRegistry()
@@ -374,6 +376,7 @@ func TestCloseStartRaceLeaksNoRound(t *testing.T) {
 
 // TestStartAfterCloseIsNoop: the loop must never launch once Close has run.
 func TestStartAfterCloseIsNoop(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	ds := testDataset(t)
 	reg := localizer.NewRegistry()
 	key := localizer.Key{Building: ds.BuildingID, Floor: 0, Backend: "calloc"}

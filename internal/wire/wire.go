@@ -29,6 +29,8 @@ type OptInt struct {
 }
 
 // UnmarshalJSON implements json.Unmarshaler without touching the heap.
+//
+//calloc:noalloc
 func (o *OptInt) UnmarshalJSON(b []byte) error {
 	if string(b) == "null" {
 		*o = OptInt{}
@@ -41,17 +43,17 @@ func (o *OptInt) UnmarshalJSON(b []byte) error {
 		i++
 	}
 	if i == len(b) {
-		return errors.New("wire: empty integer")
+		return errors.New("wire: empty integer") //calloc:allow malformed-input error path, off the hot path
 	}
 	v := 0
 	for ; i < len(b); i++ {
 		c := b[i]
 		if c < '0' || c > '9' {
-			return errors.New("wire: not an integer: " + string(b))
+			return errors.New("wire: not an integer: " + string(b)) //calloc:allow malformed-input error path, off the hot path
 		}
 		v = v*10 + int(c-'0')
 		if v < 0 {
-			return errors.New("wire: integer overflow: " + string(b))
+			return errors.New("wire: integer overflow: " + string(b)) //calloc:allow malformed-input error path, off the hot path
 		}
 	}
 	if neg {
@@ -63,10 +65,12 @@ func (o *OptInt) UnmarshalJSON(b []byte) error {
 
 // ReadAll reads r to EOF into dst (appending from dst[:0]'s capacity) and
 // returns the filled buffer — io.ReadAll with a caller-pooled destination.
+//
+//calloc:noalloc
 func ReadAll(dst []byte, r io.Reader) ([]byte, error) {
 	dst = dst[:0]
 	if cap(dst) == 0 {
-		dst = make([]byte, 0, 4096)
+		dst = make([]byte, 0, 4096) //calloc:allow first-use growth; the caller pools dst across requests
 	}
 	for {
 		if len(dst) == cap(dst) {
@@ -124,6 +128,8 @@ const hexDigits = "0123456789abcdef"
 // messages and backend names are ASCII in practice, so the fast path is a
 // straight copy; non-ASCII bytes pass through untouched (Go strings are
 // UTF-8, which JSON accepts verbatim).
+//
+//calloc:noalloc
 func AppendString(dst []byte, s string) []byte {
 	dst = append(dst, '"')
 	start := 0

@@ -1,0 +1,61 @@
+#!/bin/sh
+# escapecheck.sh — prove the //calloc:noalloc set has zero heap-allocation
+# sites according to the compiler's own escape analysis.
+#
+# calloc-vet's noalloc analyzer rejects allocating *constructs*; this script
+# closes the loop on the ones the analyzer must take on faith (conversions it
+# assumes the compiler elides, //calloc:allow claims of elision). It builds
+# the tree with -gcflags=-m under a throwaway GOCACHE (a warm cache would
+# print nothing), collects every "escapes to heap" / "moved to heap" line,
+# and fails if any falls inside a //calloc:noalloc function body without a
+# //calloc:allow on that line.
+#
+# Usage: scripts/escapecheck.sh
+#   CALLOC_VET=path/to/calloc-vet to reuse an already-built tool.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+tool=${CALLOC_VET:-}
+if [ -z "$tool" ]; then
+	tool="$tmpdir/calloc-vet"
+	go build -o "$tool" ./cmd/calloc-vet
+fi
+
+"$tool" -ranges . >"$tmpdir/ranges"
+nranges=$(grep -c '^range ' "$tmpdir/ranges" || true)
+if [ "$nranges" -eq 0 ]; then
+	echo "escapecheck: no //calloc:noalloc functions found — annotation sweep missing?" >&2
+	exit 1
+fi
+
+# A fresh GOCACHE forces every listed package through the compiler so -m
+# diagnostics actually print; -gcflags applies only to the named packages.
+GOCACHE="$tmpdir/gocache" go build -gcflags=-m ./... 2>&1 |
+	grep -E 'escapes to heap|moved to heap' >"$tmpdir/escapes" || true
+
+awk '
+NR == FNR {
+	if ($1 == "range") { n++; rf[n] = $2; rs[n] = $3; re[n] = $4 }
+	else if ($1 == "allow") allow[$2 ":" $3] = 1
+	next
+}
+{
+	split($1, p, ":"); f = p[1]; l = p[2] + 0
+	if (allow[f ":" l]) next
+	for (i = 1; i <= n; i++)
+		if (f == rf[i] && l >= rs[i] && l <= re[i]) {
+			print "escapecheck: heap site in noalloc function: " $0
+			bad = 1
+			break
+		}
+}
+END { exit bad ? 1 : 0 }
+' "$tmpdir/ranges" "$tmpdir/escapes" || {
+	echo "escapecheck: FAIL — the //calloc:noalloc set is not allocation-free" >&2
+	exit 1
+}
+
+echo "escapecheck: OK — $nranges noalloc functions, zero unexplained heap sites"
