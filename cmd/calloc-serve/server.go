@@ -106,9 +106,28 @@ func loadDatasets(files []string) ([]*fingerprint.Dataset, error) {
 
 // runServe wires one serving node from the flags and serves it over HTTP.
 func runServe(f serveFlags) error {
-	datasets, err := loadDatasets(splitList(f.data))
+	n, datasets, err := buildNode(f)
 	if err != nil {
 		return err
+	}
+	n.Start()
+	fmt.Fprintf(os.Stderr, "calloc-serve: %s — floors %v × %s (%d models) listening on %s\n",
+		datasets[0].BuildingName, n.Floors(), f.backends, n.Registry().Len(), f.addr)
+	return serveHTTP(f.addr, n.Handler(), func() {
+		n.Close()
+		st := n.Engine().Stats()
+		fmt.Fprintf(os.Stderr, "calloc-serve: served %d requests in %d batches over %d lanes (avg %.1f/batch, avg latency %s)\n",
+			st.Requests, st.Batches, st.Lanes, st.AvgBatch, st.AvgLatency)
+	})
+}
+
+// buildNode assembles the serving node exactly as runServe deploys it —
+// datasets loaded from -data, flags mapped onto node.Config — without
+// starting it, so app tests can drive the real construction path.
+func buildNode(f serveFlags) (*node.Node, []*fingerprint.Dataset, error) {
+	datasets, err := loadDatasets(splitList(f.data))
+	if err != nil {
+		return nil, nil, err
 	}
 	cfg := node.Config{
 		Backends:    splitList(f.backends),
@@ -127,29 +146,21 @@ func runServe(f serveFlags) error {
 	}
 	if f.floors != "" {
 		if cfg.Floors, err = parseFloors(f.floors, len(datasets)); err != nil {
-			return err
+			return nil, nil, err
 		}
 	}
 	if f.weights != "" {
 		for _, wf := range splitList(f.weights) {
 			blob, err := os.ReadFile(wf)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
 			cfg.WeightBlobs = append(cfg.WeightBlobs, blob)
 		}
 	}
 	n, err := node.New(datasets, cfg)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	n.Start()
-	fmt.Fprintf(os.Stderr, "calloc-serve: %s — floors %v × %s (%d models) listening on %s\n",
-		datasets[0].BuildingName, n.Floors(), f.backends, n.Registry().Len(), f.addr)
-	return serveHTTP(f.addr, n.Handler(), func() {
-		n.Close()
-		st := n.Engine().Stats()
-		fmt.Fprintf(os.Stderr, "calloc-serve: served %d requests in %d batches over %d lanes (avg %.1f/batch, avg latency %s)\n",
-			st.Requests, st.Batches, st.Lanes, st.AvgBatch, st.AvgLatency)
-	})
+	return n, datasets, nil
 }

@@ -1,7 +1,8 @@
 // Command calloc-vet is the repo's vet suite: project-specific analyzers
 // that turn the serving stack's hand-maintained invariants — pool Get/Put
-// ownership, the //calloc:noalloc zero-allocation set, atomics discipline —
-// into build failures.
+// ownership, the //calloc:noalloc zero-allocation set, atomics discipline,
+// mutex release and ordering, goroutine lifecycle ties, and request-path
+// context propagation — into build failures.
 //
 // Run it through the go command:
 //
@@ -15,11 +16,21 @@ package main
 
 import (
 	"calloc/internal/analysis/atomiccheck"
+	"calloc/internal/analysis/ctxcheck"
+	"calloc/internal/analysis/lifecycle"
+	"calloc/internal/analysis/lockcheck"
 	"calloc/internal/analysis/noalloc"
 	"calloc/internal/analysis/poolcheck"
 	"calloc/internal/analysis/unit"
 )
 
 func main() {
-	unit.Main(poolcheck.Analyzer, noalloc.Analyzer, atomiccheck.Analyzer)
+	unit.Main(
+		poolcheck.Analyzer,
+		noalloc.Analyzer,
+		atomiccheck.Analyzer,
+		lockcheck.Analyzer,
+		lifecycle.Analyzer,
+		ctxcheck.Analyzer,
+	)
 }

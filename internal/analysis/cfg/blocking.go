@@ -1,0 +1,111 @@
+// Blocking-operation classification over CFG nodes, shared by lockcheck
+// ("no blocking call while holding a lock") and ctxcheck ("exported blocking
+// APIs take a context"). The granularity matches the graph: a select is
+// judged once at its own node (blocking only without a default clause), and
+// the communication heading each clause block is never re-judged.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BlockingOp is one potentially-blocking operation found in a CFG node.
+type BlockingOp struct {
+	Pos  token.Pos
+	What string // human description, e.g. "channel receive", "(*sync.WaitGroup).Wait"
+}
+
+// BlockingOps returns the potentially-blocking operations of one CFG node.
+// Recognised: channel sends and receives (but not a select's own
+// communications — the select node speaks for them), selects without a
+// default clause, range over a channel, (*sync.WaitGroup).Wait,
+// time.Sleep, net/http requests (package functions and *http.Client
+// methods), and net dials. (*sync.Cond).Wait is deliberately NOT blocking
+// for lockcheck's purposes: it requires holding the cond's lock and releases
+// it while parked — the engine worker idiom.
+//
+// Nested function literals are opaque, matching the CFG: what blocks inside
+// them blocks a different goroutine (or a deferred call judged at its own
+// defer node).
+func BlockingOps(g *Graph, info *types.Info, n ast.Node) []BlockingOp {
+	var out []BlockingOp
+	if g != nil && g.IsComm(n) {
+		return nil
+	}
+	switch st := n.(type) {
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if cl.(*ast.CommClause).Comm == nil {
+				return nil // default clause: non-blocking poll
+			}
+		}
+		return []BlockingOp{{Pos: st.Pos(), What: "select without default"}}
+	case *ast.DeferStmt:
+		// The deferred call runs at exit, not here.
+		return nil
+	}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		switch e := nn.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			// A nested select inside an expression statement cannot occur at
+			// this granularity (selects are statements and get their own CFG
+			// node), but guard anyway.
+			return false
+		case *ast.SendStmt:
+			out = append(out, BlockingOp{Pos: e.Arrow, What: "channel send"})
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				out = append(out, BlockingOp{Pos: e.OpPos, What: "channel receive"})
+			}
+		case *ast.RangeStmt:
+			// Only the range operand is a CFG node; a range over a channel
+			// shows up here as its X expression.
+			return true
+		case *ast.CallExpr:
+			if what, ok := blockingCall(info, e); ok {
+				out = append(out, BlockingOp{Pos: e.Pos(), What: what})
+			}
+		}
+		return true
+	})
+	// A range operand of channel type blocks on every iteration.
+	if x, ok := n.(ast.Expr); ok && info != nil {
+		if tv, ok := info.Types[x]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				out = append(out, BlockingOp{Pos: x.Pos(), What: "range over channel"})
+			}
+		}
+	}
+	return out
+}
+
+// blockingCall classifies one call expression.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || info == nil {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	full := fn.FullName()
+	switch full {
+	case "(*sync.WaitGroup).Wait":
+		return full, true
+	case "time.Sleep":
+		return full, true
+	case "net.Dial", "net.DialTimeout", "net.DialTCP", "net.DialUDP":
+		return full, true
+	case "net/http.Get", "net/http.Post", "net/http.PostForm", "net/http.Head":
+		return full, true
+	case "(*net/http.Client).Do", "(*net/http.Client).Get", "(*net/http.Client).Post",
+		"(*net/http.Client).PostForm", "(*net/http.Client).Head":
+		return full, true
+	}
+	return "", false
+}

@@ -1,0 +1,475 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs forward-dataflow fixpoints over them — the shared
+// substrate of the wave-2 calloc-vet analyzers (lockcheck, lifecycle,
+// ctxcheck). It plays the role poolcheck's hand-rolled path walk played for
+// the pool discipline, factored out and generalized: an analyzer describes a
+// lattice (merge/equal) and a per-node transfer function, and the engine
+// delivers the per-block states the analyzer reports from.
+//
+// Like the rest of internal/analysis, the package is a dependency-free
+// miniature of its x/tools counterpart (golang.org/x/tools/go/cfg): only the
+// standard library, just enough graph for package-local analyzers.
+//
+// Graph shape:
+//
+//   - A Block is a maximal straight-line run of ast.Nodes. Statement nodes
+//     appear whole; for control statements only the evaluated head appears
+//     (an if/for condition expression, a switch tag, a range operand), with
+//     the controlled bodies in successor blocks.
+//   - A select statement appears as its own *ast.SelectStmt node (so a
+//     transfer function can judge it as one — potentially blocking —
+//     operation); each communication then heads its clause's block, and
+//     IsComm reports such nodes so they are not re-judged as free-standing
+//     channel operations.
+//   - return edges to Exit; panic(...) also edges to Exit, which is what
+//     lets a dataflow client see "lock still held on the panic path".
+//     Recognised non-returning calls (os.Exit, log.Fatal*, runtime.Goexit,
+//     testing's t.Fatal*/t.Skip*) terminate their block with no successor.
+//   - defer statements stay in their block (their call runs at function
+//     exit) and are additionally collected in Defers, in source order.
+//   - Function literals are opaque: their bodies get their own graphs,
+//     built by whichever analyzer wants them.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable build order;
+	// Entry is 0).
+	Index int
+	// Nodes are the evaluated nodes, in execution order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the single synthetic exit block: every return, the fallthrough
+	// off the end of the body, and every panic(...) edge into it. It holds
+	// no nodes.
+	Exit   *Block
+	Blocks []*Block
+	// Defers are the function's defer statements in source order. A client
+	// modelling exit effects applies them in reverse.
+	Defers []*ast.DeferStmt
+
+	comms map[ast.Node]bool
+}
+
+// IsComm reports whether n is the communication operation of a select
+// clause — already accounted for by its select's own node.
+func (g *Graph) IsComm(n ast.Node) bool { return g.comms[n] }
+
+// builder carries the loop/label context during construction.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// breakTo/continueTo are the innermost targets; labels map label names
+	// to their targets for labeled break/continue/goto.
+	breakTo    *Block
+	continueTo *Block
+	labelBreak map[string]*Block
+	labelCont  map[string]*Block
+	gotos      map[string]*Block
+
+	// pendingLabel is the name of the LabeledStmt currently being lowered,
+	// consumed by the labeled loop/switch it wraps.
+	pendingLabel string
+}
+
+// New builds the graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{comms: make(map[ast.Node]bool)}
+	b := &builder{
+		g:          g,
+		labelBreak: make(map[string]*Block),
+		labelCont:  make(map[string]*Block),
+		gotos:      make(map[string]*Block),
+	}
+	g.Entry = b.newBlock()
+	g.Exit = &Block{Index: -1}
+	b.cur = g.Entry
+	b.stmts(body.List)
+	b.jump(g.Exit)
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// startBlock switches emission to a fresh block with an edge from cur.
+func (b *builder) startBlock() *Block {
+	blk := b.newBlock()
+	b.edge(b.cur, blk)
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// jump ends the current block with an edge to target and leaves emission in
+// a fresh unreachable block (statements after return/break still get nodes,
+// but no predecessors).
+func (b *builder) jump(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+// terminate ends the current block with no successor (os.Exit and friends).
+func (b *builder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// gotoBlock returns (creating on demand) the block a goto/label name
+// resolves to, so forward gotos work.
+func (b *builder) gotoBlock(name string) *Block {
+	blk, ok := b.gotos[name]
+	if !ok {
+		blk = b.newBlock()
+		b.gotos[name] = blk
+	}
+	return blk
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(st.List)
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.jump(b.g.Exit)
+
+	case *ast.ExprStmt:
+		b.add(st)
+		if isPanic(st.X) {
+			b.jump(b.g.Exit)
+		} else if isNoReturn(st.X) {
+			b.terminate()
+		}
+
+	case *ast.DeferStmt:
+		b.add(st)
+		b.g.Defers = append(b.g.Defers, st)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Cond)
+		head := b.cur
+		thenB := b.newBlock()
+		b.edge(head, thenB)
+		b.cur = thenB
+		b.stmts(st.Body.List)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(head, elseB)
+			b.cur = elseB
+			b.stmt(st.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		b.edge(thenEnd, join)
+		if elseEnd != nil {
+			b.edge(elseEnd, join)
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if st.Cond != nil {
+			b.add(st.Cond)
+		}
+		exit := b.newBlock()
+		var post *Block
+		if st.Post != nil {
+			post = b.newBlock()
+		} else {
+			post = head
+		}
+		b.withLoop(exit, post, b.labelOf(), func() {
+			body := b.newBlock()
+			b.edge(head, body)
+			b.cur = body
+			b.stmts(st.Body.List)
+			if st.Post != nil {
+				b.edge(b.cur, post)
+				b.cur = post
+				b.stmt(st.Post)
+				b.edge(b.cur, head)
+			} else {
+				b.edge(b.cur, head)
+			}
+		})
+		if st.Cond != nil {
+			b.edge(head, exit)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		b.add(st.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		exit := b.newBlock()
+		b.edge(head, exit)
+		b.withLoop(exit, head, b.labelOf(), func() {
+			body := b.newBlock()
+			b.edge(head, body)
+			b.cur = body
+			if st.Key != nil || st.Value != nil {
+				b.add(st) // the per-iteration key/value binding
+			}
+			b.stmts(st.Body.List)
+			b.edge(b.cur, head)
+		})
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			b.add(st.Tag)
+		}
+		b.switchBody(st.Body, b.labelOf(), func(cc *ast.CaseClause) []ast.Stmt { return cc.Body })
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Assign)
+		b.switchBody(st.Body, b.labelOf(), func(cc *ast.CaseClause) []ast.Stmt { return cc.Body })
+
+	case *ast.SelectStmt:
+		b.add(st)
+		head := b.cur
+		join := b.newBlock()
+		exhaustive := false
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm == nil {
+				exhaustive = true // default clause
+			}
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.g.comms[cc.Comm] = true
+				b.add(cc.Comm)
+			}
+			b.withBreak(join, b.labelOf(), func() {
+				b.stmts(cc.Body)
+			})
+			b.edge(b.cur, join)
+		}
+		_ = exhaustive // a select with no default still takes exactly one clause
+		if len(st.Body.List) == 0 {
+			// select{} blocks forever: no successor.
+			b.cur = join
+			return
+		}
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		// The labeled statement's own handler consumes the label via
+		// labelOf; a goto to this label lands at a dedicated block.
+		target := b.gotoBlock(st.Label.Name)
+		b.edge(b.cur, target)
+		b.cur = target
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			t := b.breakTo
+			if st.Label != nil {
+				t = b.labelBreak[st.Label.Name]
+			}
+			if t != nil {
+				b.jump(t)
+			}
+		case token.CONTINUE:
+			t := b.continueTo
+			if st.Label != nil {
+				t = b.labelCont[st.Label.Name]
+			}
+			if t != nil {
+				b.jump(t)
+			}
+		case token.GOTO:
+			if st.Label != nil {
+				b.jump(b.gotoBlock(st.Label.Name))
+			}
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody (each case already edges to
+			// the next when it ends in fallthrough); nothing to emit.
+		}
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, EmptyStmt.
+		b.add(s)
+	}
+}
+
+// labelOf consumes the label of the LabeledStmt directly wrapping the
+// statement being lowered, if any.
+func (b *builder) labelOf() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// withLoop runs fn with break/continue targets (and the loop's label, if
+// any) bound.
+func (b *builder) withLoop(brk, cont *Block, label string, fn func()) {
+	oldB, oldC := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = brk, cont
+	if label != "" {
+		b.labelBreak[label] = brk
+		b.labelCont[label] = cont
+	}
+	fn()
+	b.breakTo, b.continueTo = oldB, oldC
+}
+
+// withBreak runs fn with only the break target rebound (switch/select).
+func (b *builder) withBreak(brk *Block, label string, fn func()) {
+	old := b.breakTo
+	b.breakTo = brk
+	if label != "" {
+		b.labelBreak[label] = brk
+	}
+	fn()
+	b.breakTo = old
+}
+
+// switchBody lowers a (type)switch body: every case is a successor of the
+// head; a case ending in fallthrough also edges into the next case's block.
+func (b *builder) switchBody(body *ast.BlockStmt, label string, caseStmts func(*ast.CaseClause) []ast.Stmt) {
+	head := b.cur
+	join := b.newBlock()
+	hasDefault := false
+
+	// Pre-create case blocks so fallthrough can edge forward.
+	blocks := make([]*Block, len(body.List))
+	for i := range body.List {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+	}
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.withBreak(join, label, func() {
+			b.stmts(caseStmts(cc))
+		})
+		if fallsThrough(cc.Body) && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isPanic recognises a direct panic(...) call.
+func isPanic(x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// isNoReturn recognises calls that never return control to this function.
+// Purely syntactic (the cfg package has no type information): the named
+// entry points below cover the repo's uses.
+func isNoReturn(x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		switch id.Name {
+		case "os":
+			return name == "Exit"
+		case "log":
+			return name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+				name == "Panic" || name == "Panicf" || name == "Panicln"
+		case "runtime":
+			return name == "Goexit"
+		case "t", "tb", "b":
+			return name == "Fatal" || name == "Fatalf" || name == "FailNow" ||
+				name == "Skip" || name == "Skipf" || name == "SkipNow"
+		}
+	}
+	return false
+}

@@ -1,0 +1,320 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of the first function
+// declaration.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// reaches reports whether to is reachable from from along Succs edges.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestIfElseBlocks(t *testing.T) {
+	g := New(parseBody(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`))
+	// Entry holds the assignment and the condition; both branch blocks and
+	// the join must be reachable; exit reachable from entry.
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry has %d nodes, want 2 (assign + cond)", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2", len(g.Entry.Succs))
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable from entry")
+	}
+	// Each branch block carries exactly one assignment.
+	for i, s := range g.Entry.Succs {
+		if len(s.Nodes) != 1 {
+			t.Fatalf("branch %d has %d nodes, want 1", i, len(s.Nodes))
+		}
+	}
+}
+
+func TestEarlyReturnSkipsRest(t *testing.T) {
+	g := New(parseBody(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`))
+	// Both returns flow to exit; nothing flows past a return.
+	returns := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns++
+				if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+					t.Fatalf("return block must edge only to exit, got %d succs", len(b.Succs))
+				}
+			}
+		}
+	}
+	if returns != 2 {
+		t.Fatalf("found %d return nodes, want 2", returns)
+	}
+}
+
+func TestDeferCollectedAndKeptInBlock(t *testing.T) {
+	g := New(parseBody(t, `package p
+func f() {
+	defer done()
+	if cond() {
+		defer cleanup()
+	}
+	work()
+}
+func done()            {}
+func cleanup()         {}
+func cond() bool       { return false }
+func work()            {}`))
+	if len(g.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(g.Defers))
+	}
+	// Source order: done before cleanup.
+	if g.Defers[0].Pos() > g.Defers[1].Pos() {
+		t.Fatal("defers not in source order")
+	}
+	// The defer statements also appear as block nodes (their closure
+	// arguments are evaluated in place).
+	found := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("%d defer nodes in blocks, want 2", found)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g := New(parseBody(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`))
+	// Some block must participate in a cycle (the loop head).
+	cyclic := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if reaches(s, b) {
+				cyclic = true
+			}
+		}
+	}
+	if !cyclic {
+		t.Fatal("for loop produced no back-edge")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("loop exit unreachable")
+	}
+}
+
+func TestRangeAndBreak(t *testing.T) {
+	g := New(parseBody(t, `package p
+func f(xs []int) int {
+	for _, x := range xs {
+		if x < 0 {
+			break
+		}
+	}
+	return 0
+}`))
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable through range with break")
+	}
+	cyclic := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if reaches(s, b) {
+				cyclic = true
+			}
+		}
+	}
+	if !cyclic {
+		t.Fatal("range loop produced no back-edge")
+	}
+}
+
+func TestSelectCommsMarked(t *testing.T) {
+	g := New(parseBody(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+		return 1
+	}
+}`))
+	marked := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if g.IsComm(n) {
+				marked++
+			}
+		}
+	}
+	if marked != 2 {
+		t.Fatalf("%d comm nodes marked, want 2", marked)
+	}
+	// The select itself must appear as a node exactly once.
+	selects := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				selects++
+			}
+		}
+	}
+	if selects != 1 {
+		t.Fatalf("%d select nodes, want 1", selects)
+	}
+}
+
+func TestPanicEdgesToExit(t *testing.T) {
+	g := New(parseBody(t, `package p
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	work()
+}
+func work() {}`))
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok || !isPanic(es.X) {
+				continue
+			}
+			if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+				t.Fatalf("panic block should edge only to exit, got %d succs", len(b.Succs))
+			}
+			return
+		}
+	}
+	t.Fatal("panic node not found")
+}
+
+// TestFixpointTerminatesOnIrreducibleFlow drives the engine with a lattice
+// that never converges (every pass strictly increases the state) over a
+// goto-made irreducible region: two loop headers entered from outside each
+// other. The visit bound must end the run regardless.
+func TestFixpointTerminatesOnIrreducibleFlow(t *testing.T) {
+	g := New(parseBody(t, `package p
+func f(c bool) {
+	if c {
+		goto B
+	}
+A:
+	step()
+	goto B
+B:
+	step()
+	if c {
+		goto A
+	}
+}
+func step() {}`))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Forward(g, Flow[int]{
+			Init:     0,
+			Transfer: func(n ast.Node, s int) int { return s + 1 }, // never stabilises
+			Merge:    func(a, b int) int { return max(a, b) },
+			Equal:    func(a, b int) bool { return a == b },
+		})
+	}()
+	<-done // hangs forever if the bound is broken
+}
+
+// TestFixpointLoopConvergence checks a real (finite) lattice reaches the
+// expected fixpoint through a loop: "have we passed through the loop body at
+// least once" must be true at exit only when merged as MAY (or), and false
+// under MUST (and), since the loop may run zero times.
+func TestFixpointLoopConvergence(t *testing.T) {
+	body := parseBody(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		mark()
+	}
+}
+func mark() {}`)
+	g := New(body)
+	isMark := func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "mark"
+	}
+	transfer := func(n ast.Node, s bool) bool { return s || isMark(n) }
+	eq := func(a, b bool) bool { return a == b }
+
+	may := Forward(g, Flow[bool]{Transfer: transfer, Merge: func(a, b bool) bool { return a || b }, Equal: eq})
+	if !may[g.Exit] {
+		t.Fatal("MAY analysis should see mark() at exit")
+	}
+	must := Forward(g, Flow[bool]{Transfer: transfer, Merge: func(a, b bool) bool { return a && b }, Equal: eq})
+	if must[g.Exit] {
+		t.Fatal("MUST analysis must not claim mark() on the zero-iteration path")
+	}
+}

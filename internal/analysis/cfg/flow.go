@@ -1,0 +1,87 @@
+// Forward-dataflow fixpoint over a Graph. The engine is deliberately tiny:
+// an analyzer supplies the lattice (Merge, Equal) and the per-node Transfer,
+// and gets back the state at entry to every block. Reporting then replays
+// Transfer through each reachable block from its in-state — the same split
+// poolcheck uses between walking and diagnosing, without each analyzer
+// re-implementing the walk.
+package cfg
+
+import "go/ast"
+
+// Flow describes one forward dataflow problem over states of type S.
+type Flow[S any] struct {
+	// Init is the state at function entry.
+	Init S
+	// Transfer applies one CFG node's effect. It must be pure: the engine
+	// re-applies it until the fixpoint converges.
+	Transfer func(n ast.Node, s S) S
+	// Merge joins the states of two incoming edges. It must be commutative
+	// and associative; with Equal it defines the lattice.
+	Merge func(a, b S) S
+	// Equal reports lattice equality; the fixpoint stops when no block's
+	// in-state changes.
+	Equal func(a, b S) bool
+}
+
+// maxVisitsPerBlock bounds the worklist in case a client's lattice does not
+// converge (non-monotone Transfer, unbounded state). Real lattices here are
+// tiny — lock sets, booleans — and settle in a handful of passes; the bound
+// only guarantees termination on adversarial input such as irreducible flow
+// produced from goto soup.
+const maxVisitsPerBlock = 64
+
+// Forward computes the fixpoint of f over g and returns the in-state of
+// every reachable block, keyed by block. Unreachable blocks (dead code after
+// return) are absent.
+func Forward[S any](g *Graph, f Flow[S]) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	in[g.Entry] = f.Init
+	visits := make(map[*Block]int, len(g.Blocks))
+
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if visits[b] >= maxVisitsPerBlock {
+			continue
+		}
+		visits[b]++
+
+		s := in[b]
+		for _, n := range b.Nodes {
+			s = f.Transfer(n, s)
+		}
+		for _, succ := range b.Succs {
+			old, seen := in[succ]
+			next := s
+			if seen {
+				next = f.Merge(old, s)
+				if f.Equal(next, old) {
+					continue
+				}
+			}
+			in[succ] = next
+			work = append(work, succ)
+		}
+	}
+	return in
+}
+
+// ReplayFn is invoked by Replay with every node of a reachable block and the
+// state flowing into that node.
+type ReplayFn[S any] func(n ast.Node, before S)
+
+// Replay walks every reachable block from its fixpoint in-state, calling
+// visit before each node's Transfer — the reporting pass of an analyzer.
+func Replay[S any](g *Graph, f Flow[S], in map[*Block]S, visit ReplayFn[S]) {
+	for _, b := range g.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			visit(n, s)
+			s = f.Transfer(n, s)
+		}
+	}
+}

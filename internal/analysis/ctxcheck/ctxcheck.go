@@ -1,0 +1,177 @@
+// Package ctxcheck enforces context discipline on the request path. The
+// serving packages — serve, cluster, node, wire — exist to answer requests
+// with deadlines; an API that blocks without accepting a context, or a call
+// that silently swaps the caller's context for context.Background(), breaks
+// the cancellation chain the whole fleet depends on.
+//
+// Two rules, gated to the request-path packages and skipping test files:
+//
+//   - An exported function or method (of an exported type) whose body can
+//     block — a channel operation, a select without default, a WaitGroup
+//     Wait, a sleep, a network or HTTP call — must accept a context.Context
+//     parameter. Lifecycle verbs (Close, Shutdown, Stop, Wait, Start, Run,
+//     Serve, ServeHTTP, ListenAndServe) are exempt: shutdown and serve loops
+//     are not request paths.
+//   - A call to context.Background() or context.TODO() must carry
+//     `//calloc:bgctx <reason>`: detaching from the caller's context is
+//     sometimes right (the coalescer's upstream batch call must not die with
+//     any single waiter), but it is always a decision worth a sentence.
+//
+// Blocking detection reuses the shared CFG's classifier
+// (internal/analysis/cfg.BlockingOps), so a goroutine spawned by the API
+// does not count against the caller and deferred cleanup is judged at its
+// own defer site.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"calloc/internal/analysis"
+	"calloc/internal/analysis/cfg"
+	"calloc/internal/analysis/directive"
+)
+
+// Analyzer is the ctxcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "check that request-path APIs accept a context and that context detaches are annotated",
+	Run:  run,
+}
+
+// gatedPkgs are the request-path package names the analyzer applies to.
+var gatedPkgs = map[string]bool{
+	"serve":   true,
+	"cluster": true,
+	"node":    true,
+	"wire":    true,
+}
+
+// exemptNames are lifecycle and loop verbs allowed to block without a
+// context.
+var exemptNames = map[string]bool{
+	"Close":          true,
+	"Shutdown":       true,
+	"Stop":           true,
+	"Wait":           true,
+	"Start":          true,
+	"Run":            true,
+	"Serve":          true,
+	"ServeHTTP":      true,
+	"ListenAndServe": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !gatedPkgs[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ix := directive.Index(pass.Fset, file)
+		checkDetaches(pass, ix, file)
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				checkExported(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkDetaches reports unannotated context.Background()/TODO() calls.
+func checkDetaches(pass *analysis.Pass, ix *directive.FileIndex, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		full := fn.FullName()
+		if full != "context.Background" && full != "context.TODO" {
+			return true
+		}
+		if _, ok := ix.At(directive.BgCtx, call.Pos()); ok {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s() in request-path package %s detaches from the caller's context, breaking the cancellation chain: thread the caller's ctx through or annotate with //calloc:bgctx <reason>",
+			full, pass.Pkg.Name())
+		return true
+	})
+}
+
+// checkExported reports exported, externally-reachable functions that block
+// without taking a context.
+func checkExported(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !fd.Name.IsExported() || exemptNames[fd.Name.Name] {
+		return
+	}
+	// A method on an unexported type is not externally reachable.
+	if fd.Recv != nil {
+		if name, ok := recvTypeName(fd); !ok || !ast.IsExported(name) {
+			return
+		}
+	}
+	if hasCtxParam(pass, fd) {
+		return
+	}
+	g := cfg.New(fd.Body)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ops := cfg.BlockingOps(g, pass.TypesInfo, n)
+			if len(ops) == 0 {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported %s performs blocking operations (%s) but takes no context.Context: request-path APIs must give the caller cancellation",
+				fd.Name.Name, ops[0].What)
+			return
+		}
+	}
+}
+
+// hasCtxParam reports whether fd declares a parameter of type
+// context.Context.
+func hasCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		if t := pass.TypesInfo.Types[f.Type].Type; t != nil && t.String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the base type name of a method's receiver.
+func recvTypeName(fd *ast.FuncDecl) (string, bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", false
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.ParenExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.Ident:
+			return e.Name, true
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"calloc/internal/analysis/analysistest"
+	"calloc/internal/analysis/ctxcheck"
+)
+
+func TestCtxcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "ctxfix")
+}

@@ -1,0 +1,76 @@
+// This fixture declares package serve — ctxcheck gates on the request-path
+// package names, and the harness type-checks by package clause, not
+// directory name.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Fetch blocks on channels but gives the caller no way to cancel.
+func Fetch(q chan int) int { // want `exported Fetch performs blocking operations`
+	q <- 1
+	return <-q
+}
+
+// FetchCtx threads the caller's deadline through: fine.
+func FetchCtx(ctx context.Context, q chan int) (int, error) {
+	select {
+	case v := <-q:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+type Engine struct {
+	wg sync.WaitGroup
+}
+
+// Close joins the workers. Lifecycle verbs are exempt: shutdown is not a
+// request path.
+func (e *Engine) Close() {
+	e.wg.Wait()
+}
+
+// Pause blocks and is not a lifecycle verb.
+func (e *Engine) Pause() { // want `exported Pause performs blocking operations`
+	time.Sleep(time.Second)
+}
+
+// Spawn only blocks inside the goroutine it starts; the caller returns
+// immediately, so no context is owed.
+func (e *Engine) Spawn(q chan int) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		<-q
+	}()
+}
+
+// drain is unexported: internal helpers may rely on their callers' contexts.
+func drain(q chan int) int {
+	return <-q
+}
+
+// refresh silently detaches from whatever context the caller had.
+func refresh() {
+	ctx := context.Background() // want `context\.Background\(\) in request-path package serve detaches`
+	_ = ctx
+}
+
+// sketch uses the to-do form; same break in the chain.
+func sketch() {
+	ctx := context.TODO() // want `context\.TODO\(\) in request-path package serve detaches`
+	_ = ctx
+}
+
+// batchUpstream detaches on purpose — the upstream call is shared by many
+// waiters and must not die with any single one — and says so.
+func batchUpstream() {
+	//calloc:bgctx upstream batch is bounded by the client timeout, not any one waiter's context
+	ctx := context.Background()
+	_ = ctx
+}

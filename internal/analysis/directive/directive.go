@@ -26,6 +26,26 @@
 //	    deliberately non-atomic (pre-publication initialisation, access
 //	    under the lock that also orders the atomics). Requires a reason.
 //
+//	//calloc:detached <reason>
+//	    On (or immediately above) a `go` statement: the goroutine is
+//	    deliberately fire-and-forget — nothing joins it on shutdown. The
+//	    lifecycle analyzer otherwise requires every goroutine to be tied to
+//	    a WaitGroup, a stop/done channel, or an owner's Close. Requires a
+//	    reason.
+//
+//	//calloc:holdok <reason>
+//	    On (or immediately above) a potentially-blocking operation executed
+//	    while a lock is held: the blocking-under-lock is deliberate (the
+//	    engine's enqueue holds the send-side read lock across a blocking
+//	    send — that IS the close-ordering protocol). Requires a reason.
+//
+//	//calloc:bgctx <reason>
+//	    On (or immediately above) a context.Background()/TODO() call in a
+//	    request-path package (serve, cluster, node, wire): the detach from
+//	    the caller's context is deliberate (the coalescer's upstream batch
+//	    call must not die with any single waiter's context). Requires a
+//	    reason.
+//
 // A directive written on its own line applies to the next source line, so
 // both trailing and preceding placement work.
 package directive
@@ -33,6 +53,7 @@ package directive
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -45,7 +66,24 @@ const (
 	Allow     = "allow"
 	Handoff   = "handoff"
 	NonAtomic = "nonatomic"
+	Detached  = "detached"
+	HoldOK    = "holdok"
+	BgCtx     = "bgctx"
 )
+
+// Known maps every recognised directive name to whether it must carry a
+// reason. Markers (noalloc) tag code for an analyzer; waivers suppress a
+// diagnostic and owe the reader an explanation. scripts/directives.sh fails
+// CI on reason-less waivers and unknown names via `calloc-vet -directives`.
+var Known = map[string]bool{
+	NoAlloc:   false,
+	Allow:     true,
+	Handoff:   true,
+	NonAtomic: true,
+	Detached:  true,
+	HoldOK:    true,
+	BgCtx:     true,
+}
 
 // Directive is one parsed `//calloc:name reason` annotation.
 type Directive struct {
@@ -85,6 +123,18 @@ func Index(fset *token.FileSet, file *ast.File) *FileIndex {
 		}
 	}
 	return ix
+}
+
+// All returns every directive of the file in source order, with its line —
+// the audit view scripts/directives.sh consumes through `calloc-vet
+// -directives`.
+func (ix *FileIndex) All() []Directive {
+	var out []Directive
+	for _, ds := range ix.byLine {
+		out = append(out, ds...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
 }
 
 // At returns the directive named name that governs pos: written on the same

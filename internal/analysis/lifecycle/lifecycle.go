@@ -1,0 +1,473 @@
+// Package lifecycle enforces the repo's goroutine-ownership discipline: every
+// goroutine must be tied to a shutdown path, and types exposing the
+// Start/Close protocol must implement it so Close joins the loop and Start
+// observes Close. Both rules are distilled from shipped bugs — the trainer's
+// original Start could be re-entered after Close, and its Close could return
+// with the tick loop still mid-iteration.
+//
+// Rule 1 — every `go` statement in non-test code must be tied: the goroutine
+// body (a function literal, or the body of a package function resolved one
+// call deep) must do at least one of
+//
+//   - call (*sync.WaitGroup).Done — an owner Waits for it;
+//   - receive or select on a channel declared outside the goroutine
+//     (stop/done channels, <-ctx.Done()) — an owner can signal it;
+//   - send to a channel declared outside the goroutine — an owner drains it
+//     (the router's fan-out workers);
+//   - close a channel declared outside the goroutine — an owner joins on it;
+//   - range over a channel declared outside the goroutine — closing the
+//     channel ends it.
+//
+// A deliberately fire-and-forget goroutine carries `//calloc:detached
+// <reason>` on the `go` line. A locally-declared ticker does not count as a
+// tie: nothing outside the goroutine can reach it.
+//
+// Rule 2 — a type with both Start and Close methods where Start spawns a
+// goroutine must satisfy the protocol:
+//
+//   - Close joins: its body receives from a channel or calls
+//     (*sync.WaitGroup).Wait, so the loop is actually gone when Close
+//     returns;
+//   - Start observes Close: some state Close writes (a field assigned, a
+//     channel closed, a field whose method is called) is read on every path
+//     from Start's entry to the `go` statement — the started/closed guard —
+//     or inside the goroutine itself (selecting on the stop channel Close
+//     closes). Otherwise Start after Close silently resurrects a closed
+//     object.
+//
+// The dominance half of rule 2 runs on the shared CFG
+// (internal/analysis/cfg) with a MUST (intersection) merge: observing Close
+// on just one branch is not a guard.
+package lifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"calloc/internal/analysis"
+	"calloc/internal/analysis/cfg"
+	"calloc/internal/analysis/directive"
+)
+
+// Analyzer is the lifecycle pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lifecycle",
+	Doc:  "check that goroutines are tied to shutdown paths and Start/Close pairs implement the join-and-guard protocol",
+	Run:  run,
+}
+
+type checker struct {
+	pass *analysis.Pass
+	ix   *directive.FileIndex
+	// decls maps function objects to their declarations for one-level
+	// resolution of `go pkgFn()` / `go recv.method()`.
+	decls map[types.Object]*ast.FuncDecl
+	// methods indexes non-test methods by receiver type name then method
+	// name, for the Start/Close protocol check.
+	methods map[string]map[string]*ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:    pass,
+		decls:   make(map[types.Object]*ast.FuncDecl),
+		methods: make(map[string]map[string]*ast.FuncDecl),
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				c.decls[obj] = fd
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		c.ix = directive.Index(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.GoStmt:
+				c.checkGo(d)
+			case *ast.FuncDecl:
+				if name, ok := recvTypeName(d); ok {
+					if c.methods[name] == nil {
+						c.methods[name] = make(map[string]*ast.FuncDecl)
+					}
+					c.methods[name][d.Name.Name] = d
+				}
+			}
+			return true
+		})
+	}
+	c.checkStartClose()
+	return nil, nil
+}
+
+// recvTypeName returns the base type name of a method's receiver.
+func recvTypeName(fd *ast.FuncDecl) (string, bool) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", false
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.ParenExpr:
+			t = e.X
+		case *ast.IndexExpr: // generic receiver
+			t = e.X
+		case *ast.Ident:
+			return e.Name, true
+		default:
+			return "", false
+		}
+	}
+}
+
+// ---- rule 1: goroutine ties ----
+
+func (c *checker) checkGo(g *ast.GoStmt) {
+	if _, ok := c.ix.At(directive.Detached, g.Pos()); ok {
+		return
+	}
+	if body := c.goroutineBody(g); body != nil && c.tied(body) {
+		return
+	}
+	c.pass.Reportf(g.Pos(),
+		"goroutine is tied to no shutdown path (no WaitGroup.Done, no outside stop/done channel, no owner join): tie it or annotate with //calloc:detached <reason>")
+}
+
+// goroutineBody returns the statements the goroutine will run: a function
+// literal's body, or — one call deep — the body of a function or method
+// declared in this package.
+func (c *checker) goroutineBody(g *ast.GoStmt) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := c.declOf(fun); fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := c.declOf(fun.Sel); fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+func (c *checker) declOf(id *ast.Ident) *ast.FuncDecl {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return c.decls[obj]
+}
+
+// tied reports whether body contains at least one shutdown tie. "Outside"
+// means the expression's root identifier is declared outside body — a
+// receiver field, an enclosing function's channel, a parameter of the
+// spawning function. A ticker declared inside the goroutine is not outside:
+// nothing beyond the goroutine can reach it.
+func (c *checker) tied(body *ast.BlockStmt) bool {
+	lo, hi := body.Pos(), body.End()
+	outside := func(x ast.Expr) bool {
+		id := rootIdent(x)
+		if id == nil {
+			return false
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < lo || obj.Pos() >= hi
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if c.isMethodCall(e, "(*sync.WaitGroup).Done") {
+				found = true
+			}
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "close" && len(e.Args) == 1 {
+				if _, builtin := c.pass.TypesInfo.Uses[id].(*types.Builtin); builtin && outside(e.Args[0]) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op != token.ARROW {
+				break
+			}
+			if outside(e.X) {
+				found = true
+			}
+			// <-ctx.Done(): the context is the shutdown signal wherever the
+			// variable lives.
+			if call, ok := e.X.(*ast.CallExpr); ok && c.isMethodCall(call, "(context.Context).Done") {
+				found = true
+			}
+		case *ast.SendStmt:
+			if outside(e.Chan) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := c.pass.TypesInfo.Types[e.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && outside(e.X) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isMethodCall reports whether call invokes the method with the given
+// types.Func full name.
+func (c *checker) isMethodCall(call *ast.CallExpr, fullName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == fullName
+}
+
+// rootIdent peels selectors, indexes, parens, and derefs down to the root
+// identifier of an expression, or nil when the root is a call or literal.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ---- rule 2: the Start/Close protocol ----
+
+func (c *checker) checkStartClose() {
+	for typeName, ms := range c.methods {
+		start, closeFn := ms["Start"], ms["Close"]
+		if start == nil || closeFn == nil || start.Body == nil || closeFn.Body == nil {
+			continue
+		}
+		spawn := firstGoStmt(start.Body)
+		if spawn == nil {
+			continue
+		}
+		if !c.joins(closeFn.Body) {
+			c.pass.Reportf(closeFn.Name.Pos(),
+				"%s.Close returns without joining the goroutine %s.Start spawns (no channel receive, no WaitGroup.Wait): the loop can outlive Close",
+				typeName, typeName)
+		}
+		writes := c.closeWrites(closeFn)
+		if !c.observes(start, spawn, writes) {
+			c.pass.Reportf(spawn.Pos(),
+				"%s.Start spawns its goroutine without observing any state %s.Close writes, on the path to the go statement or inside the goroutine: Start after Close restarts a closed object — guard on a closed flag or stop channel",
+				typeName, typeName)
+		}
+	}
+}
+
+func firstGoStmt(body *ast.BlockStmt) *ast.GoStmt {
+	var out *ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			out = g
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// joins reports whether body waits for something: a channel receive or a
+// WaitGroup.Wait.
+func (c *checker) joins(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if c.isMethodCall(e, "(*sync.WaitGroup).Wait") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// closeWrites collects the receiver fields Close writes: assigned fields,
+// closed channels, and fields whose methods are invoked (once.Do, mu.Lock —
+// mutations through the field).
+func (c *checker) closeWrites(fd *ast.FuncDecl) map[string]bool {
+	recv := c.recvObj(fd)
+	writes := make(map[string]bool)
+	if recv == nil {
+		return writes
+	}
+	field := func(x ast.Expr) (string, bool) {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		if id := rootIdent(sel.X); id != nil && c.pass.TypesInfo.Uses[id] == recv {
+			return sel.Sel.Name, true
+		}
+		return "", false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range e.Lhs {
+				if f, ok := field(l); ok {
+					writes[f] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "close" && len(e.Args) == 1 {
+				if _, builtin := c.pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+					if f, ok := field(e.Args[0]); ok {
+						writes[f] = true
+					}
+				}
+			}
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if f, ok := field(sel.X); ok {
+					writes[f] = true
+				}
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+func (c *checker) recvObj(fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return c.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// observes reports whether start reads one of the Close-written fields on
+// every path from entry to spawn (MUST dataflow over the shared CFG), or
+// inside the spawned goroutine itself.
+func (c *checker) observes(start *ast.FuncDecl, spawn *ast.GoStmt, writes map[string]bool) bool {
+	recv := c.recvObj(start)
+	if recv == nil || len(writes) == 0 {
+		return false
+	}
+	flow := cfg.Flow[bool]{
+		Transfer: func(n ast.Node, s bool) bool {
+			if s {
+				return true
+			}
+			// The go statement's own subtree is judged separately (the
+			// goroutine runs after Start returns, so reading there is not a
+			// re-entry guard on the path — but it IS an observation of Close,
+			// handled below).
+			if n == spawn {
+				return s
+			}
+			return c.readsField(n, recv, writes)
+		},
+		Merge: func(a, b bool) bool { return a && b },
+		Equal: func(a, b bool) bool { return a == b },
+	}
+	g := cfg.New(start.Body)
+	in := cfg.Forward(g, flow)
+	observed := false
+	cfg.Replay(g, flow, in, func(n ast.Node, before bool) {
+		if n == spawn && before {
+			observed = true
+		}
+	})
+	if observed {
+		return true
+	}
+	// Inside the goroutine: selecting on the stop channel Close closes.
+	if c.readsField(spawn, recv, writes) {
+		return true
+	}
+	// One level deep: `go t.run()` where run's body watches the stop field.
+	if body := c.goroutineBody(spawn); body != nil {
+		if fd := enclosingDecl(c, body); fd != nil {
+			if r := c.recvObj(fd); r != nil && c.readsField(body, r, writes) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingDecl finds the FuncDecl whose body is exactly body, if any.
+func enclosingDecl(c *checker, body *ast.BlockStmt) *ast.FuncDecl {
+	for _, fd := range c.decls {
+		if fd.Body == body {
+			return fd
+		}
+	}
+	return nil
+}
+
+// readsField reports whether n mentions recv.<f> for any f in fields,
+// excluding pure writes (left-hand sides of assignments).
+func (c *checker) readsField(n ast.Node, recv types.Object, fields map[string]bool) bool {
+	assignedTo := make(map[ast.Expr]bool)
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if as, ok := nn.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				assignedTo[l] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := nn.(*ast.SelectorExpr)
+		if !ok || assignedTo[sel] || !fields[sel.Sel.Name] {
+			return true
+		}
+		if id := rootIdent(sel.X); id != nil && c.pass.TypesInfo.Uses[id] == recv {
+			found = true
+		}
+		return true
+	})
+	return found
+}

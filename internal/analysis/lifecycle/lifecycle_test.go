@@ -1,0 +1,12 @@
+package lifecycle_test
+
+import (
+	"testing"
+
+	"calloc/internal/analysis/analysistest"
+	"calloc/internal/analysis/lifecycle"
+)
+
+func TestLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", lifecycle.Analyzer, "lifefix")
+}

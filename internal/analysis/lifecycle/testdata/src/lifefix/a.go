@@ -1,0 +1,199 @@
+// Package lifefix exercises the lifecycle analyzer: goroutine shutdown ties,
+// the //calloc:detached escape hatch, and the Start/Close protocol.
+package lifefix
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work()    {}
+func cleanup() {}
+
+// untied: nothing outside can stop, signal, or join this goroutine.
+func untied() {
+	go func() { // want `goroutine is tied to no shutdown path`
+		for {
+			time.Sleep(time.Second)
+			work()
+		}
+	}()
+}
+
+// localTicker waits only on its own ticker — locally declared, so nothing
+// outside the goroutine can reach it. Not a tie.
+func localTicker() {
+	go func() { // want `goroutine is tied to no shutdown path`
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for range ticker.C {
+			work()
+		}
+	}()
+}
+
+// externalCallee cannot be resolved to a body in this package: assumed
+// untied.
+func externalCallee() {
+	go time.Sleep(time.Second) // want `goroutine is tied to no shutdown path`
+}
+
+// tiedWaitGroup: an owner Waits for the Done.
+func tiedWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// tiedCtx: the context is the shutdown signal.
+func tiedCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		cleanup()
+	}()
+}
+
+// fanout sends each result to the parent's channel; the parent drains
+// exactly n of them — the router fan-out shape.
+func fanout(n int) int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			ch <- i * i
+		}(i)
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += <-ch
+	}
+	return sum
+}
+
+type worker struct {
+	stop chan struct{}
+	jobs chan int
+}
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case j := <-w.jobs:
+			_ = j
+		}
+	}
+}
+
+// spawn resolves the callee one level deep: loop selects on w.stop.
+func (w *worker) spawn() {
+	go w.loop()
+}
+
+type pinger struct {
+	done chan struct{}
+}
+
+// spawn closes the owner's done channel on the way out; the owner joins on
+// it.
+func (p *pinger) spawn() {
+	go func() {
+		defer close(p.done)
+		work()
+	}()
+}
+
+// metrics is deliberately fire-and-forget and says so.
+func metrics() {
+	//calloc:detached best-effort metrics flush; owns no state and may die with the process
+	go func() {
+		for {
+			time.Sleep(time.Minute)
+		}
+	}()
+}
+
+// runner: Start's loop watches the stop channel, but Close only signals and
+// never joins — it can return with the loop mid-tick.
+type runner struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (r *runner) Start() {
+	go func() {
+		defer close(r.done)
+		for {
+			select {
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+func (r *runner) Close() { // want `runner\.Close returns without joining the goroutine runner\.Start spawns`
+	close(r.stop)
+}
+
+// restarter: Close joins, but writes nothing Start (or its goroutine) could
+// observe — Start after Close would resurrect the loop on a closed object.
+type restarter struct {
+	done chan struct{}
+	jobs chan int
+}
+
+func (s *restarter) Start() {
+	go func() { // want `restarter\.Start spawns its goroutine without observing any state restarter\.Close writes`
+		defer close(s.done)
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+}
+
+func (s *restarter) Close() {
+	<-s.done
+}
+
+// cycler implements the full protocol: Start guards on the closed flag Close
+// sets, the loop watches the stop channel Close closes, and Close joins on
+// done before returning.
+type cycler struct {
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func (c *cycler) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started || c.closed {
+		return
+	}
+	c.started = true
+	go func() {
+		defer close(c.done)
+		<-c.stop
+	}()
+}
+
+func (c *cycler) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	wasStarted := c.started
+	c.mu.Unlock()
+	close(c.stop)
+	if wasStarted {
+		<-c.done
+	}
+}

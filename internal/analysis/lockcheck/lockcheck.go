@@ -1,0 +1,628 @@
+// Package lockcheck enforces the repo's mutex discipline at compile time.
+// Every shipped concurrency bug of the mutex class was one of a few shapes —
+// PR 3's cache writes behind FromBaseline's mutex being the canonical
+// instance of "hidden blocking work under a lock" — and this analyzer turns
+// the review rules into diagnostics on the shared intraprocedural CFG
+// (internal/analysis/cfg):
+//
+//   - A lock acquired in a function must be released on every path out of
+//     it, including early returns and panic edges. A deferred Unlock covers
+//     all exits.
+//   - No potentially-blocking operation — a channel send/receive, a select
+//     without default, (*sync.WaitGroup).Wait, time.Sleep, an HTTP or net
+//     dial call — may run while a lock is definitely held, unless the line
+//     carries `//calloc:holdok <reason>` (the engine's enqueue holds the
+//     send-side read-lock across a blocking send by design: that is the
+//     close-ordering protocol, and the annotation is its in-source
+//     declaration). (*sync.Cond).Wait is exempt: it requires the lock and
+//     parks unlocked.
+//   - Acquiring a lock that is already definitely held on some path
+//     (mu.Lock after mu.Lock / mu.RLock under mu.Lock) is a deadlock.
+//   - A value of a type that contains a sync.Mutex/RWMutex/WaitGroup/Once/
+//     Cond/Pool must not be copied: not passed or returned by value, not
+//     assigned from a dereference or another variable.
+//   - Nested acquisitions seed a package-level lock-ordering graph (edges
+//     "A held while B acquired", keyed by type.field or package variable);
+//     a cycle in that graph is a lock-inversion deadlock and is reported at
+//     one edge of the cycle.
+//
+// Locks are identified intraprocedurally by their root object and selector
+// path (m.mu, e.sendMu); the ordering graph generalises receiver-field locks
+// to Type.field so orders observed in different methods compose.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"calloc/internal/analysis"
+	"calloc/internal/analysis/cfg"
+	"calloc/internal/analysis/directive"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "check mutex release on all paths, blocking calls under locks, double-locking, lock copies, and lock-order cycles",
+	Run:  run,
+}
+
+// mode is how a lock is held.
+type mode uint8
+
+const (
+	exclusive mode = iota + 1
+	read
+)
+
+func (m mode) String() string {
+	if m == read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// lockKey identifies one lock within a function: the root object the
+// selector chain hangs off plus the printed path ("mu", "e.sendMu").
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// lockState is the per-path lock set. It is treated as immutable: transfer
+// functions copy on write, so states can be shared across CFG edges.
+type lockState map[lockKey]mode
+
+func (s lockState) with(k lockKey, m mode) lockState {
+	n := make(lockState, len(s)+1)
+	for kk, mm := range s {
+		n[kk] = mm
+	}
+	n[k] = m
+	return n
+}
+
+func (s lockState) without(k lockKey) lockState {
+	if _, ok := s[k]; !ok {
+		return s
+	}
+	n := make(lockState, len(s))
+	for kk, mm := range s {
+		if kk != k {
+			n[kk] = mm
+		}
+	}
+	return n
+}
+
+func equalStates(a, b lockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, m := range a {
+		if b[k] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// mustMerge intersects two lock sets: a lock is definitely held only if both
+// paths hold it in the same mode.
+func mustMerge(a, b lockState) lockState {
+	out := make(lockState)
+	for k, m := range a {
+		if b[k] == m {
+			out[k] = m
+		}
+	}
+	return out
+}
+
+// mayMerge unions two lock sets: a lock may be held if either path holds it.
+func mayMerge(a, b lockState) lockState {
+	out := make(lockState, len(a)+len(b))
+	for k, m := range b {
+		out[k] = m
+	}
+	for k, m := range a {
+		out[k] = m
+	}
+	return out
+}
+
+// orderEdge is one observed acquisition order: held was locked when acquired
+// was taken, at pos.
+type orderEdge struct {
+	held, acquired string
+	pos            token.Pos
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, orders: make(map[[2]string]token.Pos)}
+	for _, file := range pass.Files {
+		c.ix = directive.Index(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.checkFunc(fn.Body)
+				}
+			case *ast.FuncLit:
+				c.checkFunc(fn.Body)
+			}
+			return true
+		})
+		c.checkCopies(file)
+	}
+	c.checkOrderCycles()
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	ix   *directive.FileIndex
+	// orders maps held→acquired canonical lock names to the first position
+	// the order was observed at.
+	orders map[[2]string]token.Pos
+}
+
+// lockCall classifies a statement-level call as a lock operation on a
+// trackable lock expression.
+func (c *checker) lockCall(n ast.Node) (lockKey, string, bool) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockKey{}, "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	key, ok := c.keyOf(sel.X)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	return key, name, true
+}
+
+// keyOf resolves a lock expression (mu, e.sendMu, s.inner.mu) to its key.
+func (c *checker) keyOf(x ast.Expr) (lockKey, bool) {
+	var parts []string
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Defs[e]
+			}
+			if obj == nil {
+				return lockKey{}, false
+			}
+			parts = append(parts, e.Name)
+			// parts were collected leaf-first; reverse into a path.
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return lockKey{root: obj, path: strings.Join(parts, ".")}, true
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		default:
+			return lockKey{}, false
+		}
+	}
+}
+
+// canonical names a lock for the cross-function ordering graph: a field
+// reached through a variable becomes "<TypeName>.<path>"; a package-level
+// var keeps its package-qualified name.
+func (c *checker) canonical(k lockKey) string {
+	v, ok := k.root.(*types.Var)
+	if !ok {
+		return k.path
+	}
+	dot := strings.IndexByte(k.path, '.')
+	if dot < 0 {
+		// A bare lock variable: package-level vars get a stable name; locals
+		// stay function-scoped (no cross-function identity).
+		if v.Parent() == c.pass.Pkg.Scope() {
+			return c.pass.Pkg.Name() + "." + k.path
+		}
+		return ""
+	}
+	t := v.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + k.path[dot:]
+	}
+	return ""
+}
+
+// checkFunc runs the dataflow over one function body.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	// Cheap pre-filter: no lock calls, nothing to do.
+	if !mentionsLocks(body) {
+		return
+	}
+	g := cfg.New(body)
+
+	// Deferred unlocks cover every exit for their lock.
+	deferred := make(map[lockKey]bool)
+	for _, d := range g.Defers {
+		if key, name, ok := c.lockCall(&ast.ExprStmt{X: d.Call}); ok {
+			if name == "Unlock" || name == "RUnlock" {
+				deferred[key] = true
+			}
+		}
+	}
+
+	transfer := func(n ast.Node, s lockState) lockState {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			// The deferred call runs at exit; a deferred Unlock is modelled
+			// through the deferred set, not as an in-place release.
+			return s
+		}
+		key, name, ok := c.lockCall(n)
+		if !ok {
+			return s
+		}
+		switch name {
+		case "Lock":
+			return s.with(key, exclusive)
+		case "RLock":
+			return s.with(key, read)
+		case "Unlock", "RUnlock":
+			return s.without(key)
+		}
+		return s
+	}
+
+	must := cfg.Flow[lockState]{
+		Init:     lockState{},
+		Transfer: transfer,
+		Merge:    mustMerge,
+		Equal:    equalStates,
+	}
+	mustIn := cfg.Forward(g, must)
+
+	may := cfg.Flow[lockState]{
+		Init:     lockState{},
+		Transfer: transfer,
+		Merge:    mayMerge,
+		Equal:    equalStates,
+	}
+	mayIn := cfg.Forward(g, may)
+
+	// Held at exit (MAY): some path leaves the function still holding a
+	// lock that no deferred unlock covers.
+	if exitState, ok := mayIn[g.Exit]; ok {
+		for _, e := range sortedEntries(exitState) {
+			if deferred[e.key] {
+				continue
+			}
+			c.pass.Reportf(lockPos(g, c, e.key),
+				"%s is not %sed on every path out of the function (early return or panic leaves it held); unlock on all paths or defer the unlock",
+				e.key.path, unlockName(e.m))
+		}
+	}
+
+	// Per-node checks replay the MUST states: double-lock, blocking under a
+	// held lock, and ordering edges.
+	cfg.Replay(g, must, mustIn, func(n ast.Node, before lockState) {
+		if key, name, ok := c.lockCall(n); ok && (name == "Lock" || name == "RLock") {
+			if held, isHeld := before[key]; isHeld {
+				c.pass.Reportf(n.Pos(),
+					"%s.%s while %s is already held (%s at this point): deadlock on the same lock",
+					key.path, name, key.path, held)
+			}
+			// Ordering edges: every definitely-held lock precedes this one.
+			acq := c.canonical(key)
+			if acq != "" {
+				for heldKey := range before {
+					if heldKey == key {
+						continue
+					}
+					if h := c.canonical(heldKey); h != "" && h != acq {
+						edge := [2]string{h, acq}
+						if _, seen := c.orders[edge]; !seen {
+							c.orders[edge] = n.Pos()
+						}
+					}
+				}
+			}
+			return
+		}
+		if len(before) == 0 {
+			return
+		}
+		for _, op := range cfg.BlockingOps(g, c.pass.TypesInfo, n) {
+			if _, ok := c.ix.At(directive.HoldOK, op.Pos); ok {
+				continue
+			}
+			held := sortedEntries(before)
+			c.pass.Reportf(op.Pos,
+				"%s while holding %s: a blocked goroutine holding a lock stalls every contender; release the lock first or annotate with //calloc:holdok <reason>",
+				op.What, held[0].key.path)
+		}
+	})
+}
+
+type lockEntry struct {
+	key lockKey
+	m   mode
+}
+
+func sortedEntries(s lockState) []lockEntry {
+	out := make([]lockEntry, 0, len(s))
+	for k, m := range s {
+		out = append(out, lockEntry{k, m})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key.path < out[j].key.path })
+	return out
+}
+
+func unlockName(m mode) string {
+	if m == read {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// lockPos finds the first acquisition position of key in the graph for the
+// held-at-exit report.
+func lockPos(g *cfg.Graph, c *checker, key lockKey) token.Pos {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if k, name, ok := c.lockCall(n); ok && k == key && (name == "Lock" || name == "RLock") {
+				return n.Pos()
+			}
+		}
+	}
+	return token.NoPos
+}
+
+// mentionsLocks is the pre-filter: does the body call Lock/RLock at all?
+func mentionsLocks(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ---- lock copies ----
+
+// checkCopies flags copies of values whose type contains a lock: by-value
+// parameters and results, assignments from a variable or dereference, and
+// range value variables.
+func (c *checker) checkCopies(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncDecl:
+			c.checkFieldList(nn.Recv, "receiver")
+			c.checkFieldList(nn.Type.Params, "parameter")
+			c.checkFieldList(nn.Type.Results, "result")
+		case *ast.FuncLit:
+			c.checkFieldList(nn.Type.Params, "parameter")
+			c.checkFieldList(nn.Type.Results, "result")
+		case *ast.AssignStmt:
+			for i, rhs := range nn.Rhs {
+				if i >= len(nn.Lhs) {
+					break
+				}
+				// Assigning to _ discards the copy immediately; no lock state
+				// can diverge.
+				if id, ok := nn.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if !copiesValue(rhs) {
+					continue
+				}
+				if t := c.pass.TypesInfo.Types[rhs].Type; t != nil {
+					if path := lockerPath(t); path != "" {
+						c.pass.Reportf(rhs.Pos(),
+							"assignment copies %s, which contains %s: the copy's lock state is divorced from the original — use a pointer",
+							t.String(), path)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if nn.Value != nil {
+				// The value variable is a definition, not an expression use:
+				// its type lives in Defs.
+				t := c.pass.TypesInfo.Types[nn.Value].Type
+				if id, ok := nn.Value.(*ast.Ident); ok && t == nil {
+					if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+						t = obj.Type()
+					}
+				}
+				if t != nil {
+					if path := lockerPath(t); path != "" {
+						c.pass.Reportf(nn.Value.Pos(),
+							"range value copies %s, which contains %s: iterate by index or over pointers",
+							t.String(), path)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) checkFieldList(fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := c.pass.TypesInfo.Types[f.Type].Type
+		if t == nil {
+			continue
+		}
+		if path := lockerPath(t); path != "" {
+			c.pass.Reportf(f.Type.Pos(),
+				"%s passes %s by value, which contains %s: every call copies the lock — take a pointer",
+				kind, t.String(), path)
+		}
+	}
+}
+
+// copiesValue reports whether evaluating rhs copies an existing value (as
+// opposed to creating a fresh one): a variable, field, index, or
+// dereference. Composite literals and calls construct new values.
+func copiesValue(x ast.Expr) bool {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+// lockerPath reports the path to a lock-bearing field inside t ("" if none):
+// sync.Mutex and friends themselves, or a struct (transitively) containing
+// one by value. Pointers, slices, maps, and channels break the containment.
+func lockerPath(t types.Type) string {
+	return lockerPathRec(t, make(map[types.Type]bool))
+}
+
+var lockerTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Once":      true,
+	"sync.Cond":      true,
+	"sync.Pool":      true,
+}
+
+func lockerPathRec(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if isSyncPkg(named) && lockerTypes["sync."+named.Obj().Name()] {
+			return "sync." + named.Obj().Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockerPathRec(u.Field(i).Type(), seen); p != "" {
+				return p
+			}
+		}
+	case *types.Array:
+		return lockerPathRec(u.Elem(), seen)
+	}
+	return ""
+}
+
+func isSyncPkg(n *types.Named) bool {
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}
+
+// ---- lock-ordering cycles ----
+
+// checkOrderCycles finds a cycle in the observed acquisition-order graph and
+// reports it once.
+func (c *checker) checkOrderCycles() {
+	adj := make(map[string][]string)
+	for e := range c.orders {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	var cycle []string
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		color[n] = grey
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			switch color[m] {
+			case white:
+				if dfs(m) {
+					return true
+				}
+			case grey:
+				// Slice the stack from m's occurrence: that's the cycle.
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i] == m {
+						cycle = append(append([]string(nil), stack[i:]...), m)
+						return true
+					}
+				}
+			}
+		}
+		color[n] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	roots := make([]string, 0, len(adj))
+	for n := range adj {
+		roots = append(roots, n)
+	}
+	sort.Strings(roots)
+	for _, n := range roots {
+		if color[n] == white && dfs(n) {
+			break
+		}
+	}
+	if cycle == nil {
+		return
+	}
+	// Report at the edge closing the cycle.
+	closing := [2]string{cycle[len(cycle)-2], cycle[len(cycle)-1]}
+	pos := c.orders[closing]
+	c.pass.Reportf(pos,
+		"lock-order cycle: %s — two goroutines taking these locks in opposite orders deadlock; pick one global order",
+		strings.Join(cycle, " -> "))
+}

@@ -1,0 +1,21 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"calloc/internal/analysis"
+	"calloc/internal/analysis/analysistest"
+	"calloc/internal/analysis/lifecycle"
+	"calloc/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "lockfix")
+}
+
+// TestCrossAnalyzer runs lockcheck and lifecycle together over one fixture
+// whose expectations only their pooled diagnostics satisfy.
+func TestCrossAnalyzer(t *testing.T) {
+	analysistest.RunAnalyzers(t, "testdata",
+		[]*analysis.Analyzer{lockcheck.Analyzer, lifecycle.Analyzer}, "crossfix")
+}

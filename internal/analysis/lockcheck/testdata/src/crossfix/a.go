@@ -1,0 +1,54 @@
+// Package crossfix is shared by lockcheck and lifecycle: one file whose want
+// comments only the union of the two analyzers satisfies. The shapes couple
+// the families — a join performed under the very lock the joined goroutine
+// needs, and a function that both leaks its lock and leaks a goroutine.
+package crossfix
+
+import "sync"
+
+func poll() {}
+
+// gate joins its worker while holding the mutex the worker needs to finish:
+// lockcheck's blocking-under-lock, in the Close position lifecycle audits.
+type gate struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+func (g *gate) Start() {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}()
+}
+
+func (g *gate) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.wg.Wait() // want `\(\*sync\.WaitGroup\)\.Wait while holding g\.mu`
+}
+
+// monitor.kick earns one diagnostic from each analyzer: the early return
+// leaves the lock held, and the spawned loop has no shutdown path.
+type monitor struct {
+	mu   sync.Mutex
+	live bool
+}
+
+func (m *monitor) kick() {
+	m.mu.Lock() // want `m\.mu is not Unlocked on every path`
+	if m.live {
+		return
+	}
+	m.live = true
+	m.mu.Unlock()
+	go func() { // want `goroutine is tied to no shutdown path`
+		for {
+			poll()
+		}
+	}()
+}

@@ -1,0 +1,206 @@
+// Package lockfix exercises the lockcheck analyzer: unlock on every path,
+// no blocking operations while holding a lock, double-lock deadlocks, copies
+// of lock-bearing values, and acquisition-order cycles. Each shape is a
+// minimised replay of a bug the review process caught in the real tree.
+package lockfix
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+// leakOnEarlyReturn forgets the unlock on the miss path — the shape a
+// deferred unlock exists to prevent.
+func (s *store) leakOnEarlyReturn(k string) (int, bool) {
+	s.mu.Lock() // want `s\.mu is not Unlocked on every path out of the function`
+	v, ok := s.items[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// leakOnPanic unlocks on the normal path but the panic edge leaves the lock
+// held: the recovering caller inherits a dead mutex.
+func (s *store) leakOnPanic(k string) int {
+	s.mu.Lock() // want `s\.mu is not Unlocked on every path out of the function`
+	v, ok := s.items[k]
+	if !ok {
+		panic("missing key")
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// deferredOK covers every exit, including panics, with one deferred unlock.
+func (s *store) deferredOK(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// doubleLock re-acquires a lock the function already holds: self-deadlock.
+func (s *store) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu\.Lock while s\.mu is already held \(Lock at this point\)`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+type rwstore struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// upgradeDeadlock tries to upgrade a read lock in place; RWMutex has no
+// upgrade path, so the writer waits for its own reader forever.
+func (r *rwstore) upgradeDeadlock(k string, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.mu.Lock() // want `r\.mu\.Lock while r\.mu is already held \(RLock at this point\)`
+	r.m[k] = v
+	r.mu.Unlock()
+}
+
+type fetcher struct {
+	mu    sync.Mutex
+	cache map[string][]byte
+}
+
+// fetchLocked performs an HTTP round-trip while holding the cache mutex —
+// the baseline-cache shape: every other reader stalls behind one network
+// call.
+func (f *fetcher) fetchLocked(url string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if b, ok := f.cache[url]; ok {
+		return b, nil
+	}
+	resp, err := http.Get(url) // want `net/http\.Get while holding f\.mu`
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	f.cache[url] = []byte(resp.Status)
+	return f.cache[url], nil
+}
+
+// notifyLocked sends on an unbuffered channel under the lock: if the receiver
+// needs the same lock to make progress, both sides park forever.
+func (f *fetcher) notifyLocked(ch chan struct{}) {
+	f.mu.Lock()
+	ch <- struct{}{} // want `channel send while holding f\.mu`
+	f.mu.Unlock()
+}
+
+// selectLocked parks in a default-less select with the lock held.
+func (f *fetcher) selectLocked(a, b chan int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select { // want `select without default while holding f\.mu`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// pollLocked is fine: the default clause makes the select a non-blocking
+// poll.
+func (f *fetcher) pollLocked(a chan int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+// waitLocked joins a WaitGroup under the lock; if any counted goroutine needs
+// the lock to finish, the join never returns.
+func (f *fetcher) waitLocked(wg *sync.WaitGroup) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	wg.Wait() // want `\(\*sync\.WaitGroup\)\.Wait while holding f\.mu`
+}
+
+// throttleLocked deliberately sleeps under the lock: device access must be
+// serialised with every other accessor, and the annotation records that.
+func (f *fetcher) throttleLocked() {
+	f.mu.Lock()
+	time.Sleep(time.Millisecond) //calloc:holdok device access must stay serialised across the settle window
+	f.mu.Unlock()
+}
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// waitNonEmpty is the engine-worker idiom: Cond.Wait requires the lock and
+// parks with it released, so it is not a blocking-under-lock violation.
+func (q *queue) waitNonEmpty() {
+	q.mu.Lock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+	q.n--
+	q.mu.Unlock()
+}
+
+// badReceiver copies the store — and its mutex — on every call.
+func (s store) badReceiver() int { // want `receiver passes lockfix\.store by value, which contains sync\.Mutex`
+	return len(s.items)
+}
+
+// byValueParam copies the lock into the callee's frame.
+func byValueParam(s store) int { // want `parameter passes lockfix\.store by value, which contains sync\.Mutex`
+	return len(s.items)
+}
+
+// copyAssign snapshots the struct, divorcing the copy's lock state from the
+// original's.
+func copyAssign(s *store) {
+	tmp := *s // want `assignment copies lockfix\.store, which contains sync\.Mutex`
+	_ = tmp
+}
+
+// rangeCopy copies each element — lock included — into the loop variable.
+func rangeCopy(ss []store) int {
+	n := 0
+	for _, s := range ss { // want `range value copies lockfix\.store, which contains sync\.Mutex`
+		n += len(s.items)
+	}
+	return n
+}
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// lockAB and lockBA take the two package locks in opposite orders: two
+// goroutines running them concurrently deadlock.
+func lockAB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock() // want `lock-order cycle: lockfix\.muA -> lockfix\.muB -> lockfix\.muA`
+	muA.Unlock()
+	muB.Unlock()
+}

@@ -15,13 +15,21 @@
 // -json) and the process exits 2 when there are findings, which is how
 // `go vet` learns to fail.
 //
-// The tool also has one mode of its own, outside the go vet protocol:
+// The tool also has two modes of its own, outside the go vet protocol:
 //
 //	vettool -ranges [dir...]
 //
 // parses the tree (no type-checking) and prints the file:line ranges of
 // every //calloc:noalloc function plus the //calloc:allow lines, the input
 // scripts/escapecheck.sh intersects with `go build -gcflags=-m` output.
+//
+//	vettool -directives [dir...]
+//
+// parses the tree and prints one tab-separated `file:line  name  reason`
+// row per //calloc: annotation, the input scripts/directives.sh audits for
+// unknown names and reason-less waivers. Unlike -ranges it includes
+// _test.go files and testdata fixtures: a waiver owes its reason wherever
+// it appears.
 package unit
 
 import (
@@ -43,6 +51,7 @@ import (
 	"strings"
 
 	"calloc/internal/analysis"
+	"calloc/internal/analysis/directive"
 	"calloc/internal/analysis/noalloc"
 )
 
@@ -83,6 +92,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 	jsonFlag := flag.Bool("json", false, "emit JSON diagnostics")
 	flagsFlag := flag.Bool("flags", false, "print flags in JSON (go vet protocol)")
 	rangesFlag := flag.Bool("ranges", false, "print //calloc:noalloc function ranges for escapecheck.sh")
+	directivesFlag := flag.Bool("directives", false, "print every //calloc: annotation for directives.sh")
 	vFlag := flag.String("V", "", "print version and exit (-V=full)")
 	flag.Parse()
 
@@ -93,6 +103,10 @@ func Main(analyzers ...*analysis.Analyzer) {
 		printFlags()
 	case *rangesFlag:
 		if err := printRanges(flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+	case *directivesFlag:
+		if err := printDirectives(flag.Args()); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -317,6 +331,54 @@ func printRanges(roots []string) error {
 					fmt.Printf("allow %s %d\n", file, start)
 				}
 			})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printDirectives parses the named directories (default ".") without
+// type-checking and emits one row per //calloc: annotation, for
+// scripts/directives.sh:
+//
+//	<file>:<line>\t<name>\t<reason>
+//
+// The proper parse is the point: grep over source also matches the prose
+// mentions of //calloc: in doc comments and in analyzer message strings,
+// which this walk never sees. Test files and testdata fixtures are
+// included — their waivers owe reasons like everyone else's.
+func printDirectives(roots []string) error {
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "/...")
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if strings.HasPrefix(name, ".") && name != "." && name != ".." {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			for _, dir := range directive.Index(fset, f).All() {
+				pos := fset.Position(dir.Pos)
+				fmt.Printf("%s:%d\t%s\t%s\n", pos.Filename, pos.Line, dir.Name, dir.Reason)
+			}
 			return nil
 		})
 		if err != nil {

@@ -73,6 +73,7 @@ func (p *Prober) Start() {
 	if !p.started.CompareAndSwap(false, true) {
 		return
 	}
+	//calloc:bgctx the probe loop outlives any request; each probe is bounded by the prober's own per-probe timeout
 	p.ProbeOnce(context.Background())
 	go func() {
 		defer close(p.done)
@@ -83,6 +84,7 @@ func (p *Prober) Start() {
 			case <-p.stop:
 				return
 			case <-ticker.C:
+				//calloc:bgctx the probe loop outlives any request; each probe is bounded by the prober's own per-probe timeout
 				p.ProbeOnce(context.Background())
 			}
 		}

@@ -14,6 +14,7 @@ import (
 	"calloc/internal/device"
 	"calloc/internal/fingerprint"
 	"calloc/internal/floorplan"
+	"calloc/internal/leakcheck"
 	"calloc/internal/localizer"
 	"calloc/internal/node"
 	"calloc/internal/serve"
@@ -81,6 +82,7 @@ func postJSON(t testing.TB, client *http.Client, url string, body any) (int, map
 // fine-tunes off the request path, and /v1/models eventually reports the
 // hot-swapped version — all without a dropped or invalid response.
 func TestFeedbackFineTuneSwapOverHTTP(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	datasets := testFloors(t)
 	n, err := node.New(datasets, node.Config{
 		Backends:        []string{"calloc"},
@@ -220,6 +222,7 @@ func TestFeedbackFineTuneSwapOverHTTP(t *testing.T) {
 // TestFeedbackValidationOverHTTP: bad feedback is rejected at the edge with
 // useful statuses.
 func TestFeedbackValidationOverHTTP(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	datasets := testFloors(t)[:1]
 	n, err := node.New(datasets, node.Config{
 		Backends:        []string{"calloc"},
@@ -316,6 +319,7 @@ func liveVersion(t testing.TB, client *http.Client, base string, key localizer.K
 // the prior version, again visible in /v1/models, /v1/trainer, and served
 // responses.
 func TestABPipelineOverHTTP(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	datasets := testFloors(t)[:1]
 	ds := datasets[0]
 	n, err := node.New(datasets, node.Config{
@@ -533,6 +537,7 @@ func TestABPipelineOverHTTP(t *testing.T) {
 // smaller than the float64 baseline — the footprint win the fleet observes
 // per node.
 func TestModelsReportPrecisionAndWeightBytes(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	datasets := testFloors(t)[:1]
 	blob := untrainedWeights(t, datasets[0])
 	footprint := func(precision string) localizer.Info {

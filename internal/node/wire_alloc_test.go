@@ -9,6 +9,7 @@ import (
 
 	"calloc/internal/core"
 	"calloc/internal/fingerprint"
+	"calloc/internal/leakcheck"
 	"calloc/internal/node"
 	"calloc/internal/serve"
 )
@@ -42,6 +43,7 @@ func TestLocalizeWireLowAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are inflated under -race")
 	}
+	t.Cleanup(leakcheck.Check(t))
 	floors := testFloors(t)
 	ds := floors[0]
 	m, err := core.NewModel(core.DefaultConfig(ds.NumAPs, ds.NumRPs))

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"calloc/internal/fingerprint"
+	"calloc/internal/leakcheck"
 	"calloc/internal/node"
 	"calloc/internal/serve"
 )
@@ -19,6 +20,9 @@ import (
 // (no training loop), both test floors, trainers off.
 func wireTestNode(t testing.TB, floors []*fingerprint.Dataset) (*node.Node, *httptest.Server) {
 	t.Helper()
+	// Registered first so it runs last, after the server and node cleanups
+	// below have torn everything down.
+	t.Cleanup(leakcheck.Check(t))
 	n, err := node.New(floors, node.Config{
 		Backends:       []string{"knn"},
 		Engine:         serve.Options{MaxBatch: 8, MaxWait: -1},

@@ -1,0 +1,65 @@
+#!/bin/sh
+# directives.sh — audit every //calloc: annotation in the tree.
+#
+# The directive vocabulary (see internal/analysis/directive) splits into
+# markers, which take no reason (noalloc tags a function for the
+# zero-allocation set), and waivers, which suppress an analyzer diagnostic
+# and therefore MUST carry a reason: allow, handoff, nonatomic, detached,
+# holdok, bgctx. A reason-less waiver is an unexplained suppression — this
+# script lists every directive for review and fails CI on any waiver whose
+# reason is empty or an unknown directive name.
+#
+# The list comes from `calloc-vet -directives`, which parses the tree
+# properly — a grep for //calloc: would also match the prose mentions in
+# doc comments and analyzer message strings.
+#
+# Usage: scripts/directives.sh [-q]
+#   -q  quiet: only print violations.
+#   CALLOC_VET=/path/to/calloc-vet reuses a prebuilt tool (CI sets this).
+set -eu
+cd "$(dirname "$0")/.."
+
+quiet=0
+[ "${1:-}" = "-q" ] && quiet=1
+
+tool="${CALLOC_VET:-}"
+if [ -z "$tool" ]; then
+	tool=bin/calloc-vet
+	go build -o "$tool" ./cmd/calloc-vet
+fi
+
+list=$("$tool" -directives .)
+if [ -z "$list" ]; then
+	echo "directives: no //calloc: annotations found — annotation sweep missing?" >&2
+	exit 1
+fi
+
+if [ "$quiet" -eq 0 ]; then
+	echo "directives: //calloc: annotations in the tree:"
+	printf '%s\n' "$list" | sed 's|^|  |'
+fi
+
+printf '%s\n' "$list" | awk -F'\t' '
+{
+	loc = $1; name = $2; reason = $3
+
+	if (name == "noalloc") next                       # marker: no reason owed
+	if (name == "allow" || name == "handoff" || name == "nonatomic" ||
+	    name == "detached" || name == "holdok" || name == "bgctx") {
+		if (reason == "") {
+			print "directives: reason-less //calloc:" name " at " loc >"/dev/stderr"
+			bad = 1
+		}
+		next
+	}
+	print "directives: unknown directive //calloc:" name " at " loc >"/dev/stderr"
+	bad = 1
+}
+END { exit bad ? 1 : 0 }
+' || {
+	echo "directives: FAIL — every waiver directive needs a reason" >&2
+	exit 1
+}
+
+n=$(printf '%s\n' "$list" | wc -l | tr -d ' ')
+echo "directives: OK — $n annotations, every waiver carries a reason"
